@@ -1,0 +1,202 @@
+package dtncache
+
+// One benchmark per table/figure of the paper's evaluation (the
+// experiment index E1-E8 of DESIGN.md). Each benchmark regenerates the
+// artifact — at reduced sweep density where the full sweep takes minutes
+// (Quick mode); `go run ./cmd/experiments` produces the full-resolution
+// tables. Headline metrics are attached via b.ReportMetric so regression
+// runs can track reproduction quality, not just speed.
+
+import (
+	"strconv"
+	"testing"
+
+	"dtncache/internal/experiment"
+)
+
+func reportCell(b *testing.B, t *experiment.Table, row, col int, name string) {
+	b.Helper()
+	if row < len(t.Rows) && col < len(t.Rows[row]) {
+		if v, err := strconv.ParseFloat(t.Rows[row][col], 64); err == nil {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// BenchmarkTable1TraceStats regenerates Table I (E1): the four synthetic
+// traces and their aggregate statistics.
+func BenchmarkTable1TraceStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Table1(experiment.FigureOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig4NCLMetric regenerates Fig. 4 (E2): NCL-metric
+// distributions for the four traces; reports the MIT Reality max/median
+// skew.
+func BenchmarkFig4NCLMetric(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Fig4(experiment.FigureOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 2, 8, "reality-skew")
+}
+
+// BenchmarkFig7Sigmoid regenerates Fig. 7 (E3): the response-probability
+// sigmoid.
+func BenchmarkFig7Sigmoid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.Fig7(experiment.FigureOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 11 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig9Workload regenerates Fig. 9 (E4): data volume vs T_L and
+// the Zipf query pmf.
+func BenchmarkFig9Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiment.Fig9(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Lifetime regenerates Fig. 10 (E5) at reduced density:
+// success/delay/copies vs T_L on MIT Reality, Intentional vs NoCache.
+// Reports the intentional scheme's success ratio at T_L = 1 week.
+func BenchmarkFig10Lifetime(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Fig10(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 2, 2, "intentional-success-1wk")
+	reportCell(b, t, 3, 2, "nocache-success-1wk")
+}
+
+// BenchmarkFig11DataSize regenerates Fig. 11 (E6) at reduced density:
+// performance vs s_avg on MIT Reality.
+func BenchmarkFig11DataSize(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Fig11(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 2, 2, "intentional-success-100Mb")
+}
+
+// BenchmarkFig12Replacement regenerates Fig. 12 (E7) at reduced density:
+// the knapsack replacement vs LRU under loose and tight buffers.
+func BenchmarkFig12Replacement(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Fig12(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Rows: (50Mb ours, 50Mb LRU, 200Mb ours, 200Mb LRU).
+	reportCell(b, t, 2, 2, "ours-success-200Mb")
+	reportCell(b, t, 3, 2, "lru-success-200Mb")
+}
+
+// BenchmarkFig13NCLCount regenerates Fig. 13 (E8) at reduced density:
+// the impact of K on Infocom06.
+func BenchmarkFig13NCLCount(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Fig13(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 0, 2, "success-K1")
+	reportCell(b, t, 2, 2, "success-K5")
+}
+
+// BenchmarkSingleRunReality measures one full MIT Reality simulation of
+// the intentional scheme (the unit of work behind Figs. 10-12).
+func BenchmarkSingleRunReality(b *testing.B) {
+	tr, err := GenerateTrace(MITReality, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep Report
+	for i := 0; i < b.N; i++ {
+		rep, err = Run(Setup{Trace: tr, K: 8, Seed: 1}, SchemeIntentional)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.SuccessRatio, "success")
+	b.ReportMetric(rep.MeanDelaySec/3600, "delay-h")
+	b.ReportMetric(rep.MeanCopies, "copies")
+}
+
+// BenchmarkRoutingComparison regenerates the routing-substrate table
+// (extension E-D) at reduced density.
+func BenchmarkRoutingComparison(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.RoutingComparison(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 2, 1, "epidemic-delivery")
+}
+
+// BenchmarkDelayBreakdown regenerates the Sec. V-E delay decomposition
+// (extension E-C) at reduced density.
+func BenchmarkDelayBreakdown(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.DelayBreakdown(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 0, 1, "query-to-ncl-K1")
+	reportCell(b, t, 1, 1, "query-to-ncl-K5")
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (extension E-A) at reduced density.
+func BenchmarkAblations(b *testing.B) {
+	var t *experiment.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiment.Ablations(experiment.FigureOptions{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, t, 0, 1, "baseline-success")
+}

@@ -1,0 +1,132 @@
+// Command dtnsim runs one trace-driven simulation of a DTN data access
+// scheme and prints the evaluation metrics.
+//
+// Usage:
+//
+//	dtnsim -trace Infocom06 -scheme Intentional -tl 3h -savg 100 -k 5
+//	dtnsim -tracefile contacts.txt -scheme BundleCache
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dtncache/internal/experiment"
+	"dtncache/internal/metrics"
+	"dtncache/internal/scheme"
+	"dtncache/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dtnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtnsim", flag.ContinueOnError)
+	var (
+		preset     = fs.String("trace", "MIT Reality", "trace preset (Infocom05, Infocom06, 'MIT Reality', UCSD)")
+		traceFile  = fs.String("tracefile", "", "read the trace from this file instead of a preset")
+		traceFmt   = fs.String("format", "plain", "trace file format: plain ('a b start end') or one (ONE simulator CONN events)")
+		schemeName = fs.String("scheme", experiment.SchemeIntentional, "scheme: "+strings.Join(append(experiment.SchemeNames(), experiment.ReplacementNames()[1:]...), ", "))
+		tl         = fs.Duration("tl", 7*24*time.Hour, "average data lifetime T_L")
+		savg       = fs.Float64("savg", 100, "average data size in Mb")
+		zipf       = fs.Float64("zipf", 1, "Zipf query exponent s")
+		k          = fs.Int("k", 8, "number of NCLs (K)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		repeats    = fs.Int("repeats", 1, "number of repetitions to average")
+		bufMin     = fs.Float64("bufmin", 200, "minimum node buffer in Mb")
+		bufMax     = fs.Float64("bufmax", 600, "maximum node buffer in Mb")
+		dropProb   = fs.Float64("drop", 0, "transfer failure-injection probability")
+		respMode   = fs.String("response", "sigmoid", "response mode: global, sigmoid, always")
+		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		switch strings.ToLower(*traceFmt) {
+		case "plain":
+			tr, err = trace.Read(f)
+		case "one":
+			tr, err = trace.ReadONE(f)
+		default:
+			return fmt.Errorf("unknown trace format %q", *traceFmt)
+		}
+	} else {
+		tr, err = trace.GeneratePreset(trace.Preset(*preset), *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	mode, err := parseResponse(*respMode)
+	if err != nil {
+		return err
+	}
+	setup := experiment.Setup{
+		Trace:         tr,
+		AvgLifetime:   tl.Seconds(),
+		AvgSizeBits:   *savg * 1e6,
+		ZipfExponent:  *zipf,
+		K:             *k,
+		Seed:          *seed,
+		BufferMinBits: *bufMin * 1e6,
+		BufferMaxBits: *bufMax * 1e6,
+		DropProb:      *dropProb,
+		Response:      mode,
+	}
+	start := time.Now()
+	rep, err := experiment.RunAveraged(setup, *schemeName, *repeats)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Trace   string
+			Scheme  string
+			Repeats int
+			Report  metrics.Report
+		}{tr.Name, *schemeName, *repeats, rep})
+	}
+	fmt.Printf("trace:       %s (%d nodes, %.0f days, %d contacts)\n",
+		tr.Name, tr.Nodes, tr.Duration/86400, len(tr.Contacts))
+	fmt.Printf("scheme:      %s\n", *schemeName)
+	fmt.Printf("queries:     %d issued, %d satisfied\n", rep.QueriesIssued, rep.QueriesSatisfied)
+	fmt.Printf("success:     %.1f%%\n", 100*rep.SuccessRatio)
+	fmt.Printf("delay:       mean %.1fh, median %.1fh\n", rep.MeanDelaySec/3600, rep.MedianDelaySec/3600)
+	fmt.Printf("copies/item: %.2f (buffer use %.1f%%)\n", rep.MeanCopies, 100*rep.MeanBufferUse)
+	fmt.Printf("replaced:    %d moves, %d redundant deliveries\n", rep.ReplacementMoves, rep.RedundantDeliveries)
+	fmt.Printf("traffic:     %.1f Gb data, %.2f Gb control\n", rep.DataBits/1e9, rep.ControlBits/1e9)
+	fmt.Printf("wall time:   %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func parseResponse(s string) (scheme.ResponseMode, error) {
+	switch strings.ToLower(s) {
+	case "global":
+		return scheme.ResponseGlobal, nil
+	case "sigmoid":
+		return scheme.ResponseSigmoid, nil
+	case "always":
+		return scheme.ResponseAlways, nil
+	default:
+		return 0, fmt.Errorf("unknown response mode %q", s)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+func TestRunPresetSmoke(t *testing.T) {
+	if err := run([]string{
+		"-trace", "Infocom05", "-scheme", "NoCache", "-tl", "3h", "-k", "3",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{
+		"-trace", "Infocom05", "-scheme", "NoCache", "-tl", "3h", "-k", "3", "-json",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	tr, err := trace.GeneratePreset(trace.Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{
+		"-tracefile", path, "-scheme", "NoCache", "-tl", "3h", "-k", "3",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-trace", "NotATrace"},
+		{"-scheme", "NotAScheme", "-trace", "Infocom05"},
+		{"-response", "bogus"},
+		{"-tracefile", "/does/not/exist"},
+		{"-tracefile", "/dev/null", "-format", "sideways"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

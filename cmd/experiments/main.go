@@ -1,0 +1,130 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Sec. VI). Each experiment prints a text table whose shape
+// should be compared against the published figure; see EXPERIMENTS.md
+// for the recorded comparison.
+//
+// Usage:
+//
+//	experiments               # run everything (several minutes)
+//	experiments -fig 10       # only Fig. 10
+//	experiments -fig table1   # only Table I
+//	experiments -quick        # reduced sweeps (~1 minute)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dtncache/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "which artifact to regenerate: table1, 4, 7, 9, 10, 11, 12, 13, ablation, delay, robustness, routing, traces, rwp, all")
+		seed    = fs.Int64("seed", 1, "random seed")
+		repeats = fs.Int("repeats", 1, "repetitions to average per cell")
+		quick   = fs.Bool("quick", false, "reduced sweeps for a fast pass")
+		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir  = fs.String("outdir", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.FigureOptions{Seed: *seed, Repeats: *repeats, Quick: *quick}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	emit := func(t *experiment.Table) error {
+		if *outDir != "" {
+			name := strings.ToLower(strings.NewReplacer(" ", "-", ".", "").Replace(t.ID)) + ".csv"
+			f, err := os.Create(filepath.Join(*outDir, name))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *csvOut {
+			return t.WriteCSV(os.Stdout)
+		}
+		fmt.Println(t.Format())
+		return nil
+	}
+
+	type job struct {
+		key string
+		run func() error
+	}
+	one := func(f func(experiment.FigureOptions) (*experiment.Table, error)) func() error {
+		return func() error {
+			t, err := f(o)
+			if err != nil {
+				return err
+			}
+			return emit(t)
+		}
+	}
+	jobs := []job{
+		{"table1", one(experiment.Table1)},
+		{"4", one(experiment.Fig4)},
+		{"7", one(experiment.Fig7)},
+		{"9", func() error {
+			a, b, err := experiment.Fig9(o)
+			if err != nil {
+				return err
+			}
+			if err := emit(a); err != nil {
+				return err
+			}
+			return emit(b)
+		}},
+		{"10", one(experiment.Fig10)},
+		{"11", one(experiment.Fig11)},
+		{"12", one(experiment.Fig12)},
+		{"13", one(experiment.Fig13)},
+		{"ablation", one(experiment.Ablations)},
+		{"delay", one(experiment.DelayBreakdown)},
+		{"robustness", one(experiment.Robustness)},
+		{"routing", one(experiment.RoutingComparison)},
+		{"traces", one(experiment.CrossTrace)},
+		{"rwp", one(experiment.RWPComparison)},
+	}
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, j := range jobs {
+		if want != "all" && want != j.key {
+			continue
+		}
+		start := time.Now()
+		if err := j.run(); err != nil {
+			return fmt.Errorf("experiment %s: %w", j.key, err)
+		}
+		if !*csvOut {
+			fmt.Printf("[%s done in %s]\n\n", j.key, time.Since(start).Round(time.Millisecond))
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	return nil
+}

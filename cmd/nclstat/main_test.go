@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+func TestRunPreset(t *testing.T) {
+	if err := run([]string{"-trace", "Infocom05", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithHorizon(t *testing.T) {
+	if err := run([]string{"-trace", "Infocom05", "-T", "1800", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	tr, err := trace.GeneratePreset(trace.Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-tracefile", path, "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trace", "NotATrace"},
+		{"-tracefile", "/does/not/exist"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

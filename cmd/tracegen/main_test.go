@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPresetToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run([]string{"-preset", "Infocom05", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 41 {
+		t.Errorf("nodes = %d", tr.Nodes)
+	}
+}
+
+func TestRunCustomWithAnalysis(t *testing.T) {
+	if err := run([]string{
+		"-nodes", "10", "-days", "2", "-contacts", "2000", "-analyze",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                        // nothing requested
+		{"-preset", "NotAPreset"}, // unknown preset
+		{"-nodes", "1", "-days", "1", "-contacts", "10"}, // invalid config
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dtncache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != tr.Nodes || len(got.Contacts) != len(tr.Contacts) {
+		t.Errorf("round trip changed the trace: %d/%d nodes, %d/%d contacts",
+			got.Nodes, tr.Nodes, len(got.Contacts), len(tr.Contacts))
+	}
+}
+
+func TestPublicAPICustomTrace(t *testing.T) {
+	tr, err := GenerateCustomTrace(TraceConfig{
+		Name: "tiny", Nodes: 10, DurationSec: 86400, GranularitySec: 60,
+		TargetContacts: 2000, ActivityAlpha: 1.5, ActivityMax: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 10 {
+		t.Errorf("nodes = %d", tr.Nodes)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	tr, err := GenerateTrace(Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := Setup{Trace: tr, AvgLifetime: 3 * 3600, K: 3, Seed: 1}
+	rep, err := Run(setup, SchemeIntentional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueriesIssued == 0 || rep.SuccessRatio <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	avg, err := RunAveraged(setup, SchemeNoCache, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.QueriesIssued <= rep.QueriesIssued/2 {
+		t.Errorf("averaged issued = %d", avg.QueriesIssued)
+	}
+}
+
+func TestPublicAPISchemeLists(t *testing.T) {
+	if len(Schemes()) != 5 {
+		t.Errorf("Schemes() = %v", Schemes())
+	}
+	if len(ReplacementSchemes()) != 4 {
+		t.Errorf("ReplacementSchemes() = %v", ReplacementSchemes())
+	}
+	for _, name := range append(Schemes(), ReplacementSchemes()[1:]...) {
+		tr, err := GenerateTrace(Infocom05, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(Setup{Trace: tr, AvgLifetime: 3 * 3600, K: 3}, name); err != nil {
+			t.Errorf("Run(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPublicAPINCLMetrics(t *testing.T) {
+	tr, err := GenerateTrace(Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NCLMetrics(tr, DefaultMetricT(tr.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != tr.Nodes {
+		t.Errorf("metrics len = %d", len(ms))
+	}
+}
+
+func TestPublicAPIRWPTrace(t *testing.T) {
+	tr, err := GenerateRWPTrace(RWPConfig{
+		Name: "rwp", Nodes: 15, DurationSec: 24 * 3600,
+		ArenaMeters: 600, RangeMeters: 60,
+		SpeedMin: 0.5, SpeedMax: 2, PauseMaxSec: 60, ScanSec: 30, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The geometric trace drives the full caching pipeline.
+	rep, err := Run(Setup{Trace: tr, AvgLifetime: 2 * 3600, K: 3, MetricT: 1800}, SchemeIntentional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueriesIssued == 0 {
+		t.Error("no queries issued on the RWP trace")
+	}
+}

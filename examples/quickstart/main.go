@@ -1,0 +1,44 @@
+// Quickstart: generate a synthetic DTN contact trace, run the paper's
+// intentional NCL caching scheme against the no-caching baseline, and
+// print the three evaluation metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtncache"
+)
+
+func main() {
+	// A small conference trace (41 devices, 3 days) keeps the run fast.
+	tr, err := dtncache.GenerateTrace(dtncache.Infocom05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s — %d nodes, %.0f days, %d contacts\n\n",
+		tr.Name, tr.Nodes, tr.Duration/86400, len(tr.Contacts))
+
+	// Data lives ~3 hours (live traffic/incident style content); each
+	// query must be answered within half a lifetime. K=5 network central
+	// locations, as the paper recommends for conference traces.
+	setup := dtncache.Setup{
+		Trace:       tr,
+		AvgLifetime: 3 * 3600,
+		K:           5,
+		Seed:        1,
+	}
+
+	for _, scheme := range []string{dtncache.SchemeIntentional, dtncache.SchemeNoCache} {
+		rep, err := dtncache.Run(setup, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s success %5.1f%%   delay %5.2fh   copies/item %.2f\n",
+			scheme, 100*rep.SuccessRatio, rep.MeanDelaySec/3600, rep.MeanCopies)
+	}
+	fmt.Println("\nIntentional caching at network central locations answers more")
+	fmt.Println("queries, faster, by pre-positioning data at well-connected nodes.")
+}

@@ -1,0 +1,84 @@
+// Routing comparison: exercise the DTN forwarding substrate directly —
+// the strategies that carry-and-forward networks choose between, and
+// that the caching scheme's push/pull machinery builds on.
+//
+// The example evaluates six strategies on a conference trace and prints
+// the classic delivery/delay/overhead tradeoff triangle: flooding is
+// fast but expensive, direct delivery is cheap but slow, and
+// utility-based strategies (PRoPHET, the paper's gradient metric) get
+// close to flooding's delivery at a fraction of the transmissions.
+//
+//	go run ./examples/routingcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dtncache"
+)
+
+func main() {
+	tr, err := dtncache.GenerateTrace(dtncache.Infocom05, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s — %d nodes, %d contacts over %.0f days\n\n",
+		tr.Name, tr.Nodes, len(tr.Contacts), tr.Duration/86400)
+
+	// The gradient strategy scores relays by the probability of meeting
+	// the destination within an hour (a one-hop instance of the paper's
+	// opportunistic-path weight).
+	gradient := dtncache.GradientStrategy(meetingProbability(tr))
+
+	cfg := dtncache.RoutingConfig{
+		Messages:    300,
+		LifetimeSec: 8 * 3600,
+		SprayCopies: 8,
+		Seed:        1,
+	}
+	strategies := []dtncache.RoutingStrategy{
+		dtncache.DirectDelivery,
+		dtncache.EpidemicRouting,
+		dtncache.SprayAndWait,
+		dtncache.NewPRoPHET(tr.Nodes),
+		gradient,
+	}
+	fmt.Printf("%-16s %9s %9s %12s\n", "strategy", "delivery", "delay", "tx/delivery")
+	for _, s := range strategies {
+		res, err := dtncache.EvaluateRouting(tr, s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %8.1f%% %8.2fh %12.1f\n",
+			res.Strategy, 100*res.DeliveryRatio, res.MeanDelaySec/3600,
+			res.TransmissionsPerDelivery)
+	}
+}
+
+// meetingProbability builds a relay score from the trace's estimated
+// pairwise contact rates: the probability node meets dst within an hour,
+// assuming Poisson contacts (the paper's model).
+func meetingProbability(tr *dtncache.Trace) func(node, dst dtncache.NodeID) float64 {
+	rates := make([][]float64, tr.Nodes)
+	for i := range rates {
+		rates[i] = make([]float64, tr.Nodes)
+	}
+	for _, c := range tr.Contacts {
+		rates[c.A][c.B]++
+		rates[c.B][c.A]++
+	}
+	for i := range rates {
+		for j := range rates[i] {
+			rates[i][j] /= tr.Duration
+		}
+	}
+	return func(node, dst dtncache.NodeID) float64 {
+		lambda := rates[node][dst]
+		if lambda <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-lambda*3600)
+	}
+}

@@ -1,0 +1,3 @@
+module dtncache
+
+go 1.22

@@ -1,0 +1,236 @@
+// Package buffer implements per-node caching buffers with the popularity
+// bookkeeping of paper Eqs. (5)-(6) and the classic replacement policies
+// the evaluation compares against (FIFO, LRU, Greedy-Dual-Size). The
+// paper's own utility/knapsack replacement lives in internal/core and
+// drives this package's primitive operations.
+package buffer
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"dtncache/internal/workload"
+)
+
+// RequestStats tracks the occurrences of past requests to one data item,
+// as seen by one caching node. Per Sec. V-D.1 a node only needs the
+// request count and the first/last request times to estimate the Poisson
+// request rate lambda_d = k / (t_k - t_1).
+type RequestStats struct {
+	Count       int
+	First, Last float64
+}
+
+// Observe records a request at time t.
+func (rs *RequestStats) Observe(t float64) {
+	if rs.Count == 0 {
+		rs.First = t
+	}
+	rs.Count++
+	if t > rs.Last {
+		rs.Last = t
+	}
+}
+
+// Merge folds another node's view of the same item's request history into
+// this one (used when caching nodes exchange query-history information on
+// contact). Counts add; the window extends to the union.
+func (rs *RequestStats) Merge(other RequestStats) {
+	if other.Count == 0 {
+		return
+	}
+	if rs.Count == 0 {
+		*rs = other
+		return
+	}
+	rs.Count += other.Count
+	if other.First < rs.First {
+		rs.First = other.First
+	}
+	if other.Last > rs.Last {
+		rs.Last = other.Last
+	}
+}
+
+// Rate returns the estimated Poisson request rate lambda_d (Eq. 5). With
+// fewer than two requests the window is degenerate; a single request
+// contributes a weak rate estimate of one request per elapsed-since-first
+// interval measured at now.
+func (rs *RequestStats) Rate(now float64) float64 {
+	switch {
+	case rs.Count == 0:
+		return 0
+	case rs.Count == 1 || rs.Last <= rs.First:
+		elapsed := now - rs.First
+		if elapsed <= 0 {
+			return 0
+		}
+		return 1 / elapsed
+	default:
+		return float64(rs.Count) / (rs.Last - rs.First)
+	}
+}
+
+// Popularity returns w_i of Eq. (6): the probability the item is
+// requested at least once more before it expires. The paper's prose
+// defines this over the remaining lifetime, so we use
+// 1 - exp(-lambda_d * (expires - now)); set fromFirst to use the
+// literal (t_e - t_1) variant of the OCR'd equation instead (kept for
+// the ablation study).
+func (rs *RequestStats) Popularity(now, expires float64, fromFirst bool) float64 {
+	rate := rs.Rate(now)
+	if rate == 0 {
+		return 0
+	}
+	window := expires - now
+	if fromFirst {
+		window = expires - rs.First
+	}
+	if window <= 0 {
+		return 0
+	}
+	return -math.Expm1(-rate * window)
+}
+
+// Entry is one cached data copy plus its bookkeeping.
+type Entry struct {
+	Data workload.DataItem
+	// CachedAt is when this node cached the copy.
+	CachedAt float64
+	// LastUsed is the last time the entry served or matched a query
+	// (LRU bookkeeping).
+	LastUsed float64
+	// Seq is the insertion sequence number (FIFO bookkeeping).
+	Seq int
+	// Cost is the Greedy-Dual-Size H value.
+	Cost float64
+	// Requests is the locally known request history (popularity).
+	Requests RequestStats
+	// Home is the NCL (central node index) this copy is associated with,
+	// or -1. Used by the intentional caching scheme to track which NCL's
+	// subgraph the copy belongs to.
+	Home int
+	// InTransit marks a copy still being pushed toward its NCL's central
+	// node — a "temporal caching location" in the paper's terms
+	// (Sec. V-A). In-transit copies do not take part in cache
+	// replacement.
+	InTransit bool
+}
+
+// Buffer is a single node's caching buffer. It never evicts on its own:
+// Put fails when there is not enough free space, and callers decide what
+// to remove (directly or via a Policy).
+type Buffer struct {
+	capacity float64
+	used     float64
+	entries  map[workload.DataID]*Entry
+	seq      int
+
+	evictions int
+	inserts   int
+}
+
+// New creates a buffer with the given capacity in bits.
+func New(capacityBits float64) *Buffer {
+	return &Buffer{
+		capacity: capacityBits,
+		entries:  make(map[workload.DataID]*Entry),
+	}
+}
+
+// Errors returned by Put.
+var (
+	ErrTooLarge  = errors.New("buffer: item exceeds total capacity")
+	ErrNoSpace   = errors.New("buffer: not enough free space")
+	ErrDuplicate = errors.New("buffer: item already cached")
+)
+
+// Capacity returns the total capacity in bits.
+func (b *Buffer) Capacity() float64 { return b.capacity }
+
+// Used returns the occupied space in bits.
+func (b *Buffer) Used() float64 { return b.used }
+
+// Free returns the available space in bits.
+func (b *Buffer) Free() float64 { return b.capacity - b.used }
+
+// Len returns the number of cached entries.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Has reports whether the item is cached.
+func (b *Buffer) Has(id workload.DataID) bool {
+	_, ok := b.entries[id]
+	return ok
+}
+
+// Get returns the entry for id, or nil.
+func (b *Buffer) Get(id workload.DataID) *Entry {
+	return b.entries[id]
+}
+
+// Stats returns cumulative insert and eviction counts.
+func (b *Buffer) Stats() (inserts, evictions int) {
+	return b.inserts, b.evictions
+}
+
+// Put caches the item at time now. It fails with ErrNoSpace (or
+// ErrTooLarge / ErrDuplicate) rather than evicting.
+func (b *Buffer) Put(item workload.DataItem, now float64) (*Entry, error) {
+	if item.SizeBits > b.capacity {
+		return nil, ErrTooLarge
+	}
+	if b.Has(item.ID) {
+		return nil, ErrDuplicate
+	}
+	if item.SizeBits > b.Free() {
+		return nil, ErrNoSpace
+	}
+	b.seq++
+	e := &Entry{
+		Data:     item,
+		CachedAt: now,
+		LastUsed: now,
+		Seq:      b.seq,
+		Home:     -1,
+	}
+	b.entries[item.ID] = e
+	b.used += item.SizeBits
+	b.inserts++
+	return e, nil
+}
+
+// Remove evicts the item, returning its entry (nil if absent).
+func (b *Buffer) Remove(id workload.DataID) *Entry {
+	e, ok := b.entries[id]
+	if !ok {
+		return nil
+	}
+	delete(b.entries, id)
+	b.used -= e.Data.SizeBits
+	b.evictions++
+	return e
+}
+
+// Entries returns all entries sorted by ascending data ID (deterministic
+// iteration order for protocols and tests).
+func (b *Buffer) Entries() []*Entry {
+	out := make([]*Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Data.ID < out[j].Data.ID })
+	return out
+}
+
+// DropExpired removes all entries expired at now and returns them.
+func (b *Buffer) DropExpired(now float64) []*Entry {
+	var dropped []*Entry
+	for _, e := range b.Entries() {
+		if e.Data.Expired(now) {
+			b.Remove(e.Data.ID)
+			dropped = append(dropped, e)
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,214 @@
+package buffer
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dtncache/internal/workload"
+)
+
+func item(id int, size float64, created, expires float64) workload.DataItem {
+	return workload.DataItem{
+		ID: workload.DataID(id), Source: 0,
+		SizeBits: size, Created: created, Expires: expires,
+	}
+}
+
+func TestRequestStatsObserve(t *testing.T) {
+	var rs RequestStats
+	if rs.Rate(100) != 0 {
+		t.Error("empty stats should have zero rate")
+	}
+	rs.Observe(10)
+	if rs.Count != 1 || rs.First != 10 || rs.Last != 10 {
+		t.Errorf("after one observation: %+v", rs)
+	}
+	// Single request: weak estimate 1/(now-first).
+	if got := rs.Rate(30); math.Abs(got-1.0/20) > 1e-12 {
+		t.Errorf("single-request rate = %v, want 0.05", got)
+	}
+	rs.Observe(20)
+	rs.Observe(30)
+	// Eq. (5): lambda = k/(t_k - t_1) = 3/20.
+	if got := rs.Rate(100); math.Abs(got-3.0/20) > 1e-12 {
+		t.Errorf("rate = %v, want 0.15", got)
+	}
+}
+
+func TestRequestStatsPopularity(t *testing.T) {
+	var rs RequestStats
+	rs.Observe(0)
+	rs.Observe(10) // rate = 2/10 = 0.2
+	// Remaining-lifetime variant: w = 1 - e^{-0.2 * (50-20)}.
+	want := 1 - math.Exp(-0.2*30)
+	if got := rs.Popularity(20, 50, false); math.Abs(got-want) > 1e-12 {
+		t.Errorf("popularity = %v, want %v", got, want)
+	}
+	// Literal Eq. (6) variant: window (t_e - t_1) = 50.
+	wantLit := 1 - math.Exp(-0.2*50)
+	if got := rs.Popularity(20, 50, true); math.Abs(got-wantLit) > 1e-12 {
+		t.Errorf("literal popularity = %v, want %v", got, wantLit)
+	}
+	// Expired item has zero popularity.
+	if got := rs.Popularity(60, 50, false); got != 0 {
+		t.Errorf("expired popularity = %v", got)
+	}
+	// No requests => zero popularity.
+	var empty RequestStats
+	if empty.Popularity(0, 100, false) != 0 {
+		t.Error("no-request popularity should be 0")
+	}
+}
+
+func TestRequestStatsPopularityMonotoneInRequests(t *testing.T) {
+	// More requests in the same window => higher popularity.
+	f := func(k1, k2 uint8) bool {
+		a := int(k1%20) + 2
+		b := int(k2%20) + 2
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(k int) RequestStats {
+			var rs RequestStats
+			for i := 0; i < k; i++ {
+				rs.Observe(float64(i) * 10 / float64(k-1) * float64(k-1)) // spread over [0,10*(k-1)]
+			}
+			return rs
+		}
+		_ = mk
+		var ra, rb RequestStats
+		for i := 0; i < a; i++ {
+			ra.Observe(float64(i) * 100 / float64(a-1))
+		}
+		for i := 0; i < b; i++ {
+			rb.Observe(float64(i) * 100 / float64(b-1))
+		}
+		// Same window [0,100]; more requests => higher rate => higher w.
+		return ra.Popularity(100, 200, false) <= rb.Popularity(100, 200, false)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestStatsMerge(t *testing.T) {
+	var a, b RequestStats
+	a.Observe(10)
+	a.Observe(20)
+	b.Observe(5)
+	b.Observe(30)
+	a.Merge(b)
+	if a.Count != 4 || a.First != 5 || a.Last != 30 {
+		t.Errorf("merged = %+v", a)
+	}
+	var empty RequestStats
+	a.Merge(empty) // no-op
+	if a.Count != 4 {
+		t.Error("merging empty changed stats")
+	}
+	var c RequestStats
+	c.Merge(a)
+	if c != a {
+		t.Error("merging into empty should copy")
+	}
+}
+
+func TestBufferPutGetRemove(t *testing.T) {
+	b := New(100)
+	if b.Capacity() != 100 || b.Free() != 100 || b.Len() != 0 {
+		t.Fatal("fresh buffer wrong")
+	}
+	e, err := b.Put(item(1, 40, 0, 100), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CachedAt != 5 || e.Home != -1 {
+		t.Errorf("entry = %+v", e)
+	}
+	if !b.Has(1) || b.Get(1) == nil || b.Used() != 40 || b.Free() != 60 {
+		t.Error("state after put wrong")
+	}
+	if _, err := b.Put(item(1, 10, 0, 100), 6); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := b.Put(item(2, 200, 0, 100), 6); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("too large: %v", err)
+	}
+	if _, err := b.Put(item(3, 70, 0, 100), 6); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("no space: %v", err)
+	}
+	if got := b.Remove(1); got == nil || got.Data.ID != 1 {
+		t.Error("remove failed")
+	}
+	if b.Remove(1) != nil {
+		t.Error("double remove should return nil")
+	}
+	if b.Used() != 0 {
+		t.Errorf("used = %v after removal", b.Used())
+	}
+	ins, evs := b.Stats()
+	if ins != 1 || evs != 1 {
+		t.Errorf("stats = %d inserts %d evictions", ins, evs)
+	}
+}
+
+func TestBufferEntriesSorted(t *testing.T) {
+	b := New(1000)
+	for _, id := range []int{5, 1, 3} {
+		if _, err := b.Put(item(id, 10, 0, 100), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := b.Entries()
+	if len(es) != 3 || es[0].Data.ID != 1 || es[1].Data.ID != 3 || es[2].Data.ID != 5 {
+		t.Errorf("entries order wrong: %v", es)
+	}
+}
+
+func TestBufferDropExpired(t *testing.T) {
+	b := New(1000)
+	b.Put(item(1, 10, 0, 50), 0)
+	b.Put(item(2, 10, 0, 150), 0)
+	dropped := b.DropExpired(100)
+	if len(dropped) != 1 || dropped[0].Data.ID != 1 {
+		t.Errorf("dropped = %v", dropped)
+	}
+	if !b.Has(2) || b.Has(1) {
+		t.Error("wrong entries dropped")
+	}
+}
+
+func TestBufferCapacityInvariant(t *testing.T) {
+	// Property: random puts/removes never exceed capacity, and Used is
+	// always the sum of entry sizes.
+	f := func(ops []uint8) bool {
+		b := New(500)
+		id := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				id++
+				size := float64(op%200) + 1
+				b.Put(item(id, size, 0, 1e9), 0)
+			case 2:
+				es := b.Entries()
+				if len(es) > 0 {
+					b.Remove(es[int(op)%len(es)].Data.ID)
+				}
+			}
+			var sum float64
+			for _, e := range b.Entries() {
+				sum += e.Data.SizeBits
+			}
+			if math.Abs(sum-b.Used()) > 1e-9 || b.Used() > b.Capacity()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

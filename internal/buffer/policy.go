@@ -1,0 +1,156 @@
+package buffer
+
+import (
+	"sort"
+
+	"dtncache/internal/workload"
+)
+
+// Policy ranks eviction victims when an insertion needs space. Evict
+// returns cached entries in eviction order (most evictable first);
+// PutEvict removes them one at a time until the new item fits.
+type Policy interface {
+	// Name identifies the policy in reports ("FIFO", "LRU", ...).
+	Name() string
+	// Victims returns b's entries ordered most-evictable-first.
+	Victims(b *Buffer, now float64) []*Entry
+	// OnInsert lets the policy initialize per-entry state (GDS cost).
+	OnInsert(b *Buffer, e *Entry, now float64)
+	// OnHit lets the policy update per-entry state when the entry serves
+	// a query.
+	OnHit(b *Buffer, e *Entry, now float64)
+	// OnEvict lets the policy observe an eviction (GDS aging).
+	OnEvict(b *Buffer, e *Entry, now float64)
+}
+
+// PutEvict inserts the item, evicting policy-chosen victims as needed.
+// It returns the evicted entries and whether the insert succeeded. The
+// insert fails (with no evictions) if the item exceeds total capacity,
+// is a duplicate, or — by design, mirroring all the paper's schemes —
+// if freeing space would require evicting items whose combined "keep
+// more than the incoming one" judgement belongs to the policy: here any
+// victim is fair game, so failure only happens on capacity/duplicates.
+func PutEvict(b *Buffer, p Policy, item workload.DataItem, now float64) ([]*Entry, bool) {
+	if item.SizeBits > b.Capacity() || b.Has(item.ID) {
+		return nil, false
+	}
+	var evicted []*Entry
+	if item.SizeBits > b.Free() {
+		victims := p.Victims(b, now)
+		for _, v := range victims {
+			if item.SizeBits <= b.Free() {
+				break
+			}
+			b.Remove(v.Data.ID)
+			p.OnEvict(b, v, now)
+			evicted = append(evicted, v)
+		}
+	}
+	e, err := b.Put(item, now)
+	if err != nil {
+		return evicted, false
+	}
+	p.OnInsert(b, e, now)
+	return evicted, true
+}
+
+// FIFO evicts the oldest-inserted entry first.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Victims implements Policy.
+func (FIFO) Victims(b *Buffer, _ float64) []*Entry {
+	es := b.Entries()
+	sort.Slice(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
+	return es
+}
+
+// OnInsert implements Policy.
+func (FIFO) OnInsert(*Buffer, *Entry, float64) {}
+
+// OnHit implements Policy.
+func (FIFO) OnHit(*Buffer, *Entry, float64) {}
+
+// OnEvict implements Policy.
+func (FIFO) OnEvict(*Buffer, *Entry, float64) {}
+
+// LRU evicts the least-recently-used entry first.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Victims implements Policy.
+func (LRU) Victims(b *Buffer, _ float64) []*Entry {
+	es := b.Entries()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].LastUsed != es[j].LastUsed {
+			return es[i].LastUsed < es[j].LastUsed
+		}
+		return es[i].Seq < es[j].Seq
+	})
+	return es
+}
+
+// OnInsert implements Policy.
+func (LRU) OnInsert(_ *Buffer, e *Entry, now float64) { e.LastUsed = now }
+
+// OnHit implements Policy.
+func (LRU) OnHit(_ *Buffer, e *Entry, now float64) { e.LastUsed = now }
+
+// OnEvict implements Policy.
+func (LRU) OnEvict(*Buffer, *Entry, float64) {}
+
+// GreedyDualSize is the Greedy-Dual-Size policy of Cao & Irani, the web
+// caching baseline of Sec. V-D / Fig. 12: each entry carries
+// H = L + cost/size; the minimum-H entry is evicted and its H becomes
+// the new inflation level L. Cost is uniform (1), so larger items are
+// more evictable, and hits restore an entry's H.
+type GreedyDualSize struct {
+	// L is the inflation level; the zero value is ready to use.
+	L float64
+}
+
+// Name implements Policy.
+func (*GreedyDualSize) Name() string { return "GDS" }
+
+// gdsH computes the H value for an entry at the current inflation level.
+func (g *GreedyDualSize) gdsH(e *Entry) float64 {
+	// Sizes are bits and costs are uniform; normalize by megabit so the
+	// cost/size term stays on a sane scale next to L.
+	return g.L + 1/(e.Data.SizeBits/1e6)
+}
+
+// Victims implements Policy.
+func (g *GreedyDualSize) Victims(b *Buffer, _ float64) []*Entry {
+	es := b.Entries()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Cost != es[j].Cost {
+			return es[i].Cost < es[j].Cost
+		}
+		return es[i].Seq < es[j].Seq
+	})
+	return es
+}
+
+// OnInsert implements Policy.
+func (g *GreedyDualSize) OnInsert(_ *Buffer, e *Entry, _ float64) { e.Cost = g.gdsH(e) }
+
+// OnHit implements Policy.
+func (g *GreedyDualSize) OnHit(_ *Buffer, e *Entry, _ float64) { e.Cost = g.gdsH(e) }
+
+// OnEvict implements Policy.
+func (g *GreedyDualSize) OnEvict(_ *Buffer, e *Entry, _ float64) {
+	if e.Cost > g.L {
+		g.L = e.Cost
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = FIFO{}
+	_ Policy = LRU{}
+	_ Policy = (*GreedyDualSize)(nil)
+)

@@ -1,0 +1,126 @@
+package buffer
+
+import (
+	"testing"
+)
+
+func TestFIFOEvictsOldestInsert(t *testing.T) {
+	b := New(100)
+	p := FIFO{}
+	PutEvict(b, p, item(1, 40, 0, 1e9), 0)
+	PutEvict(b, p, item(2, 40, 0, 1e9), 10)
+	// Touch item 1 (must not matter for FIFO).
+	p.OnHit(b, b.Get(1), 20)
+	evicted, ok := PutEvict(b, p, item(3, 40, 0, 1e9), 30)
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	if len(evicted) != 1 || evicted[0].Data.ID != 1 {
+		t.Errorf("evicted = %v, want item 1", evicted)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	b := New(100)
+	p := LRU{}
+	PutEvict(b, p, item(1, 40, 0, 1e9), 0)
+	PutEvict(b, p, item(2, 40, 0, 1e9), 10)
+	p.OnHit(b, b.Get(1), 20) // 1 is now more recent than 2
+	evicted, ok := PutEvict(b, p, item(3, 40, 0, 1e9), 30)
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	if len(evicted) != 1 || evicted[0].Data.ID != 2 {
+		t.Errorf("evicted = %v, want item 2", evicted)
+	}
+}
+
+func TestGDSPrefersEvictingLargeItems(t *testing.T) {
+	b := New(200e6)
+	p := &GreedyDualSize{}
+	PutEvict(b, p, item(1, 100e6, 0, 1e9), 0) // large: H = 1/100
+	PutEvict(b, p, item(2, 10e6, 0, 1e9), 0)  // small: H = 1/10
+	evicted, ok := PutEvict(b, p, item(3, 150e6, 0, 1e9), 10)
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	if len(evicted) < 1 || evicted[0].Data.ID != 1 {
+		t.Errorf("evicted = %v, want the large item first", evicted)
+	}
+}
+
+func TestGDSInflationAges(t *testing.T) {
+	p := &GreedyDualSize{}
+	b := New(100e6)
+	PutEvict(b, p, item(1, 100e6, 0, 1e9), 0)
+	PutEvict(b, p, item(2, 100e6, 0, 1e9), 1) // evicts 1, L rises to 1/100
+	if p.L <= 0 {
+		t.Errorf("L = %v, want > 0 after eviction", p.L)
+	}
+	e2 := b.Get(2)
+	if e2 == nil {
+		t.Fatal("item 2 not cached")
+	}
+	// A hit should refresh the entry's H at the new inflation level.
+	old := e2.Cost
+	p.OnEvict(b, &Entry{Cost: 5}, 0) // force L up
+	p.OnHit(b, e2, 2)
+	if e2.Cost <= old {
+		t.Errorf("hit did not refresh cost: %v -> %v", old, e2.Cost)
+	}
+}
+
+func TestPutEvictMultipleVictims(t *testing.T) {
+	b := New(100)
+	p := FIFO{}
+	PutEvict(b, p, item(1, 30, 0, 1e9), 0)
+	PutEvict(b, p, item(2, 30, 0, 1e9), 1)
+	PutEvict(b, p, item(3, 30, 0, 1e9), 2)
+	evicted, ok := PutEvict(b, p, item(4, 80, 0, 1e9), 3)
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	if len(evicted) != 3 {
+		t.Errorf("evicted %d items, want 3", len(evicted))
+	}
+	if !b.Has(4) || b.Len() != 1 {
+		t.Error("final state wrong")
+	}
+}
+
+func TestPutEvictRejectsOversizeAndDuplicate(t *testing.T) {
+	b := New(100)
+	p := LRU{}
+	if _, ok := PutEvict(b, p, item(1, 200, 0, 1e9), 0); ok {
+		t.Error("oversize item accepted")
+	}
+	PutEvict(b, p, item(2, 50, 0, 1e9), 0)
+	if _, ok := PutEvict(b, p, item(2, 50, 0, 1e9), 1); ok {
+		t.Error("duplicate accepted")
+	}
+	if b.Len() != 1 {
+		t.Error("buffer disturbed by rejected inserts")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FIFO{}).Name() != "FIFO" {
+		t.Error("FIFO name")
+	}
+	if (LRU{}).Name() != "LRU" {
+		t.Error("LRU name")
+	}
+	if (&GreedyDualSize{}).Name() != "GDS" {
+		t.Error("GDS name")
+	}
+}
+
+func TestPutEvictExactFit(t *testing.T) {
+	b := New(100)
+	p := LRU{}
+	PutEvict(b, p, item(1, 100, 0, 1e9), 0)
+	evicted, ok := PutEvict(b, p, item(2, 100, 0, 1e9), 1)
+	if !ok || len(evicted) != 1 {
+		t.Errorf("exact-fit replacement failed: ok=%v evicted=%v", ok, evicted)
+	}
+}

@@ -1,0 +1,566 @@
+// Package core implements the paper's contribution: intentional
+// cooperative caching at Network Central Locations (Sec. V).
+//
+// Data sources push each new item toward the K central nodes; the nodes
+// that end up holding a copy (the central node itself, or the relay
+// where forwarding stopped because the next relay's buffer was full)
+// form the NCL's caching subgraph. Requesters pull data by multicasting
+// queries to the central nodes; central nodes answer directly or
+// broadcast the query within their caching subgraph, where caching nodes
+// answer probabilistically (Sec. V-C). Whenever two caching nodes meet,
+// utility-based cache replacement (Sec. V-D, Eq. 7 + Algorithm 1)
+// migrates popular data toward the central nodes.
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"dtncache/internal/buffer"
+	"dtncache/internal/scheme"
+	"dtncache/internal/sim"
+	"dtncache/internal/trace"
+	"dtncache/internal/workload"
+)
+
+// Option customizes the intentional caching scheme.
+type Option func(*Intentional)
+
+// WithUtilityFloor sets the minimum utility assigned to data that has
+// not been requested yet (footnote 3 of the paper notes fresh data has
+// low utility; a floor keeps it from being dropped outright during
+// replacement). Default 0.1.
+func WithUtilityFloor(f float64) Option {
+	return func(s *Intentional) { s.utilityFloor = f }
+}
+
+// WithReplacement toggles cache replacement entirely (ablation).
+// Default on.
+func WithReplacement(on bool) Option {
+	return func(s *Intentional) { s.replacementOn = on }
+}
+
+// WithQuerySpray enables binary spray-and-wait dissemination for the
+// query multicast with the given copy budget L per NCL target (the
+// paper leaves the multicast scheme open, Sec. V-B; the default is
+// single-copy gradient forwarding). L <= 1 keeps the default.
+func WithQuerySpray(l int) Option {
+	return func(s *Intentional) { s.sprayCopies = l }
+}
+
+// WithEvictionPolicy swaps the paper's knapsack replacement for a
+// classic eviction policy (FIFO, LRU, Greedy-Dual-Size): arriving pushes
+// evict per the policy instead of stopping at full buffers, and no
+// contact-time exchange happens. This is the "traditional replacement
+// strategies" configuration of Fig. 12.
+func WithEvictionPolicy(p buffer.Policy) Option {
+	return func(s *Intentional) {
+		s.evictPolicy = p
+		s.replacementOn = false
+	}
+}
+
+// pushKey identifies one pending push copy at the data source.
+type pushKey struct {
+	Data workload.DataID
+	NCL  int
+}
+
+// Intentional is the paper's NCL-based cooperative caching scheme.
+type Intentional struct {
+	base *scheme.Base
+	env  *scheme.Env
+
+	// pending[source] holds push copies that have not yet left the data
+	// source (the source retains its own data, so these consume no
+	// buffer there and simply retry at every contact).
+	pending []map[pushKey]workload.DataItem
+
+	utilityFloor  float64
+	replacementOn bool
+	evictPolicy   buffer.Policy
+	sprayCopies   int
+
+	// inflightPush guards single-copy custody of push copies across
+	// overlapping contacts (key: holder node + data + NCL index).
+	inflightPush map[pushTransfer]bool
+
+	// reachedNCL and respondedAt record, per query, when its first copy
+	// reached a central node and when the first responder created a
+	// reply — the instrumentation behind the Sec. V-E delay
+	// decomposition.
+	reachedNCL  map[workload.QueryID]float64
+	respondedAt map[workload.QueryID]float64
+
+	stats PushStats
+}
+
+// pushTransfer identifies one outstanding push transfer.
+type pushTransfer struct {
+	holder trace.NodeID
+	data   workload.DataID
+	ncl    int
+}
+
+// PushStats are diagnostic counters for the push path (Sec. V-A).
+type PushStats struct {
+	// SourceDepartures counts push copies leaving their data source.
+	SourceDepartures int
+	// RelayHops counts relay-to-relay push transfers.
+	RelayHops int
+	// CachedAtCenter counts copies that reached their central node.
+	CachedAtCenter int
+	// StoppedAtRelay counts copies whose forwarding stopped at a relay
+	// because the next relay's buffer was full.
+	StoppedAtRelay int
+	// ExpiredPending counts pushes that expired before leaving the
+	// source.
+	ExpiredPending int
+}
+
+// Stats returns the push-path diagnostic counters.
+func (s *Intentional) Stats() PushStats { return s.stats }
+
+// New creates the scheme.
+func New(opts ...Option) *Intentional {
+	s := &Intentional{utilityFloor: 0.1, replacementOn: true}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements scheme.Scheme.
+func (s *Intentional) Name() string {
+	if s.evictPolicy != nil {
+		return "Intentional-" + s.evictPolicy.Name()
+	}
+	return "Intentional"
+}
+
+// Init implements scheme.Scheme.
+func (s *Intentional) Init(e *scheme.Env) error {
+	if e.Cfg.NCLCount < 1 {
+		return errors.New("core: intentional caching needs NCLCount >= 1")
+	}
+	s.env = e
+	s.base = scheme.NewBase(e)
+	s.pending = make([]map[pushKey]workload.DataItem, e.N)
+	for i := range s.pending {
+		s.pending[i] = make(map[pushKey]workload.DataItem)
+	}
+	s.inflightPush = make(map[pushTransfer]bool)
+	s.reachedNCL = make(map[workload.QueryID]float64)
+	s.respondedAt = make(map[workload.QueryID]float64)
+	return nil
+}
+
+// markReached records the first arrival of a query at a central node.
+func (s *Intentional) markReached(id workload.QueryID) {
+	if _, ok := s.reachedNCL[id]; !ok {
+		s.reachedNCL[id] = s.env.Sim.Now()
+	}
+}
+
+// markResponded records the first reply creation for a query.
+func (s *Intentional) markResponded(id workload.QueryID) {
+	if _, ok := s.respondedAt[id]; !ok {
+		s.respondedAt[id] = s.env.Sim.Now()
+	}
+}
+
+// replyDelivered feeds the Sec. V-E decomposition when the first on-time
+// copy reaches the requester: part (i) query to NCL, part (ii) NCL
+// broadcast until a caching node responds, part (iii) data return.
+func (s *Intentional) replyDelivered(rc *scheme.ReplyCarry, first bool) {
+	if !first {
+		return
+	}
+	at := s.env.Sim.Now()
+	responded, ok := s.respondedAt[rc.Q.ID]
+	if !ok {
+		return
+	}
+	reached, ok := s.reachedNCL[rc.Q.ID]
+	if !ok || reached > responded {
+		// An en-route caching node answered before the query reached any
+		// central node: no broadcast part.
+		reached = responded
+	}
+	s.env.M.DelayPhases(reached-rc.Q.Issued, responded-reached, at-responded)
+}
+
+// OnData implements scheme.Scheme: the source prepares one push copy per
+// NCL (Sec. V-A).
+func (s *Intentional) OnData(item workload.DataItem) {
+	ncls := s.env.NCLs()
+	for k := range ncls {
+		s.pending[item.Source][pushKey{Data: item.ID, NCL: k}] = item
+	}
+}
+
+// OnQuery implements scheme.Scheme: the requester multicasts the query
+// to every central node (Sec. V-B).
+func (s *Intentional) OnQuery(q workload.Query) {
+	ncls := s.env.NCLs()
+	for k, center := range ncls {
+		qc := &scheme.QueryCarry{Q: q, Target: center, NCL: k, Copies: s.sprayCopies}
+		if q.Requester == center {
+			// The requester is itself a central node: process arrival
+			// immediately.
+			s.queryAtCenter(q.Requester, qc)
+			continue
+		}
+		s.base.CarryQuery(q.Requester, qc)
+	}
+}
+
+// OnContactStart implements scheme.Scheme. Transfer priority within the
+// contact: queries (small control messages) first, then replies, then
+// data pushes, then replacement migrations.
+func (s *Intentional) OnContactStart(sess *sim.Session) {
+	for _, from := range []trace.NodeID{sess.A, sess.B} {
+		from := from
+		s.base.ForwardQueries(sess, from, func(at trace.NodeID, qc *scheme.QueryCarry) {
+			if at == qc.Target {
+				s.queryAtCenter(at, qc)
+				// A fresh reply may leave on this same contact.
+				s.base.ForwardReplies(sess, at, s.replyDelivered, nil)
+				return
+			}
+			// An en-route relay that happens to be a caching node for the
+			// data answers probabilistically (it belongs to some NCL's
+			// caching subgraph); the query still continues to the center.
+			if s.env.Buffers[at].Get(qc.Q.Data) != nil && s.base.Respond(at, qc, false) {
+				s.markResponded(qc.Q.ID)
+				s.touch(at, qc.Q.Data)
+				s.base.ForwardReplies(sess, at, s.replyDelivered, nil)
+			}
+		})
+		s.broadcastQueries(sess, from)
+		s.base.ForwardReplies(sess, from, s.replyDelivered, nil)
+		s.pushFromSource(sess, from)
+		s.pushFromRelay(sess, from)
+	}
+	if s.replacementOn {
+		s.replace(sess)
+	}
+}
+
+// queryAtCenter handles a query copy reaching its central node: answer
+// directly when the data is held locally, otherwise switch the copy to
+// broadcast mode so it floods the NCL's caching subgraph (Sec. V-B).
+func (s *Intentional) queryAtCenter(center trace.NodeID, qc *scheme.QueryCarry) {
+	s.base.Observe(center, qc.Q.Data, s.env.Sim.Now())
+	s.markReached(qc.Q.ID)
+	if s.env.HasData(center, qc.Q.Data) {
+		if s.base.Respond(center, qc, true) {
+			s.markResponded(qc.Q.ID)
+			s.touch(center, qc.Q.Data)
+		}
+		return
+	}
+	qc.Broadcast = true
+	s.base.CarryQuery(center, qc)
+}
+
+// broadcastQueries spreads broadcast-mode query copies from `from` to
+// the session peer when the peer belongs to the same NCL's caching
+// subgraph. Unlike gradient forwarding, broadcast copies replicate.
+func (s *Intentional) broadcastQueries(sess *sim.Session, from trace.NodeID) {
+	to := sess.Peer(from)
+	now := s.env.Sim.Now()
+	for _, qc := range s.base.Queries(from) {
+		qc := qc
+		if !qc.Broadcast || qc.Q.Deadline <= now {
+			continue
+		}
+		if !s.isCachingNode(to, qc.NCL) {
+			continue
+		}
+		copyQC := &scheme.QueryCarry{Q: qc.Q, Target: qc.Target, NCL: qc.NCL, Broadcast: true}
+		sess.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: s.env.Cfg.QueryBits, Label: "bcast-query",
+			OnDelivered: func(at float64) {
+				s.env.M.ControlTransferred(s.env.Cfg.QueryBits)
+				if copyQC.Q.Deadline <= at {
+					return
+				}
+				s.base.CarryQuery(to, copyQC)
+				s.base.Observe(to, copyQC.Q.Data, at)
+				// Caching nodes answer probabilistically (Sec. V-C).
+				if s.base.Respond(to, copyQC, false) {
+					s.markResponded(copyQC.Q.ID)
+					s.touch(to, copyQC.Q.Data)
+					s.base.ForwardReplies(sess, to, s.replyDelivered, nil)
+				}
+			},
+		})
+	}
+}
+
+// isCachingNode reports whether n belongs to NCL k's caching subgraph:
+// it is the central node or holds a copy (cached or in transit) homed at
+// k.
+func (s *Intentional) isCachingNode(n trace.NodeID, k int) bool {
+	ncls := s.env.NCLs()
+	if k >= 0 && k < len(ncls) && ncls[k] == n {
+		return true
+	}
+	for _, en := range s.env.Buffers[n].Entries() {
+		if en.Home == k {
+			return true
+		}
+	}
+	return false
+}
+
+// pushFromSource advances pending push copies waiting at data sources.
+func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
+	to := sess.Peer(from)
+	now := s.env.Sim.Now()
+	ncls := s.env.NCLs()
+	for _, key := range s.sortedPending(from) {
+		key := key
+		item, ok := s.pending[from][key]
+		if !ok {
+			continue
+		}
+		if item.Expired(now) {
+			delete(s.pending[from], key)
+			s.stats.ExpiredPending++
+			continue
+		}
+		center := ncls[key.NCL]
+		if from == center {
+			// The source is the central node; cache locally if possible.
+			if s.tryCache(from, item, key.NCL, false) {
+				delete(s.pending[from], key)
+			}
+			continue
+		}
+		if !s.betterToward(to, from, center) {
+			continue
+		}
+		if s.env.Buffers[to].Has(item.ID) || s.hasPending(to, item.ID) {
+			// The peer already carries a copy of this item (for another
+			// NCL, or as its own pending push): each of the K copies must
+			// settle on a distinct node, so try a different relay later.
+			continue
+		}
+		if s.evictPolicy == nil && s.env.Buffers[to].Free() < item.SizeBits {
+			// Next relay's buffer is full: the source keeps the copy
+			// pending (it retains its own data regardless) and retries
+			// later. (With a traditional eviction policy configured, the
+			// relay admits the data by evicting instead.)
+			continue
+		}
+		tk := pushTransfer{holder: from, data: key.Data, ncl: key.NCL}
+		if s.inflightPush[tk] {
+			continue
+		}
+		s.inflightPush[tk] = true
+		sess.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: item.SizeBits, Label: "push",
+			OnDelivered: func(at float64) {
+				delete(s.inflightPush, tk)
+				s.env.M.DataTransferred(item.SizeBits)
+				if item.Expired(at) {
+					return
+				}
+				if _, still := s.pending[from][key]; !still {
+					return // another path already placed this copy
+				}
+				if s.tryCache(to, item, key.NCL, to != center) {
+					delete(s.pending[from], key)
+					s.stats.SourceDepartures++
+					if to == center {
+						s.stats.CachedAtCenter++
+					}
+				}
+			},
+			OnDropped: func(float64) { delete(s.inflightPush, tk) },
+		})
+	}
+}
+
+// pushFromRelay advances in-transit copies held by relays toward their
+// central node; when the next relay has no room, forwarding stops and
+// the copy is cached at the current relay (Sec. V-A).
+func (s *Intentional) pushFromRelay(sess *sim.Session, from trace.NodeID) {
+	to := sess.Peer(from)
+	now := s.env.Sim.Now()
+	ncls := s.env.NCLs()
+	for _, en := range s.env.Buffers[from].Entries() {
+		en := en
+		if !en.InTransit || en.Data.Expired(now) {
+			continue
+		}
+		if en.Home < 0 || en.Home >= len(ncls) {
+			en.InTransit = false
+			continue
+		}
+		center := ncls[en.Home]
+		if from == center {
+			en.InTransit = false
+			continue
+		}
+		if !s.betterToward(to, from, center) {
+			continue
+		}
+		if s.env.Buffers[to].Has(en.Data.ID) || s.hasPending(to, en.Data.ID) {
+			// Peer already holds this item for another NCL; keep looking
+			// for a distinct relay to preserve K separate copies.
+			continue
+		}
+		if s.evictPolicy == nil && s.env.Buffers[to].Free() < en.Data.SizeBits {
+			// Next selected relay is full: cache here.
+			en.InTransit = false
+			s.stats.StoppedAtRelay++
+			continue
+		}
+		item := en.Data
+		home := en.Home
+		tk := pushTransfer{holder: from, data: item.ID, ncl: home}
+		if s.inflightPush[tk] {
+			continue
+		}
+		s.inflightPush[tk] = true
+		sess.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: item.SizeBits, Label: "push",
+			OnDelivered: func(at float64) {
+				delete(s.inflightPush, tk)
+				s.env.M.DataTransferred(item.SizeBits)
+				if item.Expired(at) {
+					s.env.Buffers[from].Remove(item.ID)
+					return
+				}
+				cur := s.env.Buffers[from].Get(item.ID)
+				if cur == nil || !cur.InTransit {
+					return // moved or settled meanwhile (e.g. replacement)
+				}
+				if s.tryCache(to, item, home, to != center) {
+					// Relay deletes its own copy after forwarding.
+					s.env.Buffers[from].Remove(item.ID)
+					s.stats.RelayHops++
+					if to == center {
+						s.stats.CachedAtCenter++
+					}
+				} else {
+					// Receiver could not cache after all: stop here.
+					cur.InTransit = false
+				}
+			},
+			OnDropped: func(float64) { delete(s.inflightPush, tk) },
+		})
+	}
+}
+
+// betterToward reports whether `to` has a strictly higher opportunistic
+// path weight toward center than `from` (the relay selection metric of
+// Sec. V-A), or is the center itself.
+func (s *Intentional) betterToward(to, from, center trace.NodeID) bool {
+	if to == center {
+		return true
+	}
+	return s.env.MetricWeight(to, center) > s.env.MetricWeight(from, center)
+}
+
+// tryCache inserts a pushed copy at node n homed at NCL k. With the
+// paper's replacement, it fails when the buffer lacks space (no eviction
+// on the push path; contact-time replacement is the only mechanism that
+// removes live data). With a classic eviction policy configured
+// (Fig. 12 comparison), the policy evicts to make room instead.
+func (s *Intentional) tryCache(n trace.NodeID, item workload.DataItem, k int, inTransit bool) bool {
+	buf := s.env.Buffers[n]
+	now := s.env.Sim.Now()
+	var en *buffer.Entry
+	if s.evictPolicy == nil && buf.Has(item.ID) {
+		// Raced with another copy landing here; keep single custody and
+		// let the sender retry elsewhere.
+		return false
+	}
+	if s.evictPolicy != nil {
+		evicted, ok := buffer.PutEvict(buf, s.evictPolicy, item, now)
+		s.env.M.ReplacementMove(len(evicted))
+		if !ok {
+			return false
+		}
+		en = buf.Get(item.ID)
+	} else {
+		var err error
+		en, err = buf.Put(item, now)
+		if err != nil {
+			return false
+		}
+	}
+	en.Home = k
+	en.InTransit = inTransit
+	en.Requests = s.base.Stats(n, item.ID)
+	return true
+}
+
+// touch lets the configured eviction policy observe a cache hit when a
+// cached entry serves a query (LRU recency, GDS cost refresh).
+func (s *Intentional) touch(n trace.NodeID, id workload.DataID) {
+	if s.evictPolicy == nil {
+		return
+	}
+	if en := s.env.Buffers[n].Get(id); en != nil {
+		s.evictPolicy.OnHit(s.env.Buffers[n], en, s.env.Sim.Now())
+	}
+}
+
+// hasPending reports whether node n has a pending source push for the
+// item (only data sources do).
+func (s *Intentional) hasPending(n trace.NodeID, id workload.DataID) bool {
+	for k := range s.pending[n] {
+		if k.Data == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedPending returns node n's pending push keys in deterministic
+// order (map iteration order would make runs non-reproducible).
+func (s *Intentional) sortedPending(n trace.NodeID) []pushKey {
+	keys := make([]pushKey, 0, len(s.pending[n]))
+	for k := range s.pending[n] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Data != keys[j].Data {
+			return keys[i].Data < keys[j].Data
+		}
+		return keys[i].NCL < keys[j].NCL
+	})
+	return keys
+}
+
+// OnContactEnd implements scheme.Scheme.
+func (s *Intentional) OnContactEnd(*sim.Session) {}
+
+// OnSweep implements scheme.Scheme.
+func (s *Intentional) OnSweep(now float64) {
+	s.base.SweepExpired(now)
+	for n := range s.pending {
+		for key, item := range s.pending[n] {
+			if item.Expired(now) {
+				delete(s.pending[n], key)
+			}
+		}
+	}
+	for id := range s.reachedNCL {
+		if s.env.W.Queries[id].Deadline <= now {
+			delete(s.reachedNCL, id)
+		}
+	}
+	for id := range s.respondedAt {
+		if s.env.W.Queries[id].Deadline <= now {
+			delete(s.respondedAt, id)
+		}
+	}
+}
+
+var _ scheme.Scheme = (*Intentional)(nil)

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dtncache/internal/buffer"
+	"dtncache/internal/knapsack"
+	"dtncache/internal/sim"
+	"dtncache/internal/trace"
+	"dtncache/internal/workload"
+)
+
+// poolItem is one pooled data item during replacement, with the nodes
+// currently holding it.
+type poolItem struct {
+	item     workload.DataItem
+	utility  float64
+	atA      bool
+	atB      bool
+	homeA    int // Home tag at A (valid if atA)
+	homeB    int
+	transitA bool // InTransit flag at A (valid if atA)
+	transitB bool
+}
+
+// replace runs the paper's cache replacement (Sec. V-D) on a contact:
+// pool the settled (non-transit) cached entries of both nodes, let the
+// node nearer the NCLs pick the best subset by solving the knapsack of
+// Eq. (7) — per Algorithm 1 with Bernoulli acceptance when probabilistic
+// selection is on — then let the other node pick from the remainder.
+// Items neither node selects are dropped; selections that require a copy
+// to change nodes are moved over the contact (and survive at the old
+// node if the contact ends first).
+func (s *Intentional) replace(sess *sim.Session) {
+	e := s.env
+	now := e.Sim.Now()
+	a, b := sess.A, sess.B
+	// A is the node with the higher opportunistic weight toward the NCLs
+	// (p_A > p_B in Fig. 8): it gets first pick, so popular data ends up
+	// nearer the central nodes.
+	if s.nclWeight(a) < s.nclWeight(b) {
+		a, b = b, a
+	}
+	pool, pinnedA, pinnedB := s.buildPool(a, b, now)
+	if len(pool) == 0 {
+		return
+	}
+
+	quant := e.Cfg.QuantBits
+	items := make([]knapsack.Item, len(pool))
+	for i, p := range pool {
+		items[i] = knapsack.Item{
+			ID:    i,
+			Size:  int(math.Ceil(p.item.SizeBits / quant)),
+			Value: p.utility,
+		}
+	}
+	capA, capB := s.replCapacity(a, pinnedA, quant), s.replCapacity(b, pinnedB, quant)
+	selA := s.selectFor(items, capA)
+	inA := make(map[int]bool, len(selA))
+	for _, i := range selA {
+		inA[i] = true
+		capA -= items[i].Size
+	}
+	var rest []knapsack.Item
+	for i := range items {
+		if !inA[i] {
+			rest = append(rest, items[i])
+		}
+	}
+	selB := s.selectFor(rest, capB)
+	inB := make(map[int]bool, len(selB))
+	for _, ri := range selB {
+		inB[rest[ri].ID] = true
+		capB -= rest[ri].Size
+	}
+	// Bernoulli rejection (Algorithm 1) deprioritizes an item, it does
+	// not discard it: data is dropped only when neither buffer has room
+	// (the d6 case of Fig. 8). Greedily place leftovers, most useful
+	// first, preferring the lower-priority node B.
+	leftovers := make([]int, 0, len(items))
+	for i := range items {
+		if !inA[i] && !inB[i] {
+			leftovers = append(leftovers, i)
+		}
+	}
+	sort.Slice(leftovers, func(x, y int) bool {
+		ix, iy := leftovers[x], leftovers[y]
+		if items[ix].Value != items[iy].Value {
+			return items[ix].Value > items[iy].Value
+		}
+		return ix < iy
+	})
+	for _, i := range leftovers {
+		// Prefer keeping the copy where it already is (no transfer).
+		preferA := pool[i].atA && !pool[i].atB
+		switch {
+		case preferA && items[i].Size <= capA:
+			inA[i] = true
+			capA -= items[i].Size
+		case items[i].Size <= capB:
+			inB[i] = true
+			capB -= items[i].Size
+		case items[i].Size <= capA:
+			inA[i] = true
+			capA -= items[i].Size
+		}
+	}
+
+	s.applyPlan(sess, a, b, pool, inA, inB)
+}
+
+// nclWeight is node n's closeness to the NCLs: its best opportunistic
+// weight toward any central node.
+func (s *Intentional) nclWeight(n trace.NodeID) float64 {
+	best := 0.0
+	for _, center := range s.env.NCLs() {
+		if w := s.env.MetricWeight(n, center); w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// buildPool collects the replacement candidates of both nodes, deduping
+// items cached at both under the same NCL. Utilities follow Eq. (6)
+// using the better of the two nodes' request histories, floored so
+// unrequested data is not dropped outright (footnote 3). It also returns
+// the buffer space at each node pinned by copies excluded from the pool
+// (same item homed at different NCLs on both sides).
+func (s *Intentional) buildPool(a, b trace.NodeID, now float64) (pool []poolItem, pinnedA, pinnedB float64) {
+	e := s.env
+	byID := make(map[workload.DataID]*poolItem)
+	collect := func(n trace.NodeID, isA bool) {
+		for _, en := range e.Buffers[n].Entries() {
+			if en.Data.Expired(now) {
+				continue
+			}
+			// Copies with an outstanding push/migration transfer keep
+			// single-copy custody; leave them out of this exchange.
+			if s.inflightPush[pushTransfer{holder: n, data: en.Data.ID, ncl: en.Home}] {
+				continue
+			}
+			p, ok := byID[en.Data.ID]
+			if !ok {
+				p = &poolItem{item: en.Data, homeA: -1, homeB: -1}
+				byID[en.Data.ID] = p
+			}
+			if isA {
+				p.atA = true
+				p.homeA = en.Home
+				p.transitA = en.InTransit
+			} else {
+				p.atB = true
+				p.homeB = en.Home
+				p.transitB = en.InTransit
+			}
+		}
+	}
+	collect(a, true)
+	collect(b, false)
+	if len(byID) == 0 {
+		return nil, 0, 0
+	}
+	pool = make([]poolItem, 0, len(byID))
+	for _, p := range byID {
+		if p.atA && p.atB && p.homeA != p.homeB {
+			// Copies of the same item belonging to different NCLs are
+			// intentional redundancy ("one copy of data is cached at
+			// each NCL", Sec. V): leave both in place, but account for
+			// the space they occupy.
+			pinnedA += p.item.SizeBits
+			pinnedB += p.item.SizeBits
+			continue
+		}
+		sa := s.base.Stats(a, p.item.ID)
+		sb := s.base.Stats(b, p.item.ID)
+		u := math.Max(e.Popularity(&sa, p.item.Expires), e.Popularity(&sb, p.item.Expires))
+		p.utility = math.Max(u, s.utilityFloor)
+		pool = append(pool, *p)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].item.ID < pool[j].item.ID })
+	return pool, pinnedA, pinnedB
+}
+
+// replCapacity is the knapsack capacity of node n in quanta: total
+// buffer capacity minus space pinned by copies with outstanding
+// transfers and by extraPinned (pool-excluded duplicates).
+func (s *Intentional) replCapacity(n trace.NodeID, extraPinned, quant float64) int {
+	buf := s.env.Buffers[n]
+	pinned := extraPinned
+	for _, en := range buf.Entries() {
+		if s.inflightPush[pushTransfer{holder: n, data: en.Data.ID, ncl: en.Home}] {
+			pinned += en.Data.SizeBits
+		}
+	}
+	c := int(math.Floor((buf.Capacity() - pinned) / quant))
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// selectFor picks items for one node: Algorithm 1 (Bernoulli acceptance
+// with probability = utility) when probabilistic selection is enabled,
+// the plain Eq. (7) knapsack otherwise. Returns indices into items.
+func (s *Intentional) selectFor(items []knapsack.Item, capacity int) []int {
+	if len(items) == 0 || capacity <= 0 {
+		return nil
+	}
+	if s.env.Cfg.ProbabilisticSelection {
+		sel, err := knapsack.ProbabilisticSelect(items, capacity, func(it knapsack.Item) bool {
+			p := it.Value
+			if p > 1 {
+				p = 1
+			}
+			return s.env.Rng.Bernoulli(p)
+		})
+		if err != nil {
+			return nil
+		}
+		return sel
+	}
+	sel, _, err := knapsack.Solve(items, capacity)
+	if err != nil {
+		return nil
+	}
+	return sel
+}
+
+// applyPlan reconciles both buffers with the selection: duplicates
+// collapse to the selected node, unselected items are dropped, and items
+// selected at the node not holding them migrate over the contact.
+func (s *Intentional) applyPlan(sess *sim.Session, a, b trace.NodeID,
+	pool []poolItem, inA, inB map[int]bool) {
+	e := s.env
+	for i, p := range pool {
+		switch {
+		case inA[i]:
+			if p.atA && p.atB {
+				e.Buffers[b].Remove(p.item.ID) // collapse duplicate
+			}
+			if !p.atA && p.atB {
+				s.move(sess, b, a, p.item, p.homeB, p.transitB)
+			}
+		case inB[i]:
+			if p.atA && p.atB {
+				e.Buffers[a].Remove(p.item.ID)
+			}
+			if !p.atB && p.atA {
+				s.move(sess, a, b, p.item, p.homeA, p.transitA)
+			}
+		default:
+			// Selected by neither: dropped from the network at these two
+			// nodes (Sec. V-D.2, the d6 case of Fig. 8).
+			if p.atA {
+				e.Buffers[a].Remove(p.item.ID)
+			}
+			if p.atB {
+				e.Buffers[b].Remove(p.item.ID)
+			}
+		}
+	}
+}
+
+// move migrates one cached copy from src to dst over the live contact.
+// The copy stays at src until the transfer completes, so an interrupted
+// contact loses nothing; on arrival the copy keeps its NCL home tag,
+// transit state and request history.
+func (s *Intentional) move(sess *sim.Session, src, dst trace.NodeID,
+	item workload.DataItem, home int, inTransit bool) {
+	e := s.env
+	tk := pushTransfer{holder: src, data: item.ID, ncl: home}
+	if s.inflightPush[tk] {
+		return
+	}
+	s.inflightPush[tk] = true
+	sess.Enqueue(sim.Transfer{
+		From: src, To: dst, Bits: item.SizeBits, Label: "replace",
+		OnDelivered: func(at float64) {
+			delete(s.inflightPush, tk)
+			e.M.DataTransferred(item.SizeBits)
+			if item.Expired(at) {
+				e.Buffers[src].Remove(item.ID)
+				return
+			}
+			en, err := e.Buffers[dst].Put(item, at)
+			if err != nil {
+				// Space changed under us (e.g. pushes landed first);
+				// keep the copy where it was.
+				return
+			}
+			// A migration toward the NCLs is also push progress: the
+			// copy keeps advancing unless it has reached its center.
+			en.Home = home
+			en.InTransit = inTransit && dst != s.centerOf(home)
+			stats := s.base.Stats(dst, item.ID)
+			var merged buffer.RequestStats
+			merged.Merge(stats)
+			en.Requests = merged
+			e.Buffers[src].Remove(item.ID)
+			e.M.ReplacementMove(1)
+		},
+		OnDropped: func(float64) { delete(s.inflightPush, tk) },
+	})
+}
+
+// centerOf returns the central node of NCL k, or -1 when k is not a
+// valid NCL index.
+func (s *Intentional) centerOf(k int) trace.NodeID {
+	ncls := s.env.NCLs()
+	if k < 0 || k >= len(ncls) {
+		return -1
+	}
+	return ncls[k]
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachCell runs fn(i) for every i in [0, n) concurrently on up to
+// GOMAXPROCS workers and returns the first error. Simulation runs are
+// fully independent (each builds its own environment and RNG streams),
+// so sweep cells parallelize without affecting determinism — results
+// are written into caller-owned slots indexed by i.
+func forEachCell(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,390 @@
+// Package graph implements the network contact graph of Sec. III-B and
+// the NCL machinery of Sec. IV: online estimation of pairwise contact
+// rates, shortest opportunistic paths (Definition 1), hypoexponential
+// path weights (Eq. 2), and the probabilistic NCL selection metric C_i
+// (Eq. 3) with top-K central-node selection.
+package graph
+
+import (
+	"errors"
+	"sort"
+
+	"dtncache/internal/mathx"
+	"dtncache/internal/trace"
+)
+
+// DefaultMaxHops caps the length of opportunistic paths. The paper's
+// "shortest opportunistic path" minimizes delivery delay; minimizing the
+// expected delay with a small hop cap is the standard decomposable proxy
+// (the hypoexponential weight itself is not additive along paths).
+const DefaultMaxHops = 5
+
+// RateEstimator accumulates pairwise contact counts and converts them to
+// time-averaged Poisson contact rates, exactly as Sec. III-B prescribes
+// ("calculated at real-time from the cumulative contacts ... in a
+// time-average manner").
+type RateEstimator struct {
+	n      int
+	counts []int // n*n, symmetric
+	start  float64
+}
+
+// NewRateEstimator creates an estimator for n nodes, with the observation
+// window starting at virtual time start.
+func NewRateEstimator(n int, start float64) *RateEstimator {
+	return &RateEstimator{n: n, counts: make([]int, n*n), start: start}
+}
+
+// Nodes returns the node count.
+func (e *RateEstimator) Nodes() int { return e.n }
+
+// Observe records one contact between a and b.
+func (e *RateEstimator) Observe(a, b trace.NodeID) {
+	if a == b || int(a) >= e.n || int(b) >= e.n || a < 0 || b < 0 {
+		return
+	}
+	e.counts[int(a)*e.n+int(b)]++
+	e.counts[int(b)*e.n+int(a)]++
+}
+
+// Count returns the cumulative contact count of the pair.
+func (e *RateEstimator) Count(a, b trace.NodeID) int {
+	return e.counts[int(a)*e.n+int(b)]
+}
+
+// Rate returns the estimated contact rate of the pair at time now, in
+// contacts per second: cumulative contacts divided by elapsed time.
+func (e *RateEstimator) Rate(a, b trace.NodeID, now float64) float64 {
+	elapsed := now - e.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(e.Count(a, b)) / elapsed
+}
+
+// NodeContacts returns the total number of contacts node n has
+// participated in (the degree-of-activity statistic used by simple
+// centrality baselines).
+func (e *RateEstimator) NodeContacts(n trace.NodeID) int {
+	if n < 0 || int(n) >= e.n {
+		return 0
+	}
+	total := 0
+	row := e.counts[int(n)*e.n : int(n)*e.n+e.n]
+	for _, c := range row {
+		total += c
+	}
+	return total
+}
+
+// Snapshot builds the contact graph implied by the estimates at time now.
+func (e *RateEstimator) Snapshot(now float64) *Graph {
+	g := NewGraph(e.n)
+	elapsed := now - e.start
+	if elapsed <= 0 {
+		return g
+	}
+	for i := 0; i < e.n; i++ {
+		for j := i + 1; j < e.n; j++ {
+			if c := e.counts[i*e.n+j]; c > 0 {
+				g.SetRate(trace.NodeID(i), trace.NodeID(j), float64(c)/elapsed)
+			}
+		}
+	}
+	return g
+}
+
+// Graph is the undirected network contact graph with Poisson contact
+// rates on its edges. A zero rate means the pair never meets.
+type Graph struct {
+	n     int
+	rates []float64 // n*n symmetric
+}
+
+// NewGraph creates an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, rates: make([]float64, n*n)}
+}
+
+// FromMatrix builds a graph from a symmetric rate matrix.
+func FromMatrix(rates [][]float64) (*Graph, error) {
+	n := len(rates)
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		if len(rates[i]) != n {
+			return nil, errors.New("graph: rate matrix not square")
+		}
+		for j := 0; j < n; j++ {
+			if rates[i][j] != rates[j][i] {
+				return nil, errors.New("graph: rate matrix not symmetric")
+			}
+			if i != j && rates[i][j] > 0 {
+				g.rates[i*n+j] = rates[i][j]
+			}
+		}
+	}
+	return g, nil
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return g.n }
+
+// Rate returns the contact rate of the pair (0 if never in contact).
+func (g *Graph) Rate(a, b trace.NodeID) float64 {
+	if a == b || a < 0 || b < 0 || int(a) >= g.n || int(b) >= g.n {
+		return 0
+	}
+	return g.rates[int(a)*g.n+int(b)]
+}
+
+// SetRate sets the symmetric contact rate of a pair; non-positive rates
+// remove the edge.
+func (g *Graph) SetRate(a, b trace.NodeID, rate float64) {
+	if a == b || a < 0 || b < 0 || int(a) >= g.n || int(b) >= g.n {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	g.rates[int(a)*g.n+int(b)] = rate
+	g.rates[int(b)*g.n+int(a)] = rate
+}
+
+// Neighbors returns the nodes with a positive contact rate to v, in
+// ascending order.
+func (g *Graph) Neighbors(v trace.NodeID) []trace.NodeID {
+	var out []trace.NodeID
+	row := g.rates[int(v)*g.n : int(v)*g.n+g.n]
+	for j, r := range row {
+		if r > 0 {
+			out = append(out, trace.NodeID(j))
+		}
+	}
+	return out
+}
+
+// Paths holds the shortest opportunistic paths from one source to every
+// other node: hop-capped minimum-expected-delay paths whose weights
+// (delivery probability within T) follow Eqs. (1)-(2).
+type Paths struct {
+	src      trace.NodeID
+	delay    []float64   // min expected delay; +Inf if unreachable
+	hopRates [][]float64 // rates along the best path, in hop order
+	dists    []*mathx.Hypoexp
+}
+
+// Paths computes shortest opportunistic paths from src with at most
+// maxHops hops (DefaultMaxHops if maxHops <= 0) using layered relaxation
+// (Bellman-Ford over hop counts), which is exact for hop-capped minimum
+// expected delay.
+func (g *Graph) Paths(src trace.NodeID, maxHops int) *Paths {
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	n := g.n
+	const inf = 1e300
+	// Layered DP: dist[h][v] is the minimum expected delay from src to v
+	// using at most h hops; choice[h][v] is the last hop's upstream node,
+	// or -1 when the h-hop value is carried over from h-1 hops.
+	dist := make([][]float64, maxHops+1)
+	choice := make([][]trace.NodeID, maxHops+1)
+	for h := range dist {
+		dist[h] = make([]float64, n)
+		choice[h] = make([]trace.NodeID, n)
+		for v := range dist[h] {
+			dist[h][v] = inf
+			choice[h][v] = -1
+		}
+	}
+	dist[0][src] = 0
+	for h := 1; h <= maxHops; h++ {
+		copy(dist[h], dist[h-1])
+		improved := false
+		for u := 0; u < n; u++ {
+			du := dist[h-1][u]
+			if du >= inf {
+				continue
+			}
+			row := g.rates[u*n : u*n+n]
+			for v := 0; v < n; v++ {
+				r := row[v]
+				if r <= 0 {
+					continue
+				}
+				if nd := du + 1/r; nd < dist[h][v] {
+					dist[h][v] = nd
+					choice[h][v] = trace.NodeID(u)
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			// No layer beyond h can improve either; collapse.
+			for hh := h + 1; hh <= maxHops; hh++ {
+				copy(dist[hh], dist[h])
+			}
+			break
+		}
+	}
+	final := dist[maxHops]
+	p := &Paths{
+		src:      src,
+		delay:    final,
+		hopRates: make([][]float64, n),
+		dists:    make([]*mathx.Hypoexp, n),
+	}
+	for v := 0; v < n; v++ {
+		if v == int(src) || final[v] >= inf {
+			continue
+		}
+		// Recover the path by walking the DP layers downward.
+		rates := make([]float64, 0, maxHops)
+		cursor := trace.NodeID(v)
+		for h := maxHops; h > 0 && cursor != src; h-- {
+			u := choice[h][cursor]
+			if u < 0 {
+				continue // value carried from layer h-1
+			}
+			rates = append(rates, g.Rate(u, cursor))
+			cursor = u
+		}
+		if cursor != src {
+			p.delay[v] = inf
+			continue
+		}
+		// Reverse into src->v hop order (the hypoexponential weight does
+		// not depend on order, but diagnostics read better).
+		for i, j := 0, len(rates)-1; i < j; i, j = i+1, j-1 {
+			rates[i], rates[j] = rates[j], rates[i]
+		}
+		p.hopRates[v] = rates
+	}
+	return p
+}
+
+// Source returns the path-tree root.
+func (p *Paths) Source() trace.NodeID { return p.src }
+
+// Reachable reports whether dst has an opportunistic path from the source.
+func (p *Paths) Reachable(dst trace.NodeID) bool {
+	if int(dst) >= len(p.delay) || dst < 0 {
+		return false
+	}
+	return dst == p.src || p.hopRates[dst] != nil
+}
+
+// ExpectedDelay returns the expected delay of the shortest opportunistic
+// path to dst (0 for the source itself, +Inf-like 1e300 if unreachable).
+func (p *Paths) ExpectedDelay(dst trace.NodeID) float64 { return p.delay[dst] }
+
+// HopRates returns the contact rates along the path to dst (nil if
+// unreachable or dst == src).
+func (p *Paths) HopRates(dst trace.NodeID) []float64 {
+	out := make([]float64, len(p.hopRates[dst]))
+	copy(out, p.hopRates[dst])
+	return out
+}
+
+// Hops returns the number of hops to dst (0 for the source, -1 if
+// unreachable).
+func (p *Paths) Hops(dst trace.NodeID) int {
+	if dst == p.src {
+		return 0
+	}
+	if p.hopRates[dst] == nil {
+		return -1
+	}
+	return len(p.hopRates[dst])
+}
+
+// Weight returns the opportunistic path weight p_{src,dst}(T): the
+// probability that data is transmitted along the shortest opportunistic
+// path within time T (Eq. 2). The weight to the source itself is 1, and 0
+// for unreachable destinations.
+func (p *Paths) Weight(dst trace.NodeID, t float64) float64 {
+	if dst < 0 || int(dst) >= len(p.delay) {
+		return 0
+	}
+	if dst == p.src {
+		if t < 0 {
+			return 0
+		}
+		return 1
+	}
+	rates := p.hopRates[dst]
+	if rates == nil {
+		return 0
+	}
+	h := p.dists[dst]
+	if h == nil {
+		var err error
+		h, err = mathx.NewHypoexp(rates)
+		if err != nil {
+			return 0
+		}
+		p.dists[dst] = h
+	}
+	return h.CDF(t)
+}
+
+// AllPaths computes Paths from every node. The graph is undirected, so
+// result[i].Weight(j, T) == result[j].Weight(i, T) up to tie-breaking.
+func (g *Graph) AllPaths(maxHops int) []*Paths {
+	out := make([]*Paths, g.n)
+	for i := 0; i < g.n; i++ {
+		out[i] = g.Paths(trace.NodeID(i), maxHops)
+	}
+	return out
+}
+
+// Metric computes the NCL selection metric C_i of Eq. (3): the average
+// probability that data can be transmitted from a random node to node i
+// within time T.
+func (g *Graph) Metric(i trace.NodeID, t float64, maxHops int) float64 {
+	if g.n <= 1 {
+		return 0
+	}
+	p := g.Paths(i, maxHops)
+	var sum float64
+	for j := 0; j < g.n; j++ {
+		if trace.NodeID(j) == i {
+			continue
+		}
+		sum += p.Weight(trace.NodeID(j), t)
+	}
+	return sum / float64(g.n-1)
+}
+
+// Metrics computes C_i for every node.
+func (g *Graph) Metrics(t float64, maxHops int) []float64 {
+	out := make([]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		out[i] = g.Metric(trace.NodeID(i), t, maxHops)
+	}
+	return out
+}
+
+// SelectNCLs returns the K nodes with the highest metric values (ties
+// broken by ascending node ID), the paper's central-node selection rule.
+func SelectNCLs(metrics []float64, k int) []trace.NodeID {
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]trace.NodeID, len(metrics))
+	for i := range idx {
+		idx[i] = trace.NodeID(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ma, mb := metrics[idx[a]], metrics[idx[b]]
+		if ma != mb {
+			return ma > mb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]trace.NodeID, k)
+	copy(out, idx[:k])
+	return out
+}

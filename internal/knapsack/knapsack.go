@@ -1,0 +1,191 @@
+// Package knapsack implements the 0/1 knapsack machinery behind the
+// paper's cache-replacement formulation (Eq. 7) and the probabilistic
+// data-selection loop of Algorithm 1.
+//
+// Cache replacement between two caching nodes pools their cached items
+// and lets the node with the higher NCL weight solve a knapsack over the
+// pool (utilities as values, data sizes as weights, its buffer as
+// capacity); the second node then solves the same problem over the
+// remainder. Algorithm 1 wraps the solver with per-item Bernoulli
+// acceptance so less-popular data keeps a non-negligible chance of
+// staying cached somewhere.
+package knapsack
+
+import (
+	"errors"
+	"sort"
+)
+
+// Item is one candidate data item.
+type Item struct {
+	// ID is the caller's identifier, echoed back in selections.
+	ID int
+	// Size is the item size in capacity units (>= 1). The paper solves
+	// the DP over bytes; callers typically quantize to megabits to keep
+	// the table small.
+	Size int
+	// Value is the caching utility (the popularity w_i of Eq. 6 for the
+	// paper's scheme); must be >= 0.
+	Value float64
+}
+
+// Errors returned by the solver.
+var (
+	ErrBadItem     = errors.New("knapsack: item needs Size >= 1 and Value >= 0")
+	ErrBadCapacity = errors.New("knapsack: capacity must be >= 0")
+)
+
+// Solve returns the indices (into items) of a maximum-value subset whose
+// total size is at most capacity, along with the achieved value. It runs
+// the standard O(n*capacity) dynamic program; ties prefer
+// lexicographically smaller index sets so results are deterministic.
+func Solve(items []Item, capacity int) ([]int, float64, error) {
+	if capacity < 0 {
+		return nil, 0, ErrBadCapacity
+	}
+	for _, it := range items {
+		if it.Size < 1 || it.Value < 0 {
+			return nil, 0, ErrBadItem
+		}
+	}
+	n := len(items)
+	if n == 0 || capacity == 0 {
+		return nil, 0, nil
+	}
+	// Textbook table-per-item DP with selection recovery; strict
+	// improvement on the take-branch makes ties prefer not taking later
+	// items, so the selected index set is deterministic.
+	rows := make([][]float64, n+1)
+	rows[0] = make([]float64, capacity+1)
+	for i := 1; i <= n; i++ {
+		rows[i] = make([]float64, capacity+1)
+		it := items[i-1]
+		prev := rows[i-1]
+		cur := rows[i]
+		for w := 0; w <= capacity; w++ {
+			cur[w] = prev[w]
+			if it.Size <= w {
+				if cand := prev[w-it.Size] + it.Value; cand > cur[w] {
+					cur[w] = cand
+				}
+			}
+		}
+	}
+	var sel []int
+	w := capacity
+	for i := n; i >= 1; i-- {
+		if rows[i][w] != rows[i-1][w] {
+			sel = append(sel, i-1)
+			w -= items[i-1].Size
+		}
+	}
+	sort.Ints(sel)
+	return sel, rows[n][capacity], nil
+}
+
+// Acceptor decides whether a DP-selected item is actually cached; the
+// paper's Algorithm 1 uses a Bernoulli experiment with probability equal
+// to the item's utility.
+type Acceptor func(Item) bool
+
+// maxRounds bounds Algorithm 1's outer loop. The paper iterates until the
+// buffer is full or the pool is empty; with Bernoulli acceptance that
+// terminates only in expectation, so after maxRounds*len(items)+1 empty
+// rounds we stop (callers treat remaining capacity as intentionally
+// unused).
+const maxRounds = 4
+
+// ProbabilisticSelect implements Algorithm 1. Each outer round it solves
+// the knapsack over the remaining pool to obtain V_max — the total size
+// the optimal packing would occupy — and then offers *every* remaining
+// item in descending-utility order, accepting each via the Acceptor
+// (Bernoulli with probability u_i in the paper) as long as it fits both
+// the remaining capacity and the V_max budget. Rounds repeat so capacity
+// freed by rejections can be refilled, until the pool is exhausted,
+// nothing fits, or the bounded retry budget runs out.
+//
+// This keeps popular (high-utility) data prioritized while leaving
+// less-popular data a non-negligible chance of being cached, which is the
+// point of Sec. V-D.3.
+//
+// It returns indices into items of the accepted set.
+func ProbabilisticSelect(items []Item, capacity int, accept Acceptor) ([]int, error) {
+	if capacity < 0 {
+		return nil, ErrBadCapacity
+	}
+	remaining := make([]int, len(items)) // indices into items still in pool
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var chosen []int
+	rounds := 0
+	for len(remaining) > 0 && capacity >= minSize(items, remaining) {
+		rounds++
+		if rounds > maxRounds*len(items)+1 {
+			break
+		}
+		pool := make([]Item, len(remaining))
+		for i, idx := range remaining {
+			pool[i] = items[idx]
+			pool[i].ID = idx // track original index through the DP
+		}
+		sel, _, err := Solve(pool, capacity)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			break
+		}
+		budget := 0 // V_max: total size of the DP-optimal packing
+		for _, pi := range sel {
+			budget += pool[pi].Size
+		}
+		// Offer the whole pool in descending utility (ties: ascending
+		// original index).
+		order := make([]int, len(pool))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if pool[order[a]].Value != pool[order[b]].Value {
+				return pool[order[a]].Value > pool[order[b]].Value
+			}
+			return pool[order[a]].ID < pool[order[b]].ID
+		})
+		accepted := make(map[int]bool)
+		for _, pi := range order {
+			it := pool[pi]
+			if it.Size > capacity || it.Size > budget {
+				continue
+			}
+			if accept(items[it.ID]) {
+				chosen = append(chosen, it.ID)
+				capacity -= it.Size
+				budget -= it.Size
+				accepted[it.ID] = true
+			}
+		}
+		if len(accepted) == 0 {
+			continue // all Bernoulli-rejected this round; retry
+		}
+		next := remaining[:0]
+		for _, idx := range remaining {
+			if !accepted[idx] {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+func minSize(items []Item, idx []int) int {
+	m := int(^uint(0) >> 1)
+	for _, i := range idx {
+		if items[i].Size < m {
+			m = items[i].Size
+		}
+	}
+	return m
+}

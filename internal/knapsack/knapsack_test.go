@@ -1,0 +1,242 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dtncache/internal/mathx"
+)
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve([]Item{{Size: 0, Value: 1}}, 10); err != ErrBadItem {
+		t.Errorf("zero size: got %v", err)
+	}
+	if _, _, err := Solve([]Item{{Size: 1, Value: -1}}, 10); err != ErrBadItem {
+		t.Errorf("negative value: got %v", err)
+	}
+	if _, _, err := Solve(nil, -1); err != ErrBadCapacity {
+		t.Errorf("negative capacity: got %v", err)
+	}
+}
+
+func TestSolveTrivialCases(t *testing.T) {
+	sel, v, err := Solve(nil, 10)
+	if err != nil || sel != nil || v != 0 {
+		t.Errorf("empty: %v %v %v", sel, v, err)
+	}
+	sel, v, err = Solve([]Item{{Size: 5, Value: 3}}, 0)
+	if err != nil || sel != nil || v != 0 {
+		t.Errorf("zero capacity: %v %v %v", sel, v, err)
+	}
+	sel, v, err = Solve([]Item{{Size: 5, Value: 3}}, 4)
+	if err != nil || len(sel) != 0 || v != 0 {
+		t.Errorf("too big: %v %v %v", sel, v, err)
+	}
+	sel, v, err = Solve([]Item{{Size: 5, Value: 3}}, 5)
+	if err != nil || len(sel) != 1 || v != 3 {
+		t.Errorf("exact fit: %v %v %v", sel, v, err)
+	}
+}
+
+func TestSolveKnownInstance(t *testing.T) {
+	// Classic instance: optimal is items 1 and 2 (values 100+120) at w=50.
+	items := []Item{
+		{ID: 0, Size: 10, Value: 60},
+		{ID: 1, Size: 20, Value: 100},
+		{ID: 2, Size: 30, Value: 120},
+	}
+	sel, v, err := Solve(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 220 || len(sel) != 2 || sel[0] != 1 || sel[1] != 2 {
+		t.Errorf("sel=%v v=%v, want [1 2] 220", sel, v)
+	}
+}
+
+func TestSolveDeterministicOnTies(t *testing.T) {
+	items := []Item{
+		{Size: 5, Value: 10},
+		{Size: 5, Value: 10},
+	}
+	for i := 0; i < 10; i++ {
+		sel, v, err := Solve(items, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 10 || len(sel) != 1 || sel[0] != 0 {
+			t.Fatalf("tie-broken selection changed: %v %v", sel, v)
+		}
+	}
+}
+
+// bruteForce enumerates all subsets; only usable for small n.
+func bruteForce(items []Item, capacity int) float64 {
+	n := len(items)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		size, val := 0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size += items[i].Size
+				val += items[i].Value
+			}
+		}
+		if size <= capacity && val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	f := func(sizes [8]uint8, values [8]uint8, cap16 uint8) bool {
+		items := make([]Item, 0, 8)
+		for i := 0; i < 8; i++ {
+			items = append(items, Item{
+				ID:    i,
+				Size:  int(sizes[i]%20) + 1,
+				Value: float64(values[i] % 50),
+			})
+		}
+		capacity := int(cap16 % 60)
+		sel, v, err := Solve(items, capacity)
+		if err != nil {
+			return false
+		}
+		// Selection must be feasible and match its claimed value.
+		size, val := 0, 0.0
+		for _, i := range sel {
+			size += items[i].Size
+			val += items[i].Value
+		}
+		if size > capacity || math.Abs(val-v) > 1e-9 {
+			return false
+		}
+		return math.Abs(v-bruteForce(items, capacity)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbabilisticSelectAlwaysAcceptEqualsSolve(t *testing.T) {
+	items := []Item{
+		{ID: 0, Size: 10, Value: 60},
+		{ID: 1, Size: 20, Value: 100},
+		{ID: 2, Size: 30, Value: 120},
+		{ID: 3, Size: 15, Value: 10},
+	}
+	got, err := ProbabilisticSelect(items, 50, func(Item) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Solve(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProbabilisticSelectNeverAccept(t *testing.T) {
+	items := []Item{{Size: 5, Value: 1}, {Size: 5, Value: 2}}
+	got, err := ProbabilisticSelect(items, 10, func(Item) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestProbabilisticSelectRespectsCapacity(t *testing.T) {
+	rng := mathx.NewRand(1)
+	items := make([]Item, 12)
+	for i := range items {
+		items[i] = Item{ID: i, Size: 3 + i%5, Value: 0.2 + 0.05*float64(i)}
+	}
+	for trial := 0; trial < 50; trial++ {
+		sel, err := ProbabilisticSelect(items, 20, func(it Item) bool {
+			return rng.Bernoulli(it.Value)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 0
+		seen := make(map[int]bool)
+		for _, i := range sel {
+			if seen[i] {
+				t.Fatal("item selected twice")
+			}
+			seen[i] = true
+			size += items[i].Size
+		}
+		if size > 20 {
+			t.Fatalf("capacity exceeded: %d", size)
+		}
+	}
+}
+
+func TestProbabilisticSelectGivesUnpopularDataAChance(t *testing.T) {
+	// A popular big item and an unpopular small one competing for space:
+	// over many trials the unpopular one must be selected sometimes
+	// (non-negligible chance, the point of Algorithm 1), but less often
+	// than the popular one.
+	rng := mathx.NewRand(2)
+	items := []Item{
+		{ID: 0, Size: 10, Value: 0.9},
+		{ID: 1, Size: 10, Value: 0.2},
+	}
+	popCount, unpopCount := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		sel, err := ProbabilisticSelect(items, 10, func(it Item) bool {
+			return rng.Bernoulli(it.Value)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sel {
+			if s == 0 {
+				popCount++
+			} else {
+				unpopCount++
+			}
+		}
+	}
+	if unpopCount == 0 {
+		t.Error("unpopular item never cached; Algorithm 1 should give it a chance")
+	}
+	if popCount <= unpopCount {
+		t.Errorf("popular %d <= unpopular %d; prioritization broken", popCount, unpopCount)
+	}
+}
+
+func TestProbabilisticSelectBadCapacity(t *testing.T) {
+	if _, err := ProbabilisticSelect(nil, -1, func(Item) bool { return true }); err != ErrBadCapacity {
+		t.Errorf("got %v", err)
+	}
+}
+
+func BenchmarkSolve20Items600Cap(b *testing.B) {
+	rng := mathx.NewRand(3)
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: i, Size: 20 + rng.Intn(280), Value: rng.Float64()}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(items, 600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package mathx provides the mathematical primitives used throughout the
+// dtncache reproduction: the hypoexponential distribution of opportunistic
+// path delays (paper Eqs. 1-2), the sigmoid response probability (Eq. 4),
+// Zipf query popularity (Eq. 8), seeded random-number helpers, and summary
+// statistics.
+//
+// Everything in this package is deterministic given a seed and free of
+// global state, so simulations are exactly reproducible.
+package mathx

@@ -1,0 +1,240 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustHypoexp(t *testing.T, rates []float64) *Hypoexp {
+	t.Helper()
+	h, err := NewHypoexp(rates)
+	if err != nil {
+		t.Fatalf("NewHypoexp(%v): %v", rates, err)
+	}
+	return h
+}
+
+func TestNewHypoexpRejectsBadRates(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0},
+		{-1},
+		{1, 0},
+		{1, math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, rates := range cases {
+		if _, err := NewHypoexp(rates); err == nil {
+			t.Errorf("NewHypoexp(%v): want error, got nil", rates)
+		}
+	}
+}
+
+func TestHypoexpSingleHopIsExponential(t *testing.T) {
+	h := mustHypoexp(t, []float64{0.5})
+	for _, tt := range []float64{0, 0.1, 1, 2, 10} {
+		want := 1 - math.Exp(-0.5*tt)
+		if got := h.CDF(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestHypoexpMean(t *testing.T) {
+	h := mustHypoexp(t, []float64{1, 2, 4})
+	want := 1.0 + 0.5 + 0.25
+	if got := h.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHypoexpTwoHopClosedForm(t *testing.T) {
+	// For rates a != b: CDF(t) = 1 - (b e^{-at} - a e^{-bt})/(b-a).
+	a, b := 1.0, 3.0
+	h := mustHypoexp(t, []float64{a, b})
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - (b*math.Exp(-a*tt)-a*math.Exp(-b*tt))/(b-a)
+		if got := h.CDF(tt); math.Abs(got-want) > 1e-10 {
+			t.Errorf("CDF(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestHypoexpEqualRatesIsErlang(t *testing.T) {
+	// Sum of r iid Exp(lambda) is Erlang(r, lambda):
+	// CDF(t) = 1 - e^{-lt} sum_{n<r} (lt)^n / n!.
+	lambda := 2.0
+	for r := 2; r <= 5; r++ {
+		rates := make([]float64, r)
+		for i := range rates {
+			rates[i] = lambda
+		}
+		h := mustHypoexp(t, rates)
+		for _, tt := range []float64{0.1, 0.5, 1, 2} {
+			lt := lambda * tt
+			sum := 0.0
+			term := 1.0
+			for n := 0; n < r; n++ {
+				if n > 0 {
+					term *= lt / float64(n)
+				}
+				sum += term
+			}
+			want := 1 - math.Exp(-lt)*sum
+			if got := h.CDF(tt); math.Abs(got-want) > 1e-9 {
+				t.Errorf("r=%d CDF(%v) = %v, want %v", r, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestHypoexpClosedFormMatchesUniformization(t *testing.T) {
+	h := mustHypoexp(t, []float64{0.3, 1.1, 2.7, 5.9})
+	if !h.distinct {
+		t.Fatal("expected distinct rates to use the closed form")
+	}
+	for _, tt := range []float64{0.05, 0.3, 1, 3, 10} {
+		cf := h.cdfClosedForm(tt)
+		un := h.cdfUniformized(tt)
+		if math.Abs(cf-un) > 1e-8 {
+			t.Errorf("t=%v: closed form %v vs uniformized %v", tt, cf, un)
+		}
+	}
+}
+
+func TestHypoexpNearEqualRatesStable(t *testing.T) {
+	// Rates this close would make the closed-form coefficients ~1e9 with
+	// alternating signs; the uniformization fallback must kick in and
+	// produce values that match the exactly-equal-rate Erlang closely.
+	h := mustHypoexp(t, []float64{1, 1 + 1e-9})
+	erlang := mustHypoexp(t, []float64{1, 1})
+	for _, tt := range []float64{0.1, 1, 3} {
+		got, want := h.CDF(tt), erlang.CDF(tt)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("CDF(%v) = %v, want ~%v", tt, got, want)
+		}
+	}
+}
+
+func TestHypoexpCDFPropertyBounds(t *testing.T) {
+	// Property: for arbitrary positive rates and times, CDF stays in [0,1]
+	// and is monotone non-decreasing in t.
+	f := func(r1, r2, r3 uint16, t1, t2 uint16) bool {
+		rates := []float64{
+			0.01 + float64(r1%1000)/100,
+			0.01 + float64(r2%1000)/100,
+			0.01 + float64(r3%1000)/100,
+		}
+		h, err := NewHypoexp(rates)
+		if err != nil {
+			return false
+		}
+		ta := float64(t1%500) / 10
+		tb := float64(t2%500) / 10
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		ca, cb := h.CDF(ta), h.CDF(tb)
+		return ca >= 0 && cb <= 1 && ca <= cb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypoexpCDFLimits(t *testing.T) {
+	h := mustHypoexp(t, []float64{0.7, 1.9, 4.2})
+	if got := h.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := h.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := h.CDF(1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(inf) = %v, want 1", got)
+	}
+}
+
+func TestHypoexpPDFIntegratesToCDF(t *testing.T) {
+	h := mustHypoexp(t, []float64{0.8, 2.5, 1.4})
+	// Trapezoidal integration of the PDF should recover the CDF.
+	const dt = 1e-3
+	acc := 0.0
+	prev := h.PDF(0)
+	for x := dt; x <= 3.0+dt/2; x += dt {
+		cur := h.PDF(x)
+		acc += (prev + cur) / 2 * dt
+		prev = cur
+	}
+	if want := h.CDF(3.0); math.Abs(acc-want) > 1e-4 {
+		t.Errorf("integral of PDF to 3 = %v, want CDF(3) = %v", acc, want)
+	}
+}
+
+func TestHypoexpCDFAgainstMonteCarlo(t *testing.T) {
+	rates := []float64{0.5, 1.5, 3.0}
+	h := mustHypoexp(t, rates)
+	r := NewRand(42)
+	const n = 200000
+	tt := 2.0
+	hits := 0
+	for i := 0; i < n; i++ {
+		total := 0.0
+		for _, rate := range rates {
+			total += r.Exp(rate)
+		}
+		if total <= tt {
+			hits++
+		}
+	}
+	emp := float64(hits) / n
+	if got := h.CDF(tt); math.Abs(got-emp) > 0.005 {
+		t.Errorf("CDF(%v) = %v, Monte Carlo says %v", tt, got, emp)
+	}
+}
+
+func TestPathWeight(t *testing.T) {
+	if w, err := PathWeight(nil, 5); err != nil || w != 1 {
+		t.Errorf("zero-hop path weight = %v, %v; want 1, nil", w, err)
+	}
+	if w, err := PathWeight(nil, -1); err != nil || w != 0 {
+		t.Errorf("zero-hop negative-T weight = %v, %v; want 0, nil", w, err)
+	}
+	if _, err := PathWeight([]float64{-1}, 5); err == nil {
+		t.Error("negative rate: want error")
+	}
+	w, err := PathWeight([]float64{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - math.Exp(-2.0); math.Abs(w-want) > 1e-12 {
+		t.Errorf("PathWeight = %v, want %v", w, want)
+	}
+}
+
+func TestHypoexpRatesReturnsCopy(t *testing.T) {
+	h := mustHypoexp(t, []float64{1, 2})
+	got := h.Rates()
+	got[0] = 99
+	if h.Rates()[0] != 1 {
+		t.Error("Rates() must return a copy")
+	}
+}
+
+func BenchmarkHypoexpCDFClosedForm(b *testing.B) {
+	h, _ := NewHypoexp([]float64{0.3, 1.1, 2.7, 5.9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.CDF(1.5)
+	}
+}
+
+func BenchmarkHypoexpCDFUniformized(b *testing.B) {
+	h, _ := NewHypoexp([]float64{1, 1, 1, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.CDF(1.5)
+	}
+}

@@ -1,0 +1,83 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a seeded random source with the distribution helpers the
+// simulator needs. It wraps math/rand.Rand so that every stochastic
+// component of a simulation can own an independent, reproducible stream.
+type Rand struct {
+	rng *rand.Rand
+}
+
+// NewRand returns a deterministic generator seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a new independent generator whose seed is a function of
+// this generator's seed and the given label. It is used to give each
+// component (trace generation, workload, protocol coin flips, ...) its own
+// stream so that changing one component's consumption pattern does not
+// perturb the others.
+func (r *Rand) Derive(label string) *Rand {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRand(h ^ r.rng.Int63())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 { return r.rng.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (r *Rand) Intn(n int) int { return r.rng.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return r.rng.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int { return r.rng.Perm(n) }
+
+// Uniform returns a uniform value in [lo,hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.rng.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0, which always indicates a
+// programming error in the caller.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("mathx: Exp requires rate > 0")
+	}
+	return r.rng.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.rng.Float64() < p
+}
+
+// Pareto returns a bounded Pareto sample in [lo,hi] with shape alpha.
+// It is used to draw heterogeneous node activity levels: a small alpha
+// yields the highly skewed popularity the paper observes in Fig. 4.
+func (r *Rand) Pareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("mathx: Pareto requires 0 < lo < hi and alpha > 0")
+	}
+	u := r.rng.Float64()
+	la := math.Pow(lo, -alpha)
+	ha := math.Pow(hi, -alpha)
+	return math.Pow(la-u*(la-ha), -1/alpha)
+}

@@ -1,0 +1,139 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(1), NewRand(1)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestRandDeriveIndependence(t *testing.T) {
+	root := NewRand(1)
+	a := root.Derive("workload")
+	root2 := NewRand(1)
+	b := root2.Derive("workload")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("derived streams with the same label and seed must match")
+		}
+	}
+	root3 := NewRand(1)
+	c := root3.Derive("trace")
+	same := true
+	d := NewRand(1).Derive("workload")
+	for i := 0; i < 20; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different labels should produce different streams")
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(3)
+	const n = 200000
+	rate := 2.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestRandExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) should panic")
+		}
+	}()
+	NewRand(1).Exp(0)
+}
+
+func TestRandBernoulli(t *testing.T) {
+	r := NewRand(5)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRandUniform(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		x := r.Uniform(5, 15)
+		if x < 5 || x >= 15 {
+			t.Fatalf("Uniform(5,15) produced %v", x)
+		}
+	}
+}
+
+func TestRandParetoBoundsAndSkew(t *testing.T) {
+	r := NewRand(13)
+	const n = 50000
+	var above float64
+	for i := 0; i < n; i++ {
+		x := r.Pareto(1.5, 1, 100)
+		if x < 1 || x > 100 {
+			t.Fatalf("Pareto out of bounds: %v", x)
+		}
+		if x > 10 {
+			above++
+		}
+	}
+	// Bounded Pareto with alpha=1.5 on [1,100]: P(X>10) ~ (1-10^-1.5)/(1-100^-1.5)
+	// complement ~ 0.0316... Most mass must be near the low end.
+	if frac := above / n; frac > 0.1 {
+		t.Errorf("Pareto too flat: P(X>10) = %v", frac)
+	}
+}
+
+func TestRandParetoPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pareto with lo<=0 should panic")
+		}
+	}()
+	NewRand(1).Pareto(1, 0, 10)
+}
+
+func TestRandPermAndIntn(t *testing.T) {
+	r := NewRand(17)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}

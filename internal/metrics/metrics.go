@@ -1,0 +1,173 @@
+// Package metrics collects the three evaluation metrics of Sec. VI —
+// successful ratio of queries, data access delay, and caching overhead
+// (average number of cached copies per data item) — plus the cache
+// replacement overhead used in Fig. 12(c) and transmission accounting.
+package metrics
+
+import (
+	"dtncache/internal/mathx"
+	"dtncache/internal/workload"
+)
+
+// queryRecord tracks one query's lifecycle.
+type queryRecord struct {
+	issued    float64
+	deadline  float64
+	satisfied bool
+	delay     float64
+	copies    int // data copies that reached the requester
+}
+
+// Collector accumulates metrics during one simulation run. It is not
+// safe for concurrent use; the simulator is single-threaded.
+type Collector struct {
+	queries map[workload.QueryID]*queryRecord
+
+	copySamples  mathx.Online // avg cached copies per live item, per sample
+	usedBufFrac  mathx.Online // fraction of total buffer capacity in use
+	replaceMoves int          // data items moved by cache replacement
+	dataBits     float64      // payload bits delivered (data transfers)
+	controlBits  float64      // query/metadata bits delivered
+
+	// phases[i] accumulates part i of the access delay decomposition of
+	// Sec. V-E (0: query to NCL, 1: NCL broadcast to the responding
+	// caching node, 2: data return to the requester).
+	phases [3]mathx.Online
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{queries: make(map[workload.QueryID]*queryRecord)}
+}
+
+// QueryIssued registers a query the moment a requester sends it.
+func (c *Collector) QueryIssued(q workload.Query) {
+	if _, ok := c.queries[q.ID]; ok {
+		return
+	}
+	c.queries[q.ID] = &queryRecord{issued: q.Issued, deadline: q.Deadline}
+}
+
+// QueryDelivered records a data copy arriving at the requester at time
+// at. It returns true if this is the first on-time copy (the query
+// transitions to satisfied); later or late copies only count as
+// redundant deliveries.
+func (c *Collector) QueryDelivered(id workload.QueryID, at float64) bool {
+	r, ok := c.queries[id]
+	if !ok {
+		return false
+	}
+	r.copies++
+	if r.satisfied || at > r.deadline {
+		return false
+	}
+	r.satisfied = true
+	r.delay = at - r.issued
+	return true
+}
+
+// DelayPhases records the Sec. V-E decomposition of one satisfied
+// query's access delay: queryToNCL is the time for the query to reach a
+// central node, broadcast the further time until a caching node decided
+// to respond (0 when the central node answered directly), and reply the
+// time for the data to travel back to the requester.
+func (c *Collector) DelayPhases(queryToNCL, broadcast, reply float64) {
+	c.phases[0].Add(queryToNCL)
+	c.phases[1].Add(broadcast)
+	c.phases[2].Add(reply)
+}
+
+// SampleCopies records one periodic observation of the average number of
+// cached copies per live data item.
+func (c *Collector) SampleCopies(avgCopiesPerItem float64) {
+	c.copySamples.Add(avgCopiesPerItem)
+}
+
+// SampleBufferUse records one periodic observation of the fraction of
+// total buffer capacity occupied.
+func (c *Collector) SampleBufferUse(frac float64) {
+	c.usedBufFrac.Add(frac)
+}
+
+// ReplacementMove counts n data items exchanged/moved during a cache
+// replacement operation.
+func (c *Collector) ReplacementMove(n int) { c.replaceMoves += n }
+
+// DataTransferred accounts bits of data payload delivered between nodes.
+func (c *Collector) DataTransferred(bits float64) { c.dataBits += bits }
+
+// ControlTransferred accounts bits of control traffic (queries,
+// metadata) delivered between nodes.
+func (c *Collector) ControlTransferred(bits float64) { c.controlBits += bits }
+
+// Report is the final summary of one run.
+type Report struct {
+	// QueriesIssued is the number of queries sent into the network.
+	QueriesIssued int
+	// QueriesSatisfied is the number answered before their deadline.
+	QueriesSatisfied int
+	// SuccessRatio is satisfied/issued (0 when no queries).
+	SuccessRatio float64
+	// MeanDelaySec is the mean access delay over satisfied queries.
+	MeanDelaySec float64
+	// MedianDelaySec is the median access delay over satisfied queries.
+	MedianDelaySec float64
+	// P90DelaySec is the 90th-percentile access delay over satisfied
+	// queries.
+	P90DelaySec float64
+	// MeanCopies is the time-averaged number of cached copies per live
+	// data item (caching overhead, Figs. 10c/11c/13c).
+	MeanCopies float64
+	// MeanBufferUse is the time-averaged fraction of buffer in use.
+	MeanBufferUse float64
+	// RedundantDeliveries counts data copies that reached requesters
+	// after the query was already satisfied (transmission waste).
+	RedundantDeliveries int
+	// ReplacementMoves counts data items exchanged by cache replacement
+	// (Fig. 12c reports this normalized per data item).
+	ReplacementMoves int
+	// DataBits and ControlBits account delivered traffic.
+	DataBits    float64
+	ControlBits float64
+	// MeanPhaseSec is the Sec. V-E delay decomposition over satisfied
+	// queries with known phases: [query->NCL, NCL broadcast, reply].
+	MeanPhaseSec [3]float64
+	// PhaseSamples is the number of queries contributing to MeanPhaseSec.
+	PhaseSamples int
+}
+
+// Report computes the summary.
+func (c *Collector) Report() Report {
+	rep := Report{
+		ReplacementMoves: c.replaceMoves,
+		DataBits:         c.dataBits,
+		ControlBits:      c.controlBits,
+		MeanCopies:       c.copySamples.Mean(),
+		MeanBufferUse:    c.usedBufFrac.Mean(),
+		MeanPhaseSec: [3]float64{
+			c.phases[0].Mean(), c.phases[1].Mean(), c.phases[2].Mean(),
+		},
+		PhaseSamples: c.phases[0].N(),
+	}
+	var delays []float64
+	for _, r := range c.queries {
+		rep.QueriesIssued++
+		if r.satisfied {
+			rep.QueriesSatisfied++
+			delays = append(delays, r.delay)
+			if r.copies > 1 {
+				rep.RedundantDeliveries += r.copies - 1
+			}
+		} else if r.copies > 0 {
+			rep.RedundantDeliveries += r.copies
+		}
+	}
+	if rep.QueriesIssued > 0 {
+		rep.SuccessRatio = float64(rep.QueriesSatisfied) / float64(rep.QueriesIssued)
+	}
+	s := mathx.Summarize(delays)
+	rep.MeanDelaySec = s.Mean
+	rep.MedianDelaySec = s.Median
+	rep.P90DelaySec = s.P90
+	return rep
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dtncache/internal/workload"
+)
+
+func q(id int, issued, deadline float64) workload.Query {
+	return workload.Query{ID: workload.QueryID(id), Issued: issued, Deadline: deadline}
+}
+
+func TestQueryLifecycle(t *testing.T) {
+	c := NewCollector()
+	c.QueryIssued(q(1, 10, 100))
+	c.QueryIssued(q(2, 10, 100))
+	c.QueryIssued(q(2, 10, 100)) // duplicate issue ignored
+
+	if !c.QueryDelivered(1, 50) {
+		t.Error("first on-time delivery must satisfy")
+	}
+	if c.QueryDelivered(1, 60) {
+		t.Error("second delivery must not re-satisfy")
+	}
+	if c.QueryDelivered(2, 200) {
+		t.Error("late delivery must not satisfy")
+	}
+	if c.QueryDelivered(99, 50) {
+		t.Error("unknown query must not satisfy")
+	}
+
+	rep := c.Report()
+	if rep.QueriesIssued != 2 || rep.QueriesSatisfied != 1 {
+		t.Errorf("issued=%d satisfied=%d", rep.QueriesIssued, rep.QueriesSatisfied)
+	}
+	if math.Abs(rep.SuccessRatio-0.5) > 1e-12 {
+		t.Errorf("ratio = %v", rep.SuccessRatio)
+	}
+	if rep.MeanDelaySec != 40 {
+		t.Errorf("mean delay = %v, want 40", rep.MeanDelaySec)
+	}
+	// one redundant for q1 (second copy), one for q2 (late copy).
+	if rep.RedundantDeliveries != 2 {
+		t.Errorf("redundant = %d, want 2", rep.RedundantDeliveries)
+	}
+}
+
+func TestSamplesAndCounters(t *testing.T) {
+	c := NewCollector()
+	c.SampleCopies(2)
+	c.SampleCopies(4)
+	c.SampleBufferUse(0.5)
+	c.ReplacementMove(3)
+	c.ReplacementMove(2)
+	c.DataTransferred(100)
+	c.ControlTransferred(10)
+	rep := c.Report()
+	if rep.MeanCopies != 3 {
+		t.Errorf("mean copies = %v", rep.MeanCopies)
+	}
+	if rep.MeanBufferUse != 0.5 {
+		t.Errorf("buffer use = %v", rep.MeanBufferUse)
+	}
+	if rep.ReplacementMoves != 5 {
+		t.Errorf("moves = %d", rep.ReplacementMoves)
+	}
+	if rep.DataBits != 100 || rep.ControlBits != 10 {
+		t.Errorf("bits = %v/%v", rep.DataBits, rep.ControlBits)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := NewCollector().Report()
+	if rep.SuccessRatio != 0 || rep.QueriesIssued != 0 || rep.MeanDelaySec != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestMedianDelay(t *testing.T) {
+	c := NewCollector()
+	for i, d := range []float64{10, 20, 90} {
+		c.QueryIssued(q(i, 0, 1000))
+		c.QueryDelivered(workload.QueryID(i), d)
+	}
+	rep := c.Report()
+	if rep.MedianDelaySec != 20 {
+		t.Errorf("median = %v, want 20", rep.MedianDelaySec)
+	}
+	if rep.P90DelaySec < 20 || rep.P90DelaySec > 90 {
+		t.Errorf("p90 = %v", rep.P90DelaySec)
+	}
+}
+
+func TestDelayPhases(t *testing.T) {
+	c := NewCollector()
+	c.DelayPhases(10, 5, 20)
+	c.DelayPhases(20, 15, 40)
+	rep := c.Report()
+	if rep.PhaseSamples != 2 {
+		t.Fatalf("samples = %d", rep.PhaseSamples)
+	}
+	want := [3]float64{15, 10, 30}
+	if rep.MeanPhaseSec != want {
+		t.Errorf("phases = %v, want %v", rep.MeanPhaseSec, want)
+	}
+}

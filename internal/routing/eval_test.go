@@ -1,0 +1,113 @@
+package routing
+
+import (
+	"testing"
+
+	"dtncache/internal/graph"
+	"dtncache/internal/trace"
+)
+
+func evalTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, _, err := trace.Generate(trace.GenConfig{
+		Name: "routing-test", Nodes: 25, DurationSec: 4 * 86400,
+		GranularitySec: 60, TargetContacts: 20000,
+		ActivityAlpha: 1.4, ActivityMax: 10, EdgeProb: 0.5,
+		PairSkewAlpha: 0.9, PairSkewMax: 50, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func evalCfg() EvalConfig {
+	return EvalConfig{Messages: 150, LifetimeSec: 8 * 3600, Seed: 2}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	tr := evalTrace(t)
+	if _, err := Evaluate(tr, Epidemic{}, EvalConfig{}); err == nil {
+		t.Error("zero messages accepted")
+	}
+	if _, err := Evaluate(tr, Epidemic{}, EvalConfig{Messages: 5}); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+	bad := &trace.Trace{Nodes: 0}
+	if _, err := Evaluate(bad, Epidemic{}, evalCfg()); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestEvaluateStrategyOrdering(t *testing.T) {
+	tr := evalTrace(t)
+	cfg := evalCfg()
+
+	results := map[string]Result{}
+	est := graph.NewRateEstimator(tr.Nodes, 0)
+	for _, c := range tr.Contacts {
+		est.Observe(c.A, c.B)
+	}
+	g := est.Snapshot(tr.Duration)
+	paths := g.AllPaths(0)
+	gradient := &Gradient{Score: func(node, dst trace.NodeID) float64 {
+		return paths[node].Weight(dst, 3600)
+	}}
+	for _, s := range []Strategy{
+		DirectDelivery{}, FirstContact{}, Epidemic{}, SprayAndWait{},
+		NewPRoPHET(tr.Nodes), gradient,
+	} {
+		res, err := Evaluate(tr, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Messages != cfg.Messages {
+			t.Errorf("%s: messages = %d", s.Name(), res.Messages)
+		}
+		results[s.Name()] = res
+		t.Logf("%-14s delivery %.2f delay %.1fh tx/delivery %.1f",
+			s.Name(), res.DeliveryRatio, res.MeanDelaySec/3600,
+			res.TransmissionsPerDelivery)
+	}
+
+	epi := results["Epidemic"]
+	direct := results["DirectDelivery"]
+	spray := results["SprayAndWait"]
+
+	// Epidemic dominates delivery ratio (small messages, ample bandwidth).
+	for name, r := range results {
+		if r.DeliveryRatio > epi.DeliveryRatio+1e-9 {
+			t.Errorf("%s delivery %.3f exceeds epidemic %.3f", name,
+				r.DeliveryRatio, epi.DeliveryRatio)
+		}
+	}
+	// Direct delivery has exactly one transmission per delivered message.
+	if direct.Delivered > 0 && direct.Transmissions != direct.Delivered {
+		t.Errorf("direct transmissions %d != delivered %d",
+			direct.Transmissions, direct.Delivered)
+	}
+	// Spray-and-wait sits between direct and epidemic on both axes.
+	if spray.DeliveryRatio < direct.DeliveryRatio-0.05 {
+		t.Errorf("spray %.3f below direct %.3f", spray.DeliveryRatio, direct.DeliveryRatio)
+	}
+	if epi.Delivered > 0 && spray.Delivered > 0 &&
+		spray.TransmissionsPerDelivery > epi.TransmissionsPerDelivery {
+		t.Errorf("spray overhead %.1f above epidemic %.1f",
+			spray.TransmissionsPerDelivery, epi.TransmissionsPerDelivery)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	tr := evalTrace(t)
+	a, err := Evaluate(tr, SprayAndWait{}, evalCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(tr, SprayAndWait{}, evalCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,120 @@
+package routing
+
+import (
+	"math"
+
+	"dtncache/internal/trace"
+)
+
+// PRoPHET is the Probabilistic Routing Protocol using History of
+// Encounters and Transitivity (Lindgren, Doria, Schelén). Each node a
+// maintains a delivery predictability P(a,b) for every destination b:
+//
+//   - encounter:    P(a,b) = P(a,b) + (1 - P(a,b)) * PInit
+//   - aging:        P(a,b) = P(a,b) * gamma^(Δt / AgingUnit)
+//   - transitivity: P(a,c) = max(P(a,c), P(a,b) * P(b,c) * Beta)
+//
+// A carrier replicates a message to a peer whose predictability for the
+// destination is strictly higher than its own.
+type PRoPHET struct {
+	// PInit is the encounter increment (default 0.75).
+	PInit float64
+	// Gamma is the per-aging-unit decay (default 0.98).
+	Gamma float64
+	// Beta scales transitive predictability (default 0.25).
+	Beta float64
+	// AgingUnit is the aging time quantum in seconds (default 3600).
+	AgingUnit float64
+
+	n         int
+	p         []float64 // n*n: p[a*n+b] = P(a,b)
+	lastAging []float64 // per node, time of last aging
+}
+
+// NewPRoPHET creates the strategy for n nodes with the standard
+// parameters.
+func NewPRoPHET(n int) *PRoPHET {
+	return &PRoPHET{
+		PInit:     0.75,
+		Gamma:     0.98,
+		Beta:      0.25,
+		AgingUnit: 3600,
+		n:         n,
+		p:         make([]float64, n*n),
+		lastAging: make([]float64, n),
+	}
+}
+
+// Name implements Strategy.
+func (p *PRoPHET) Name() string { return "PRoPHET" }
+
+// P returns the current delivery predictability P(a,b).
+func (p *PRoPHET) P(a, b trace.NodeID) float64 {
+	if a == b {
+		return 1
+	}
+	if a < 0 || b < 0 || int(a) >= p.n || int(b) >= p.n {
+		return 0
+	}
+	return p.p[int(a)*p.n+int(b)]
+}
+
+// OnContact implements Strategy: ages both nodes' tables, applies the
+// encounter update symmetrically, then the transitivity rule.
+func (p *PRoPHET) OnContact(a, b trace.NodeID, at float64) {
+	if a == b || a < 0 || b < 0 || int(a) >= p.n || int(b) >= p.n {
+		return
+	}
+	p.age(a, at)
+	p.age(b, at)
+	p.bump(a, b)
+	p.bump(b, a)
+	p.transit(a, b)
+	p.transit(b, a)
+}
+
+func (p *PRoPHET) age(node trace.NodeID, at float64) {
+	dt := at - p.lastAging[node]
+	if dt <= 0 {
+		return
+	}
+	p.lastAging[node] = at
+	factor := math.Pow(p.Gamma, dt/p.AgingUnit)
+	row := p.p[int(node)*p.n : int(node)*p.n+p.n]
+	for i := range row {
+		row[i] *= factor
+	}
+}
+
+func (p *PRoPHET) bump(a, b trace.NodeID) {
+	i := int(a)*p.n + int(b)
+	p.p[i] += (1 - p.p[i]) * p.PInit
+}
+
+// transit applies P(a,c) = max(P(a,c), P(a,b)*P(b,c)*Beta) for all c.
+func (p *PRoPHET) transit(a, b trace.NodeID) {
+	pab := p.P(a, b)
+	rowA := p.p[int(a)*p.n : int(a)*p.n+p.n]
+	rowB := p.p[int(b)*p.n : int(b)*p.n+p.n]
+	for c := range rowA {
+		if trace.NodeID(c) == a || trace.NodeID(c) == b {
+			continue
+		}
+		if v := pab * rowB[c] * p.Beta; v > rowA[c] {
+			rowA[c] = v
+		}
+	}
+}
+
+// Decide implements Strategy.
+func (p *PRoPHET) Decide(m *Message, carrier, peer trace.NodeID, _ float64) Action {
+	if peer == m.Dst {
+		return Forward
+	}
+	if p.P(peer, m.Dst) > p.P(carrier, m.Dst) {
+		return Replicate
+	}
+	return Keep
+}
+
+var _ Strategy = (*PRoPHET)(nil)

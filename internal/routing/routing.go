@@ -1,0 +1,156 @@
+// Package routing implements the canonical DTN unicast forwarding
+// strategies that the paper's ecosystem builds on (Sec. II surveys
+// them): direct delivery, first contact, epidemic flooding, binary
+// spray-and-wait, PRoPHET, and gradient forwarding over
+// opportunistic-path weights. The caching schemes embed their own
+// forwarding logic; this package provides the strategies in isolation,
+// with an evaluation harness, both as a reusable substrate and as a
+// reference point for the delivery-ratio/overhead tradeoffs the caching
+// evaluation sits on.
+package routing
+
+import (
+	"dtncache/internal/trace"
+)
+
+// Message is one unicast message traveling from Src to Dst.
+type Message struct {
+	// ID is unique per evaluation.
+	ID int
+	// Src and Dst are the endpoints.
+	Src, Dst trace.NodeID
+	// Created and Deadline bound the message lifetime.
+	Created, Deadline float64
+	// SizeBits is the payload size.
+	SizeBits float64
+	// Copies is the remaining logical copy budget (spray strategies).
+	Copies int
+}
+
+// Expired reports whether the message is past its deadline at time now.
+func (m *Message) Expired(now float64) bool { return now >= m.Deadline }
+
+// Action is a strategy's decision for a carried message at a contact.
+type Action int
+
+// Possible decisions.
+const (
+	// Keep retains the message at the carrier.
+	Keep Action = iota
+	// Forward hands the message to the peer; custody moves.
+	Forward
+	// Replicate copies the message to the peer; both keep it.
+	Replicate
+)
+
+// Strategy is a DTN unicast forwarding strategy. Implementations may
+// keep internal state (e.g. PRoPHET's delivery predictabilities),
+// updated through OnContact.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// OnContact observes a contact between two nodes (both directions).
+	OnContact(a, b trace.NodeID, at float64)
+	// Decide returns what the carrier should do with m on a contact with
+	// peer.
+	Decide(m *Message, carrier, peer trace.NodeID, at float64) Action
+}
+
+// DirectDelivery hands the message only to its destination. It is the
+// minimum-overhead (single transmission) and maximum-delay strategy.
+type DirectDelivery struct{}
+
+// Name implements Strategy.
+func (DirectDelivery) Name() string { return "DirectDelivery" }
+
+// OnContact implements Strategy.
+func (DirectDelivery) OnContact(trace.NodeID, trace.NodeID, float64) {}
+
+// Decide implements Strategy.
+func (DirectDelivery) Decide(m *Message, _, peer trace.NodeID, _ float64) Action {
+	if peer == m.Dst {
+		return Forward
+	}
+	return Keep
+}
+
+// FirstContact hands the message to the first peer encountered (and to
+// every subsequent one), performing a random walk with single custody.
+type FirstContact struct{}
+
+// Name implements Strategy.
+func (FirstContact) Name() string { return "FirstContact" }
+
+// OnContact implements Strategy.
+func (FirstContact) OnContact(trace.NodeID, trace.NodeID, float64) {}
+
+// Decide implements Strategy.
+func (FirstContact) Decide(*Message, trace.NodeID, trace.NodeID, float64) Action {
+	return Forward
+}
+
+// Epidemic replicates the message to every encountered node that lacks
+// it: minimum delay, maximum transmissions (Vahdat & Becker).
+type Epidemic struct{}
+
+// Name implements Strategy.
+func (Epidemic) Name() string { return "Epidemic" }
+
+// OnContact implements Strategy.
+func (Epidemic) OnContact(trace.NodeID, trace.NodeID, float64) {}
+
+// Decide implements Strategy.
+func (Epidemic) Decide(*Message, trace.NodeID, trace.NodeID, float64) Action {
+	return Replicate
+}
+
+// SprayAndWait is binary spray-and-wait (Spyropoulos et al.): a message
+// starts with L logical copies; a carrier with more than one copy hands
+// half to any new peer, and a carrier with a single copy waits for the
+// destination.
+type SprayAndWait struct{}
+
+// Name implements Strategy.
+func (SprayAndWait) Name() string { return "SprayAndWait" }
+
+// OnContact implements Strategy.
+func (SprayAndWait) OnContact(trace.NodeID, trace.NodeID, float64) {}
+
+// Decide implements Strategy.
+func (SprayAndWait) Decide(m *Message, _, peer trace.NodeID, _ float64) Action {
+	if peer == m.Dst {
+		return Forward
+	}
+	if m.Copies > 1 {
+		return Replicate // evaluator halves the budget
+	}
+	return Keep
+}
+
+// GradientFunc scores how good a node is as a relay toward dst; larger
+// is better. The caching schemes use opportunistic-path weights here.
+type GradientFunc func(node, dst trace.NodeID) float64
+
+// Gradient forwards along strictly increasing relay scores (single
+// custody), exactly like the paper's relay selection (Sec. V-A).
+type Gradient struct {
+	// Score ranks candidate relays (required).
+	Score GradientFunc
+}
+
+// Name implements Strategy.
+func (*Gradient) Name() string { return "Gradient" }
+
+// OnContact implements Strategy.
+func (*Gradient) OnContact(trace.NodeID, trace.NodeID, float64) {}
+
+// Decide implements Strategy.
+func (g *Gradient) Decide(m *Message, carrier, peer trace.NodeID, _ float64) Action {
+	if peer == m.Dst {
+		return Forward
+	}
+	if g.Score(peer, m.Dst) > g.Score(carrier, m.Dst) {
+		return Forward
+	}
+	return Keep
+}

@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+func msg(src, dst trace.NodeID) *Message {
+	return &Message{ID: 0, Src: src, Dst: dst, Created: 0, Deadline: 100, Copies: 8}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	var s DirectDelivery
+	if s.Decide(msg(0, 2), 0, 1, 10) != Keep {
+		t.Error("handed to non-destination")
+	}
+	if s.Decide(msg(0, 2), 0, 2, 10) != Forward {
+		t.Error("did not deliver to destination")
+	}
+}
+
+func TestFirstContact(t *testing.T) {
+	var s FirstContact
+	if s.Decide(msg(0, 2), 0, 1, 10) != Forward {
+		t.Error("first contact must hand over")
+	}
+}
+
+func TestEpidemicStrategy(t *testing.T) {
+	var s Epidemic
+	if s.Decide(msg(0, 2), 0, 1, 10) != Replicate {
+		t.Error("epidemic must replicate")
+	}
+}
+
+func TestSprayAndWaitPhases(t *testing.T) {
+	var s SprayAndWait
+	m := msg(0, 2)
+	m.Copies = 4
+	if s.Decide(m, 0, 1, 10) != Replicate {
+		t.Error("spray phase must replicate")
+	}
+	m.Copies = 1
+	if s.Decide(m, 0, 1, 10) != Keep {
+		t.Error("wait phase must keep")
+	}
+	if s.Decide(m, 0, 2, 10) != Forward {
+		t.Error("wait phase must deliver to destination")
+	}
+}
+
+func TestGradientStrategy(t *testing.T) {
+	score := func(node, dst trace.NodeID) float64 {
+		// Node IDs closer to dst score higher.
+		return -math.Abs(float64(node - dst))
+	}
+	g := &Gradient{Score: score}
+	if g.Decide(msg(0, 5), 1, 3, 10) != Forward {
+		t.Error("should climb the gradient")
+	}
+	if g.Decide(msg(0, 5), 3, 1, 10) != Keep {
+		t.Error("should not descend the gradient")
+	}
+	if g.Decide(msg(0, 5), 1, 5, 10) != Forward {
+		t.Error("should deliver to destination")
+	}
+}
+
+func TestPRoPHETEncounterAndAging(t *testing.T) {
+	p := NewPRoPHET(3)
+	if p.P(0, 1) != 0 {
+		t.Error("initial predictability must be 0")
+	}
+	if p.P(0, 0) != 1 {
+		t.Error("self predictability must be 1")
+	}
+	p.OnContact(0, 1, 0)
+	if got := p.P(0, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("after encounter: %v, want 0.75", got)
+	}
+	if got := p.P(1, 0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("symmetric update missing: %v", got)
+	}
+	// Second encounter compounds (one second of aging first, hence the
+	// loose tolerance).
+	p.OnContact(0, 1, 1)
+	if got := p.P(0, 1); math.Abs(got-(0.75+0.25*0.75)) > 1e-4 {
+		t.Errorf("after 2nd encounter: %v", got)
+	}
+	// Aging decays predictability over a long gap.
+	before := p.P(0, 1)
+	p.OnContact(0, 2, 1+10*3600) // ten aging units later
+	after := p.P(0, 1)
+	want := before * math.Pow(0.98, 10)
+	if math.Abs(after-want) > 1e-9 {
+		t.Errorf("aged P = %v, want %v", after, want)
+	}
+}
+
+func TestPRoPHETTransitivity(t *testing.T) {
+	p := NewPRoPHET(3)
+	p.OnContact(1, 2, 0) // P(1,2) = 0.75
+	p.OnContact(0, 1, 0) // P(0,1) = 0.75; transitivity: P(0,2) >= 0.75*0.75*0.25
+	if got, want := p.P(0, 2), 0.75*0.75*0.25; got < want-1e-9 {
+		t.Errorf("transitive P(0,2) = %v, want >= %v", got, want)
+	}
+}
+
+func TestPRoPHETDecide(t *testing.T) {
+	p := NewPRoPHET(3)
+	p.OnContact(1, 2, 0) // node 1 knows node 2
+	m := msg(0, 2)
+	if p.Decide(m, 0, 1, 1) != Replicate {
+		t.Error("should replicate to a better-predicting peer")
+	}
+	if p.Decide(m, 1, 0, 1) != Keep {
+		t.Error("should keep against a worse-predicting peer")
+	}
+	if p.Decide(m, 1, 2, 1) != Forward {
+		t.Error("should deliver to destination")
+	}
+}
+
+func TestPRoPHETBoundsIgnored(t *testing.T) {
+	p := NewPRoPHET(2)
+	p.OnContact(0, 0, 5)  // self: ignored
+	p.OnContact(0, 9, 5)  // out of range: ignored
+	p.OnContact(-1, 0, 5) // negative: ignored
+	if p.P(0, 9) != 0 || p.P(0, 1) != 0 {
+		t.Error("invalid contacts mutated state")
+	}
+}

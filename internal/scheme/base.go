@@ -1,0 +1,386 @@
+package scheme
+
+import (
+	"sort"
+
+	"dtncache/internal/buffer"
+	"dtncache/internal/sim"
+	"dtncache/internal/trace"
+	"dtncache/internal/workload"
+)
+
+// QueryCarry is a query copy carried by a node toward a target (a
+// central node for the intentional scheme, the data source for the
+// baselines). Gradient forwarding keeps a single copy per target: the
+// relay deletes its copy after handing it to a better-positioned node.
+type QueryCarry struct {
+	Q workload.Query
+	// Target is the destination node of this copy.
+	Target trace.NodeID
+	// NCL is the index (into Env.NCLs) of the targeted central node, or
+	// -1 for baselines targeting the source.
+	NCL int
+	// Broadcast marks the copy as being flooded within an NCL's caching
+	// subgraph after reaching the central node (Sec. V-B).
+	Broadcast bool
+	// Copies is the remaining logical copy budget for spray-and-wait
+	// dissemination (0 or 1 means single-copy gradient forwarding).
+	Copies int
+}
+
+// key distinguishes copies of the same query aimed at different targets.
+func (qc *QueryCarry) key() queryKey {
+	return queryKey{ID: qc.Q.ID, Target: qc.Target}
+}
+
+type queryKey struct {
+	ID     workload.QueryID
+	Target trace.NodeID
+}
+
+// ReplyCarry is a data copy traveling back to a requester.
+type ReplyCarry struct {
+	Q    workload.Query
+	Item workload.DataItem
+}
+
+// Base bundles the per-node protocol state and forwarding machinery
+// every scheme shares: carried query copies, carried replies, per-node
+// request histories, and single-shot response bookkeeping.
+type Base struct {
+	E *Env
+	// queries[n] holds the query copies node n is carrying.
+	queries []map[queryKey]*QueryCarry
+	// replies[n] holds the reply copies node n is carrying.
+	replies []map[workload.QueryID]*ReplyCarry
+	// History[n] is node n's locally observed request history per item.
+	History []map[workload.DataID]*buffer.RequestStats
+	// responded[n] marks queries node n has already decided about.
+	responded []map[workload.QueryID]bool
+	// inflightQ/inflightR guard single-copy custody: a copy with an
+	// outstanding transfer on one contact must not be offered on a
+	// concurrent contact.
+	inflightQ map[inflight]bool
+	inflightR map[inflight]bool
+}
+
+// inflight identifies an outstanding transfer of a carried message.
+type inflight struct {
+	node   trace.NodeID
+	query  workload.QueryID
+	target trace.NodeID
+}
+
+// NewBase allocates the per-node state for the environment.
+func NewBase(e *Env) *Base {
+	b := &Base{
+		E:         e,
+		queries:   make([]map[queryKey]*QueryCarry, e.N),
+		replies:   make([]map[workload.QueryID]*ReplyCarry, e.N),
+		History:   make([]map[workload.DataID]*buffer.RequestStats, e.N),
+		responded: make([]map[workload.QueryID]bool, e.N),
+		inflightQ: make(map[inflight]bool),
+		inflightR: make(map[inflight]bool),
+	}
+	for i := 0; i < e.N; i++ {
+		b.queries[i] = make(map[queryKey]*QueryCarry)
+		b.replies[i] = make(map[workload.QueryID]*ReplyCarry)
+		b.History[i] = make(map[workload.DataID]*buffer.RequestStats)
+		b.responded[i] = make(map[workload.QueryID]bool)
+	}
+	return b
+}
+
+// Observe records a request occurrence for item id in node n's history.
+func (b *Base) Observe(n trace.NodeID, id workload.DataID, at float64) {
+	rs, ok := b.History[n][id]
+	if !ok {
+		rs = &buffer.RequestStats{}
+		b.History[n][id] = rs
+	}
+	rs.Observe(at)
+}
+
+// Stats returns node n's request history for item id (zero stats if
+// none).
+func (b *Base) Stats(n trace.NodeID, id workload.DataID) buffer.RequestStats {
+	if rs, ok := b.History[n][id]; ok {
+		return *rs
+	}
+	return buffer.RequestStats{}
+}
+
+// CarryQuery adds a query copy to node n (ignored if already carried or
+// expired).
+func (b *Base) CarryQuery(n trace.NodeID, qc *QueryCarry) {
+	if qc.Q.Deadline <= b.E.Sim.Now() {
+		return
+	}
+	k := qc.key()
+	if _, ok := b.queries[n][k]; ok {
+		return
+	}
+	b.queries[n][k] = qc
+}
+
+// DropQuery removes a query copy from node n.
+func (b *Base) DropQuery(n trace.NodeID, qc *QueryCarry) {
+	delete(b.queries[n], qc.key())
+}
+
+// Queries returns the query copies node n carries, in deterministic
+// order (by query ID then target).
+func (b *Base) Queries(n trace.NodeID) []*QueryCarry {
+	out := make([]*QueryCarry, 0, len(b.queries[n]))
+	for _, qc := range b.queries[n] {
+		out = append(out, qc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Q.ID != out[j].Q.ID {
+			return out[i].Q.ID < out[j].Q.ID
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// CarryReply adds a reply copy to node n (ignored if one for the same
+// query is already carried or the query expired).
+func (b *Base) CarryReply(n trace.NodeID, rc *ReplyCarry) {
+	if rc.Q.Deadline <= b.E.Sim.Now() {
+		return
+	}
+	if _, ok := b.replies[n][rc.Q.ID]; ok {
+		return
+	}
+	b.replies[n][rc.Q.ID] = rc
+}
+
+// DropReply removes a reply copy from node n.
+func (b *Base) DropReply(n trace.NodeID, id workload.QueryID) {
+	delete(b.replies[n], id)
+}
+
+// Replies returns the reply copies node n carries, ordered by query ID.
+func (b *Base) Replies(n trace.NodeID) []*ReplyCarry {
+	out := make([]*ReplyCarry, 0, len(b.replies[n]))
+	for _, rc := range b.replies[n] {
+		out = append(out, rc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Q.ID < out[j].Q.ID })
+	return out
+}
+
+// MarkResponded records that node n has made its one-shot response
+// decision for the query; it returns false if already decided.
+func (b *Base) MarkResponded(n trace.NodeID, id workload.QueryID) bool {
+	if b.responded[n][id] {
+		return false
+	}
+	b.responded[n][id] = true
+	return true
+}
+
+// SweepExpired drops expired query and reply copies everywhere, along
+// with the one-shot response decisions of expired queries. Schemes call
+// it from OnSweep.
+func (b *Base) SweepExpired(now float64) {
+	for n := 0; n < b.E.N; n++ {
+		for k, qc := range b.queries[n] {
+			if qc.Q.Deadline <= now {
+				delete(b.queries[n], k)
+			}
+		}
+		for id, rc := range b.replies[n] {
+			if rc.Q.Deadline <= now {
+				delete(b.replies[n], id)
+			}
+		}
+		for id := range b.responded[n] {
+			if int(id) < len(b.E.W.Queries) && b.E.W.Queries[id].Deadline <= now {
+				delete(b.responded[n], id)
+			}
+		}
+	}
+}
+
+// QueryArrival is the scheme-specific handler invoked when a query copy
+// reaches a node (its gradient target or any node during broadcast).
+type QueryArrival func(at trace.NodeID, qc *QueryCarry)
+
+// ForwardQueries enqueues query transfers from node `from` to its
+// session peer.
+//
+// A copy in the single-copy regime (Copies <= 1) is handed over when
+// the peer is the copy's target or has a strictly higher metric weight
+// toward the target; custody moves with it. A copy still in the spray
+// regime (Copies > 1, binary spray-and-wait) instead *replicates*: any
+// peer that has not seen the query receives half the copy budget, so
+// the query fans out quickly before focusing on the target. onArrive
+// runs at the receiver; copies in Broadcast mode are handled by the
+// intentional scheme separately.
+func (b *Base) ForwardQueries(s *sim.Session, from trace.NodeID, onArrive QueryArrival) {
+	to := s.Peer(from)
+	now := b.E.Sim.Now()
+	for _, qc := range b.Queries(from) {
+		qc := qc
+		if qc.Broadcast {
+			continue
+		}
+		if qc.Q.Deadline <= now {
+			b.DropQuery(from, qc)
+			continue
+		}
+		if qc.Copies > 1 && to != qc.Target {
+			b.sprayQuery(s, from, to, qc, onArrive)
+			continue
+		}
+		better := to == qc.Target ||
+			b.E.MetricWeight(to, qc.Target) > b.E.MetricWeight(from, qc.Target)
+		if !better {
+			continue
+		}
+		key := inflight{node: from, query: qc.Q.ID, target: qc.Target}
+		if b.inflightQ[key] {
+			continue
+		}
+		b.inflightQ[key] = true
+		s.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: b.E.Cfg.QueryBits, Label: "query",
+			OnDelivered: func(at float64) {
+				delete(b.inflightQ, key)
+				b.E.M.ControlTransferred(b.E.Cfg.QueryBits)
+				// Custody moves to the receiver.
+				b.DropQuery(from, qc)
+				if qc.Q.Deadline <= at {
+					return
+				}
+				b.CarryQuery(to, qc)
+				if onArrive != nil {
+					onArrive(to, qc)
+				}
+			},
+			OnDropped: func(float64) { delete(b.inflightQ, key) },
+		})
+	}
+}
+
+// sprayQuery hands half of a spray-mode copy's budget to a peer that
+// has not seen the query yet (binary spray-and-wait).
+func (b *Base) sprayQuery(s *sim.Session, from, to trace.NodeID, qc *QueryCarry, onArrive QueryArrival) {
+	if _, seen := b.queries[to][qc.key()]; seen {
+		return
+	}
+	key := inflight{node: from, query: qc.Q.ID, target: qc.Target}
+	if b.inflightQ[key] {
+		return
+	}
+	b.inflightQ[key] = true
+	s.Enqueue(sim.Transfer{
+		From: from, To: to, Bits: b.E.Cfg.QueryBits, Label: "query-spray",
+		OnDelivered: func(at float64) {
+			delete(b.inflightQ, key)
+			b.E.M.ControlTransferred(b.E.Cfg.QueryBits)
+			if qc.Q.Deadline <= at {
+				return
+			}
+			half := qc.Copies / 2
+			qc.Copies -= half
+			copyQC := &QueryCarry{
+				Q: qc.Q, Target: qc.Target, NCL: qc.NCL, Copies: half,
+			}
+			b.CarryQuery(to, copyQC)
+			if onArrive != nil {
+				onArrive(to, copyQC)
+			}
+		},
+		OnDropped: func(float64) { delete(b.inflightQ, key) },
+	})
+}
+
+// ReplyDelivered is invoked when a reply reaches its requester;
+// firstOnTime reports whether it satisfied the query.
+type ReplyDelivered func(rc *ReplyCarry, firstOnTime bool)
+
+// ReplyRelay is invoked when a reply copy lands on an intermediate relay
+// (pass-by data); incidental-caching baselines hook their caching
+// decision here.
+type ReplyRelay func(at trace.NodeID, rc *ReplyCarry)
+
+// ForwardReplies enqueues reply (data) transfers from `from` to its
+// session peer, moving each copy when the peer is the requester or has a
+// strictly higher weight toward the requester within the remaining time.
+func (b *Base) ForwardReplies(s *sim.Session, from trace.NodeID, onDelivered ReplyDelivered, onRelay ReplyRelay) {
+	to := s.Peer(from)
+	now := b.E.Sim.Now()
+	for _, rc := range b.Replies(from) {
+		rc := rc
+		if rc.Q.Deadline <= now {
+			b.DropReply(from, rc.Q.ID)
+			continue
+		}
+		req := rc.Q.Requester
+		remaining := rc.Q.Deadline - now
+		better := to == req ||
+			b.E.Weight(to, req, remaining) > b.E.Weight(from, req, remaining)
+		if !better {
+			continue
+		}
+		key := inflight{node: from, query: rc.Q.ID}
+		if b.inflightR[key] {
+			continue
+		}
+		b.inflightR[key] = true
+		s.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: rc.Item.SizeBits, Label: "reply",
+			OnDelivered: func(at float64) {
+				delete(b.inflightR, key)
+				b.E.M.DataTransferred(rc.Item.SizeBits)
+				b.DropReply(from, rc.Q.ID)
+				if to == req {
+					first := b.E.M.QueryDelivered(rc.Q.ID, at)
+					if onDelivered != nil {
+						onDelivered(rc, first)
+					}
+					return
+				}
+				b.CarryReply(to, rc)
+				if onRelay != nil {
+					onRelay(to, rc)
+				}
+			},
+			OnDropped: func(float64) { delete(b.inflightR, key) },
+		})
+	}
+}
+
+// Respond creates a reply at node n for query qc if n can serve the data
+// and has not decided before. Central or source nodes pass force=true to
+// bypass the probabilistic decision. It returns true if a reply was
+// created.
+func (b *Base) Respond(n trace.NodeID, qc *QueryCarry, force bool) bool {
+	e := b.E
+	now := e.Sim.Now()
+	if qc.Q.Deadline <= now || !e.HasData(n, qc.Q.Data) {
+		return false
+	}
+	if !b.MarkResponded(n, qc.Q.ID) {
+		return false
+	}
+	if !force {
+		p := e.ResponseProb(n, qc.Q.Requester, qc.Q)
+		if !e.Rng.Bernoulli(p) {
+			return false
+		}
+	}
+	item, ok := e.OwnData(n, qc.Q.Data)
+	if !ok {
+		en := e.Buffers[n].Get(qc.Q.Data)
+		if en == nil {
+			return false
+		}
+		item = en.Data
+	}
+	b.CarryReply(n, &ReplyCarry{Q: qc.Q, Item: item})
+	return true
+}

@@ -1,0 +1,479 @@
+// Package scheme hosts the protocol environment shared by every data
+// access scheme in the evaluation (Sec. VI) and the four comparison
+// baselines: NoCache, RandomCache, CacheData [29] and BundleCache [23].
+// The paper's intentional NCL caching scheme itself lives in
+// internal/core and plugs into the same environment.
+//
+// The environment owns everything a DTN data-access protocol needs:
+// per-node buffers, the online contact-rate estimator, periodically
+// refreshed opportunistic-path knowledge, the workload schedule, and
+// metric collection. Schemes only implement reactions to data
+// generation, queries and contacts.
+package scheme
+
+import (
+	"errors"
+	"fmt"
+
+	"dtncache/internal/buffer"
+	"dtncache/internal/graph"
+	"dtncache/internal/mathx"
+	"dtncache/internal/metrics"
+	"dtncache/internal/sim"
+	"dtncache/internal/trace"
+	"dtncache/internal/workload"
+)
+
+// NCLStrategy selects how the K central nodes are chosen at the end of
+// warm-up. The paper uses the probabilistic metric of Eq. (3); the other
+// strategies are ablation baselines quantifying what the metric buys.
+type NCLStrategy int
+
+// NCL selection strategies.
+const (
+	// NCLByMetric selects the top-K nodes by the Eq. (3) metric (the
+	// paper's scheme; default).
+	NCLByMetric NCLStrategy = iota
+	// NCLByDegree selects the K nodes with the most distinct contact
+	// peers.
+	NCLByDegree
+	// NCLByContacts selects the K nodes with the most total contacts.
+	NCLByContacts
+	// NCLRandom selects K nodes uniformly at random.
+	NCLRandom
+)
+
+// ResponseMode selects how a caching node decides whether to return data
+// to a requester (Sec. V-C).
+type ResponseMode int
+
+// Response modes.
+const (
+	// ResponseGlobal uses the true delivery probability p_CR(T_q - t0)
+	// from full opportunistic-path knowledge.
+	ResponseGlobal ResponseMode = iota + 1
+	// ResponseSigmoid uses Eq. (4), which only needs the remaining time.
+	ResponseSigmoid
+	// ResponseAlways replies unconditionally (ablation baseline).
+	ResponseAlways
+)
+
+// Config carries every tunable of a simulation run.
+type Config struct {
+	// MetricT is the time horizon T for path weights and the NCL metric
+	// (Sec. IV-B uses 1h for Infocom, 1 week for Reality, 3 days for
+	// UCSD).
+	MetricT float64
+	// MaxHops caps opportunistic path length (graph.DefaultMaxHops if 0).
+	MaxHops int
+	// RefreshSec is the knowledge-refresh period: contact rates are
+	// re-snapshotted and all-pairs paths recomputed.
+	RefreshSec float64
+	// SweepSec is the housekeeping period: expired data and queries are
+	// dropped and caching-overhead samples taken.
+	SweepSec float64
+	// QueryBits is the size of a query/control message (default 80 kb).
+	QueryBits float64
+	// Response selects the probabilistic response mode; PMin/PMax
+	// parameterize the sigmoid (defaults 0.45/0.8 as in Fig. 7).
+	Response   ResponseMode
+	PMin, PMax float64
+	// NCLCount is K, the number of central nodes (intentional scheme).
+	NCLCount int
+	// NCLSelection picks the central-node selection strategy
+	// (NCLByMetric, the paper's, by default).
+	NCLSelection NCLStrategy
+	// QuantBits is the knapsack size quantum (default 5 Mb).
+	QuantBits float64
+	// BufferMinBits/BufferMaxBits bound the uniform per-node buffer
+	// capacity (paper: 200-600 Mb).
+	BufferMinBits, BufferMaxBits float64
+	// WarmupEnd is when NCL selection happens and data/queries begin
+	// (paper: half the trace).
+	WarmupEnd float64
+	// ProbabilisticSelection toggles Algorithm 1 during cache
+	// replacement; off means the pure knapsack of Eq. (7) (ablation).
+	ProbabilisticSelection bool
+	// PopularityFromFirst selects the literal (t_e - t_1) variant of
+	// Eq. (6) instead of the remaining-lifetime reading (ablation).
+	PopularityFromFirst bool
+	// Bandwidth is the contact link bandwidth (sim.DefaultBandwidth if 0).
+	Bandwidth float64
+	// DropProb injects random transfer failures (0 = off).
+	DropProb float64
+	// Seed drives all run randomness (coin flips, buffer sizes).
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default parameters for a trace of
+// the given duration: warm-up for half the trace, 200-600 Mb buffers,
+// sigmoid response with p_min 0.45 / p_max 0.8, K = 8 NCLs, Algorithm 1
+// enabled.
+func DefaultConfig(traceDuration float64) Config {
+	return Config{
+		MetricT:                7 * 86400,
+		MaxHops:                graph.DefaultMaxHops,
+		RefreshSec:             traceDuration / 100,
+		SweepSec:               traceDuration / 200,
+		QueryBits:              80e3,
+		Response:               ResponseSigmoid,
+		PMin:                   0.45,
+		PMax:                   0.8,
+		NCLCount:               8,
+		QuantBits:              5e6,
+		BufferMinBits:          200e6,
+		BufferMaxBits:          600e6,
+		WarmupEnd:              traceDuration / 2,
+		ProbabilisticSelection: true,
+		Seed:                   1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.MetricT <= 0:
+		return errors.New("scheme: MetricT must be positive")
+	case c.RefreshSec <= 0 || c.SweepSec <= 0:
+		return errors.New("scheme: refresh and sweep periods must be positive")
+	case c.QueryBits < 0:
+		return errors.New("scheme: QueryBits must be >= 0")
+	case c.Response < ResponseGlobal || c.Response > ResponseAlways:
+		return errors.New("scheme: unknown response mode")
+	case c.NCLCount < 0:
+		return errors.New("scheme: NCLCount must be >= 0")
+	case c.QuantBits <= 0:
+		return errors.New("scheme: QuantBits must be positive")
+	case c.BufferMinBits <= 0 || c.BufferMaxBits < c.BufferMinBits:
+		return errors.New("scheme: buffer bounds must satisfy 0 < min <= max")
+	case c.WarmupEnd < 0:
+		return errors.New("scheme: WarmupEnd must be >= 0")
+	case c.DropProb < 0 || c.DropProb > 1:
+		return errors.New("scheme: DropProb must be in [0,1]")
+	}
+	if c.Response == ResponseSigmoid {
+		if !(c.PMax > 0 && c.PMax <= 1) || !(c.PMin > c.PMax/2 && c.PMin < c.PMax) {
+			return errors.New("scheme: sigmoid needs 0 < pmax <= 1 and pmax/2 < pmin < pmax")
+		}
+	}
+	return nil
+}
+
+// Scheme is one data access protocol under evaluation.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Init is called once, after the Env is fully constructed and before
+	// the simulation starts.
+	Init(e *Env) error
+	// OnData fires when a node generates a new data item (the item is
+	// already registered as the source's own data).
+	OnData(item workload.DataItem)
+	// OnQuery fires when a node issues a query (already counted).
+	OnQuery(q workload.Query)
+	// OnContactStart fires for every contact; schemes enqueue transfers.
+	OnContactStart(s *sim.Session)
+	// OnContactEnd fires when a contact closes.
+	OnContactEnd(s *sim.Session)
+	// OnSweep fires every Config.SweepSec for housekeeping.
+	OnSweep(now float64)
+}
+
+// Env is the shared simulation environment.
+type Env struct {
+	Cfg     Config
+	Sim     *sim.Simulator
+	Driver  *sim.Driver
+	Trace   *trace.Trace
+	W       *workload.Workload
+	N       int
+	Buffers []*buffer.Buffer
+	Est     *graph.RateEstimator
+	M       *metrics.Collector
+	Rng     *mathx.Rand
+
+	scheme Scheme
+	sig    *mathx.ResponseSigmoid
+
+	// knowledge
+	g     *graph.Graph
+	paths []*graph.Paths
+	ncls  []trace.NodeID
+
+	// ownData[n] holds items generated by node n (sources always retain
+	// their own live data, outside the caching buffer).
+	ownData []map[workload.DataID]workload.DataItem
+}
+
+// NewEnv wires a full simulation: trace replay, workload schedule,
+// knowledge refresh, housekeeping, and the scheme's hooks.
+func NewEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Config.Nodes != tr.Nodes {
+		return nil, errors.New("scheme: workload and trace node counts differ")
+	}
+	e := &Env{
+		Cfg:     cfg,
+		Sim:     sim.New(),
+		Trace:   tr,
+		W:       w,
+		N:       tr.Nodes,
+		Est:     graph.NewRateEstimator(tr.Nodes, 0),
+		M:       metrics.NewCollector(),
+		Rng:     mathx.NewRand(cfg.Seed),
+		scheme:  s,
+		ownData: make([]map[workload.DataID]workload.DataItem, tr.Nodes),
+	}
+	bufRng := e.Rng.Derive("buffers")
+	e.Buffers = make([]*buffer.Buffer, e.N)
+	for i := range e.Buffers {
+		e.Buffers[i] = buffer.New(bufRng.Uniform(cfg.BufferMinBits, cfg.BufferMaxBits))
+		e.ownData[i] = make(map[workload.DataID]workload.DataItem)
+	}
+	opts := []sim.DriverOption{}
+	if cfg.Bandwidth > 0 {
+		opts = append(opts, sim.WithBandwidth(cfg.Bandwidth))
+	}
+	if cfg.DropProb > 0 {
+		opts = append(opts, sim.WithDropProb(cfg.DropProb, e.Rng.Derive("faults")))
+	}
+	e.Driver = sim.NewDriver(e.Sim, e, opts...)
+	if err := e.Driver.Load(tr); err != nil {
+		return nil, err
+	}
+	// Empty knowledge until the first refresh.
+	e.g = graph.NewGraph(e.N)
+	e.paths = e.g.AllPaths(cfg.MaxHops)
+
+	if cfg.Response == ResponseSigmoid {
+		tq := w.Config.AvgLifetime / 2
+		sig, err := mathx.NewResponseSigmoid(cfg.PMin, cfg.PMax, tq)
+		if err != nil {
+			return nil, err
+		}
+		e.sig = sig
+	}
+	// Maintenance first: the knowledge refresh (and NCL selection) at
+	// WarmupEnd must fire before workload events scheduled at the same
+	// instant.
+	if err := e.scheduleMaintenance(); err != nil {
+		return nil, err
+	}
+	if err := e.scheduleWorkload(); err != nil {
+		return nil, err
+	}
+	if err := s.Init(e); err != nil {
+		return nil, fmt.Errorf("scheme %s init: %w", s.Name(), err)
+	}
+	return e, nil
+}
+
+// Run executes the simulation to the end of the trace and returns the
+// metric report.
+func (e *Env) Run() metrics.Report {
+	e.Sim.RunUntil(e.Trace.Duration)
+	return e.M.Report()
+}
+
+// --- sim.Handler ---
+
+// ContactStart implements sim.Handler.
+func (e *Env) ContactStart(s *sim.Session) {
+	e.Est.Observe(s.A, s.B)
+	e.scheme.OnContactStart(s)
+}
+
+// ContactEnd implements sim.Handler.
+func (e *Env) ContactEnd(s *sim.Session) { e.scheme.OnContactEnd(s) }
+
+// --- workload & maintenance scheduling ---
+
+func (e *Env) scheduleWorkload() error {
+	for _, item := range e.W.Data {
+		item := item
+		if err := e.Sim.Schedule(item.Created, func() {
+			e.ownData[item.Source][item.ID] = item
+			e.scheme.OnData(item)
+		}); err != nil {
+			return err
+		}
+	}
+	for _, q := range e.W.Queries {
+		q := q
+		if err := e.Sim.Schedule(q.Issued, func() {
+			// A requester that already holds the data would not query the
+			// network at all.
+			if e.Buffers[q.Requester].Has(q.Data) {
+				return
+			}
+			e.M.QueryIssued(q)
+			e.scheme.OnQuery(q)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Env) scheduleMaintenance() error {
+	// Knowledge refreshes start at the end of warm-up (NCL selection
+	// happens then) and repeat every RefreshSec.
+	if _, err := e.Sim.Every(e.Cfg.WarmupEnd, e.Cfg.RefreshSec, e.refreshKnowledge); err != nil {
+		return err
+	}
+	if _, err := e.Sim.Every(e.Cfg.WarmupEnd+e.Cfg.SweepSec, e.Cfg.SweepSec, e.sweep); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Env) refreshKnowledge() {
+	now := e.Sim.Now()
+	e.g = e.Est.Snapshot(now)
+	e.paths = e.g.AllPaths(e.Cfg.MaxHops)
+	if e.ncls == nil && e.Cfg.NCLCount > 0 {
+		// One-time NCL selection at the end of warm-up; the paper keeps
+		// the selected NCLs fixed during data access (Sec. IV-A).
+		e.ncls = e.selectNCLs()
+	}
+}
+
+func (e *Env) sweep() {
+	now := e.Sim.Now()
+	for n := range e.Buffers {
+		e.Buffers[n].DropExpired(now)
+		for id, item := range e.ownData[n] {
+			if item.Expired(now) {
+				delete(e.ownData[n], id)
+			}
+		}
+	}
+	e.scheme.OnSweep(now)
+	e.sampleCaching(now)
+}
+
+// sampleCaching records the caching overhead: average number of cached
+// copies per live data item, plus buffer occupancy.
+func (e *Env) sampleCaching(now float64) {
+	copies := make(map[workload.DataID]int)
+	var used, capacity float64
+	for _, b := range e.Buffers {
+		used += b.Used()
+		capacity += b.Capacity()
+		for _, en := range b.Entries() {
+			if !en.Data.Expired(now) {
+				copies[en.Data.ID]++
+			}
+		}
+	}
+	live := 0
+	total := 0
+	for _, d := range e.W.Data {
+		if d.Live(now) {
+			live++
+			total += copies[d.ID]
+		}
+	}
+	if live > 0 {
+		e.M.SampleCopies(float64(total) / float64(live))
+	}
+	if capacity > 0 {
+		e.M.SampleBufferUse(used / capacity)
+	}
+}
+
+// --- knowledge & helpers for schemes ---
+
+// selectNCLs ranks nodes per the configured strategy and returns the
+// top K.
+func (e *Env) selectNCLs() []trace.NodeID {
+	scores := make([]float64, e.N)
+	switch e.Cfg.NCLSelection {
+	case NCLByDegree:
+		for n := 0; n < e.N; n++ {
+			scores[n] = float64(len(e.g.Neighbors(trace.NodeID(n))))
+		}
+	case NCLByContacts:
+		for n := 0; n < e.N; n++ {
+			scores[n] = float64(e.Est.NodeContacts(trace.NodeID(n)))
+		}
+	case NCLRandom:
+		rng := e.Rng.Derive("ncl-random")
+		for n, p := range rng.Perm(e.N) {
+			scores[n] = float64(p)
+		}
+	default: // NCLByMetric, the paper's Eq. (3)
+		scores = e.g.Metrics(e.Cfg.MetricT, e.Cfg.MaxHops)
+	}
+	return graph.SelectNCLs(scores, e.Cfg.NCLCount)
+}
+
+// Graph returns the latest contact-graph snapshot.
+func (e *Env) Graph() *graph.Graph { return e.g }
+
+// NCLs returns the selected central nodes (nil before warm-up ends or
+// when NCLCount is 0), ordered by descending metric.
+func (e *Env) NCLs() []trace.NodeID { return e.ncls }
+
+// Weight returns the opportunistic-path weight p_ab(t) under current
+// knowledge.
+func (e *Env) Weight(a, b trace.NodeID, t float64) float64 {
+	if a == b {
+		return 1
+	}
+	return e.paths[a].Weight(b, t)
+}
+
+// MetricWeight is Weight evaluated at the configured horizon T; it is
+// the relay-selection metric for gradient forwarding.
+func (e *Env) MetricWeight(a, b trace.NodeID) float64 {
+	return e.Weight(a, b, e.Cfg.MetricT)
+}
+
+// OwnData returns the item if node n generated it and it is still live.
+func (e *Env) OwnData(n trace.NodeID, id workload.DataID) (workload.DataItem, bool) {
+	item, ok := e.ownData[n][id]
+	if !ok || item.Expired(e.Sim.Now()) {
+		return workload.DataItem{}, false
+	}
+	return item, true
+}
+
+// HasData reports whether node n can serve data id right now, either
+// from its caching buffer or as the original source.
+func (e *Env) HasData(n trace.NodeID, id workload.DataID) bool {
+	if en := e.Buffers[n].Get(id); en != nil && !en.Data.Expired(e.Sim.Now()) {
+		return true
+	}
+	_, ok := e.OwnData(n, id)
+	return ok
+}
+
+// ResponseProb returns the probability with which caching node c should
+// return data for query q right now (Sec. V-C). Central nodes reply
+// deterministically; this is for ordinary caching nodes.
+func (e *Env) ResponseProb(c, requester trace.NodeID, q workload.Query) float64 {
+	remaining := q.Deadline - e.Sim.Now()
+	if remaining <= 0 {
+		return 0
+	}
+	switch e.Cfg.Response {
+	case ResponseGlobal:
+		return e.Weight(c, requester, remaining)
+	case ResponseSigmoid:
+		return e.sig.Prob(remaining)
+	default:
+		return 1
+	}
+}
+
+// Popularity evaluates Eq. (6) for stats rs of an item expiring at
+// expires, honoring the configured Eq. (6) variant.
+func (e *Env) Popularity(rs *buffer.RequestStats, expires float64) float64 {
+	return rs.Popularity(e.Sim.Now(), expires, e.Cfg.PopularityFromFirst)
+}

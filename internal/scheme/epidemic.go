@@ -1,0 +1,139 @@
+package scheme
+
+import (
+	"dtncache/internal/sim"
+	"dtncache/internal/trace"
+	"dtncache/internal/workload"
+)
+
+// Epidemic is a flooding reference scheme (Vahdat & Becker's Epidemic
+// routing, the origin of DTN forwarding per Sec. II): queries replicate
+// to every contacted node, any node holding the data replies, and
+// replies replicate likewise. Subject to link bandwidth it approaches
+// the minimum achievable access delay, at maximal transmission overhead
+// — a useful upper-bound reference that the paper's related work builds
+// from, though it is not one of the Fig. 10 comparison schemes.
+type Epidemic struct {
+	base *Base
+}
+
+// NewEpidemic creates the scheme.
+func NewEpidemic() *Epidemic { return &Epidemic{} }
+
+// Name implements Scheme.
+func (s *Epidemic) Name() string { return "Epidemic" }
+
+// Init implements Scheme.
+func (s *Epidemic) Init(e *Env) error {
+	s.base = NewBase(e)
+	return nil
+}
+
+// OnData implements Scheme.
+func (s *Epidemic) OnData(workload.DataItem) {}
+
+// OnQuery implements Scheme.
+func (s *Epidemic) OnQuery(q workload.Query) {
+	item, ok := s.base.E.W.Item(q.Data)
+	if !ok || q.Requester == item.Source {
+		return
+	}
+	// Flooded copies carry no specific target; Target records the source
+	// only so distinct queries for the same data stay distinguishable.
+	s.base.CarryQuery(q.Requester, &QueryCarry{Q: q, Target: item.Source, NCL: -1})
+}
+
+// OnContactStart implements Scheme: replicate queries and replies in
+// both directions; holders respond.
+func (s *Epidemic) OnContactStart(sess *sim.Session) {
+	for _, from := range []trace.NodeID{sess.A, sess.B} {
+		s.floodQueries(sess, from)
+		s.floodReplies(sess, from)
+	}
+}
+
+func (s *Epidemic) floodQueries(sess *sim.Session, from trace.NodeID) {
+	e := s.base.E
+	to := sess.Peer(from)
+	now := e.Sim.Now()
+	for _, qc := range s.base.Queries(from) {
+		qc := qc
+		if qc.Q.Deadline <= now {
+			s.base.DropQuery(from, qc)
+			continue
+		}
+		if s.carriesQuery(to, qc) {
+			continue
+		}
+		copyQC := &QueryCarry{Q: qc.Q, Target: qc.Target, NCL: -1}
+		sess.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: e.Cfg.QueryBits, Label: "epidemic-query",
+			OnDelivered: func(at float64) {
+				e.M.ControlTransferred(e.Cfg.QueryBits)
+				if copyQC.Q.Deadline <= at {
+					return
+				}
+				s.base.CarryQuery(to, copyQC)
+				if e.HasData(to, copyQC.Q.Data) && s.base.Respond(to, copyQC, true) {
+					s.floodReplies(sess, to)
+				}
+			},
+		})
+	}
+}
+
+func (s *Epidemic) floodReplies(sess *sim.Session, from trace.NodeID) {
+	e := s.base.E
+	to := sess.Peer(from)
+	now := e.Sim.Now()
+	for _, rc := range s.base.Replies(from) {
+		rc := rc
+		if rc.Q.Deadline <= now {
+			s.base.DropReply(from, rc.Q.ID)
+			continue
+		}
+		if s.carriesReply(to, rc.Q.ID) {
+			continue
+		}
+		sess.Enqueue(sim.Transfer{
+			From: from, To: to, Bits: rc.Item.SizeBits, Label: "epidemic-reply",
+			OnDelivered: func(at float64) {
+				e.M.DataTransferred(rc.Item.SizeBits)
+				if to == rc.Q.Requester {
+					e.M.QueryDelivered(rc.Q.ID, at)
+					return
+				}
+				s.base.CarryReply(to, rc)
+			},
+		})
+	}
+}
+
+// carriesQuery reports whether node n already has this query copy.
+func (s *Epidemic) carriesQuery(n trace.NodeID, qc *QueryCarry) bool {
+	for _, have := range s.base.Queries(n) {
+		if have.Q.ID == qc.Q.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesReply reports whether node n already carries a reply for the
+// query.
+func (s *Epidemic) carriesReply(n trace.NodeID, id workload.QueryID) bool {
+	for _, have := range s.base.Replies(n) {
+		if have.Q.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// OnContactEnd implements Scheme.
+func (s *Epidemic) OnContactEnd(*sim.Session) {}
+
+// OnSweep implements Scheme.
+func (s *Epidemic) OnSweep(now float64) { s.base.SweepExpired(now) }
+
+var _ Scheme = (*Epidemic)(nil)

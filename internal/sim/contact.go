@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"errors"
+	"sort"
+
+	"dtncache/internal/mathx"
+	"dtncache/internal/trace"
+)
+
+// Transfer is one message movement over an active contact. Sizes are in
+// bits so they divide naturally by the link bandwidth in bits/second.
+type Transfer struct {
+	// From and To are the endpoints; both must belong to the session.
+	From, To trace.NodeID
+	// Bits is the message size; zero-size transfers complete immediately.
+	Bits float64
+	// Label tags the transfer for diagnostics and metrics ("data", "query", ...).
+	Label string
+	// OnDelivered fires when the transfer completes. It may enqueue
+	// further transfers on the same (or another active) session.
+	OnDelivered func(at Time)
+	// OnDropped fires if the contact ends (or failure injection strikes)
+	// before the transfer completes. Optional.
+	OnDropped func(at Time)
+}
+
+// Session is one active contact with a serially-shared link, mirroring a
+// Bluetooth pairing: transfers are served FIFO at the configured
+// bandwidth and anything unfinished when the contact ends is dropped.
+type Session struct {
+	A, B       trace.NodeID
+	Start, End Time
+
+	driver   *Driver
+	queue    []Transfer
+	busy     bool
+	closed   bool
+	sentBits float64
+}
+
+// Peer returns the other endpoint, or -1 if n is not part of the session.
+func (s *Session) Peer(n trace.NodeID) trace.NodeID {
+	switch n {
+	case s.A:
+		return s.B
+	case s.B:
+		return s.A
+	default:
+		return -1
+	}
+}
+
+// Closed reports whether the contact has ended.
+func (s *Session) Closed() bool { return s.closed }
+
+// SentBits returns the number of bits delivered so far on this contact.
+func (s *Session) SentBits() float64 { return s.sentBits }
+
+// Enqueue schedules a transfer on this contact. It returns false if the
+// session has already closed or the endpoints do not match the contact.
+func (s *Session) Enqueue(t Transfer) bool {
+	if s.closed {
+		return false
+	}
+	if !(t.From == s.A && t.To == s.B) && !(t.From == s.B && t.To == s.A) {
+		return false
+	}
+	if t.Bits < 0 {
+		return false
+	}
+	s.queue = append(s.queue, t)
+	if !s.busy {
+		s.startNext()
+	}
+	return true
+}
+
+// startNext begins the next queued transfer, scheduling its completion.
+func (s *Session) startNext() {
+	for len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		d := s.driver
+		dur := t.Bits / d.bandwidth
+		done := d.sim.Now() + dur
+		if done > s.End {
+			// Does not fit in the remaining contact time: it will be
+			// reported dropped when the contact closes. Everything behind
+			// it in the FIFO cannot fit either.
+			s.queue = append([]Transfer{t}, s.queue...)
+			return
+		}
+		dropped := d.dropProb > 0 && d.rng.Bernoulli(d.dropProb)
+		s.busy = true
+		tt := t
+		// Scheduling relative to now never fails.
+		_ = d.sim.Schedule(done, func() {
+			s.busy = false
+			if s.closed {
+				if tt.OnDropped != nil {
+					tt.OnDropped(d.sim.Now())
+				}
+				return
+			}
+			if dropped {
+				d.droppedTransfers++
+				if tt.OnDropped != nil {
+					tt.OnDropped(d.sim.Now())
+				}
+			} else {
+				s.sentBits += tt.Bits
+				d.deliveredTransfers++
+				d.deliveredByLabel[tt.Label]++
+				d.bitsByLabel[tt.Label] += tt.Bits
+				if tt.OnDelivered != nil {
+					tt.OnDelivered(d.sim.Now())
+				}
+			}
+			if !s.closed && !s.busy {
+				s.startNext()
+			}
+		})
+		return
+	}
+}
+
+// close ends the session, dropping all queued transfers.
+func (s *Session) close(at Time) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, t := range s.queue {
+		if t.OnDropped != nil {
+			t.OnDropped(at)
+		}
+	}
+	s.queue = nil
+}
+
+// Handler receives contact lifecycle callbacks. Implementations hold the
+// protocol logic (caching scheme, routing).
+type Handler interface {
+	// ContactStart fires when a contact begins. The handler reacts by
+	// enqueueing transfers on the session.
+	ContactStart(s *Session)
+	// ContactEnd fires when the contact closes, after pending transfers
+	// have been dropped.
+	ContactEnd(s *Session)
+}
+
+// DriverOption configures a Driver.
+type DriverOption func(*Driver)
+
+// WithBandwidth sets the link bandwidth in bits/second. The default is
+// 2.1 Mb/s (Bluetooth EDR, as in the paper's setup).
+func WithBandwidth(bitsPerSec float64) DriverOption {
+	return func(d *Driver) { d.bandwidth = bitsPerSec }
+}
+
+// WithDropProb enables failure injection: each transfer independently
+// fails with probability p even if it fits in the contact.
+func WithDropProb(p float64, rng *mathx.Rand) DriverOption {
+	return func(d *Driver) { d.dropProb = p; d.rng = rng }
+}
+
+// DefaultBandwidth is 2.1 Mb/s in bits per second.
+const DefaultBandwidth = 2.1e6
+
+// Driver replays a contact trace into a Simulator, creating Sessions and
+// invoking the Handler.
+type Driver struct {
+	sim       *Simulator
+	handler   Handler
+	bandwidth float64
+	dropProb  float64
+	rng       *mathx.Rand
+
+	active map[[2]trace.NodeID]*Session
+
+	deliveredTransfers int
+	droppedTransfers   int
+	mergedContacts     int
+	deliveredByLabel   map[string]int
+	bitsByLabel        map[string]float64
+}
+
+// NewDriver creates a driver bound to the simulator and handler.
+func NewDriver(s *Simulator, h Handler, opts ...DriverOption) *Driver {
+	d := &Driver{
+		sim:              s,
+		handler:          h,
+		bandwidth:        DefaultBandwidth,
+		active:           make(map[[2]trace.NodeID]*Session),
+		deliveredByLabel: make(map[string]int),
+		bitsByLabel:      make(map[string]float64),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Stats returns delivered/dropped transfer counts and the number of
+// overlapping same-pair contacts merged at load time.
+func (d *Driver) Stats() (delivered, dropped, merged int) {
+	return d.deliveredTransfers, d.droppedTransfers, d.mergedContacts
+}
+
+// LabelStats returns the delivered transfer count and total bits for a
+// transfer label ("push", "query", "reply", ...), letting experiments
+// break traffic down by protocol function.
+func (d *Driver) LabelStats(label string) (delivered int, bits float64) {
+	return d.deliveredByLabel[label], d.bitsByLabel[label]
+}
+
+// Session returns the active session between a and b, or nil.
+func (d *Driver) Session(a, b trace.NodeID) *Session {
+	return d.active[pairKey(a, b)]
+}
+
+// ActivePeers returns the nodes currently in contact with n, in
+// deterministic (ascending) order.
+func (d *Driver) ActivePeers(n trace.NodeID) []trace.NodeID {
+	var peers []trace.NodeID
+	for k, s := range d.active {
+		if s.closed {
+			continue
+		}
+		if k[0] == n {
+			peers = append(peers, k[1])
+		} else if k[1] == n {
+			peers = append(peers, k[0])
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// ErrBadTrace reports a trace that fails validation at load time.
+var ErrBadTrace = errors.New("sim: invalid trace")
+
+// Load schedules every contact of the trace. Overlapping contacts of the
+// same pair are merged into a single longer contact. Load may be called
+// once per driver, before Run.
+func (d *Driver) Load(tr *trace.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return errors.Join(ErrBadTrace, err)
+	}
+	merged := mergeOverlaps(tr.Contacts)
+	d.mergedContacts = len(tr.Contacts) - len(merged)
+	for _, c := range merged {
+		c := c
+		if err := d.sim.Schedule(c.Start, func() { d.beginContact(c) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) beginContact(c trace.Contact) {
+	key := pairKey(c.A, c.B)
+	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
+	d.active[key] = s
+	// End event scheduled before the handler runs so an immediate Stop
+	// inside the handler still cleans up.
+	_ = d.sim.Schedule(c.End, func() {
+		s.close(d.sim.Now())
+		if d.active[key] == s {
+			delete(d.active, key)
+		}
+		d.handler.ContactEnd(s)
+	})
+	d.handler.ContactStart(s)
+}
+
+func pairKey(a, b trace.NodeID) [2]trace.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]trace.NodeID{a, b}
+}
+
+// mergeOverlaps coalesces overlapping or touching contacts of the same
+// pair. Input must be sorted by start time; output is too.
+func mergeOverlaps(contacts []trace.Contact) []trace.Contact {
+	last := make(map[[2]trace.NodeID]int) // pair -> index in out
+	out := make([]trace.Contact, 0, len(contacts))
+	for _, c := range contacts {
+		key := pairKey(c.A, c.B)
+		if i, ok := last[key]; ok && c.Start <= out[i].End {
+			if c.End > out[i].End {
+				out[i].End = c.End
+			}
+			continue
+		}
+		out = append(out, c)
+		last[key] = len(out) - 1
+	}
+	// Merging can only extend ends; starts remain sorted.
+	return out
+}

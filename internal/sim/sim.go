@@ -1,0 +1,145 @@
+// Package sim provides the discrete-event simulation engine the
+// trace-driven evaluation runs on: an event queue with a virtual clock, a
+// contact driver that replays a trace.Trace, and bandwidth-limited
+// transfer sessions that model the 2.1 Mb/s Bluetooth links of the
+// paper's experiment setup (Sec. VI-A).
+//
+// The engine is single-goroutine and fully deterministic: events firing
+// at the same virtual time are processed in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a virtual timestamp in seconds since the start of the trace.
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is the event loop. The zero value is not usable; call New.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New creates a simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// ErrPast reports an attempt to schedule an event before the current
+// virtual time.
+var ErrPast = errors.New("sim: cannot schedule event in the past")
+
+// Schedule runs fn at virtual time at. Events at equal times run in
+// scheduling order.
+func (s *Simulator) Schedule(at Time, fn func()) error {
+	if at < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now)
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After runs fn d seconds from now; d must be non-negative.
+func (s *Simulator) After(d float64, fn func()) error {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Every runs fn at start, start+interval, ... until the returned cancel
+// function is called or the simulation ends.
+func (s *Simulator) Every(start Time, interval float64, fn func()) (cancel func(), err error) {
+	if interval <= 0 {
+		return nil, errors.New("sim: Every requires a positive interval")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped { // fn may cancel
+			return
+		}
+		// Ignoring the error: now+interval is never in the past.
+		_ = s.Schedule(s.now+interval, tick)
+	}
+	if err := s.Schedule(start, tick); err != nil {
+		return nil, err
+	}
+	return func() { stopped = true }, nil
+}
+
+// Stop makes Run/RunUntil return after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events until the queue is empty or Stop is called.
+// It returns the number of events processed.
+func (s *Simulator) Run() int {
+	return s.runUntil(-1, false)
+}
+
+// RunUntil processes every event with timestamp <= t, then advances the
+// clock to t. It returns the number of events processed.
+func (s *Simulator) RunUntil(t Time) int {
+	n := s.runUntil(t, true)
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+	return n
+}
+
+func (s *Simulator) runUntil(t Time, bounded bool) int {
+	s.stopped = false
+	n := 0
+	for len(s.queue) > 0 && !s.stopped {
+		if bounded && s.queue[0].at > t {
+			break
+		}
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events (diagnostics only).
+func (s *Simulator) Pending() int { return len(s.queue) }

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSimulatorRunsEventsInOrder(t *testing.T) {
+	s := New()
+	var order []int
+	mustSchedule(t, s, 30, func() { order = append(order, 3) })
+	mustSchedule(t, s, 10, func() { order = append(order, 1) })
+	mustSchedule(t, s, 20, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Errorf("processed %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("clock = %v, want 30", s.Now())
+	}
+}
+
+func TestSimulatorTiesFIFOByScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, s, 5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	s := New()
+	mustSchedule(t, s, 10, func() {})
+	s.Run()
+	if err := s.Schedule(5, func() {}); !errors.Is(err, ErrPast) {
+		t.Errorf("want ErrPast, got %v", err)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var fired []Time
+	mustSchedule(t, s, 10, func() {
+		_ = s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Errorf("fired = %v, want [15]", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var count int
+	for _, at := range []Time{5, 10, 15, 20} {
+		mustSchedule(t, s, at, func() { count++ })
+	}
+	if n := s.RunUntil(12); n != 2 {
+		t.Errorf("RunUntil processed %d, want 2", n)
+	}
+	if s.Now() != 12 {
+		t.Errorf("clock = %v, want 12", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	var count int
+	mustSchedule(t, s, 1, func() { count++; s.Stop() })
+	mustSchedule(t, s, 2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped)", count)
+	}
+	// Run again resumes.
+	s.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 after resume", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var at []Time
+	cancel, err := s.Every(10, 5, func() { at = append(at, s.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSchedule(t, s, 22, func() { cancel() })
+	s.Run()
+	want := []Time{10, 15, 20}
+	if len(at) != len(want) {
+		t.Fatalf("ticks at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestEveryRejectsBadInterval(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, 0, func() {}); err == nil {
+		t.Error("want error for zero interval")
+	}
+	if _, err := s.Every(0, -1, func() {}); err == nil {
+		t.Error("want error for negative interval")
+	}
+}
+
+func TestEveryCancelFromWithinFn(t *testing.T) {
+	s := New()
+	var cancel func()
+	count := 0
+	var err error
+	cancel, err = s.Every(0, 1, func() {
+		count++
+		if count == 3 {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, at Time, fn func()) {
+	t.Helper()
+	if err := s.Schedule(at, fn); err != nil {
+		t.Fatal(err)
+	}
+}

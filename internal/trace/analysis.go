@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// InterContactStats summarizes the pairwise inter-contact time process
+// of a trace: the quantity the paper models as exponentially distributed
+// (Sec. III-B, "we consider the pairwise node inter-contact time as
+// exponentially distributed"). It is used to validate that assumption on
+// a given trace — synthetic or real — before trusting the
+// hypoexponential path weights built on it.
+type InterContactStats struct {
+	// Samples is the number of inter-contact gaps observed (across all
+	// pairs with at least two contacts).
+	Samples int
+	// MeanSec and MedianSec summarize the gap distribution.
+	MeanSec   float64
+	MedianSec float64
+	// CV is the coefficient of variation (std/mean); an exponential
+	// distribution has CV = 1.
+	CV float64
+	// KSDistance is the Kolmogorov-Smirnov distance between the
+	// *normalized* per-pair gaps (each gap divided by its pair's mean
+	// gap) and the unit exponential. Small values support the Poisson
+	// contact-process model.
+	KSDistance float64
+	// PairsObserved counts pairs contributing at least one gap.
+	PairsObserved int
+}
+
+// AnalyzeInterContacts computes InterContactStats. Gaps are measured
+// start-to-start per pair, then normalized by the pair's own mean so
+// that rate heterogeneity across pairs does not masquerade as
+// non-exponentiality.
+func (t *Trace) AnalyzeInterContacts() InterContactStats {
+	// Collect per-pair contact start times.
+	starts := make(map[[2]NodeID][]float64)
+	for _, c := range t.Contacts {
+		key := [2]NodeID{c.A, c.B}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		starts[key] = append(starts[key], c.Start)
+	}
+	var raw []float64        // raw gaps, for mean/median/CV
+	var normalized []float64 // per-pair normalized gaps, for KS
+	pairs := 0
+	for _, ss := range starts {
+		if len(ss) < 2 {
+			continue
+		}
+		sort.Float64s(ss)
+		var gaps []float64
+		for i := 1; i < len(ss); i++ {
+			gaps = append(gaps, ss[i]-ss[i-1])
+		}
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		if mean <= 0 {
+			continue
+		}
+		pairs++
+		for _, g := range gaps {
+			raw = append(raw, g)
+			normalized = append(normalized, g/mean)
+		}
+	}
+	st := InterContactStats{Samples: len(raw), PairsObserved: pairs}
+	if len(raw) == 0 {
+		return st
+	}
+	sort.Float64s(raw)
+	var sum, sq float64
+	for _, g := range raw {
+		sum += g
+	}
+	st.MeanSec = sum / float64(len(raw))
+	for _, g := range raw {
+		d := g - st.MeanSec
+		sq += d * d
+	}
+	if len(raw) > 1 && st.MeanSec > 0 {
+		st.CV = math.Sqrt(sq/float64(len(raw)-1)) / st.MeanSec
+	}
+	st.MedianSec = raw[len(raw)/2]
+	st.KSDistance = ksExponential(normalized)
+	return st
+}
+
+// ksExponential returns the KS distance between the sample and the unit
+// exponential distribution.
+func ksExponential(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		cdf := 1 - math.Exp(-x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if diff := math.Abs(cdf - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(cdf - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dtncache/internal/mathx"
+)
+
+func TestAnalyzeInterContactsEmpty(t *testing.T) {
+	tr := &Trace{Nodes: 2, Duration: 100}
+	st := tr.AnalyzeInterContacts()
+	if st.Samples != 0 || st.PairsObserved != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestAnalyzeInterContactsKnownGaps(t *testing.T) {
+	tr := &Trace{
+		Nodes: 2, Duration: 1000,
+		Contacts: []Contact{
+			{A: 0, B: 1, Start: 0, End: 10},
+			{A: 0, B: 1, Start: 100, End: 110},
+			{A: 0, B: 1, Start: 300, End: 310},
+		},
+	}
+	st := tr.AnalyzeInterContacts()
+	if st.Samples != 2 || st.PairsObserved != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanSec-150) > 1e-9 { // gaps 100 and 200
+		t.Errorf("mean = %v, want 150", st.MeanSec)
+	}
+}
+
+func TestGeneratedTraceLooksExponential(t *testing.T) {
+	// The synthetic generator produces homogeneous Poisson pair
+	// processes (with mild distortion from the non-overlap rule), so the
+	// normalized gaps must be close to unit-exponential: KS distance
+	// small and CV of normalized-ish raw gaps in a plausible band.
+	cfg := GenConfig{
+		Nodes: 15, DurationSec: 60 * day, GranularitySec: 60,
+		TargetContacts: 30000, ActivityAlpha: 1.5, ActivityMax: 5, Seed: 8,
+	}
+	tr, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.AnalyzeInterContacts()
+	if st.Samples < 10000 {
+		t.Fatalf("too few samples: %d", st.Samples)
+	}
+	if st.KSDistance > 0.05 {
+		t.Errorf("KS distance %v too large for a Poisson process", st.KSDistance)
+	}
+}
+
+func TestKSExponentialDetectsNonExponential(t *testing.T) {
+	// A constant sample is maximally non-exponential.
+	constant := make([]float64, 1000)
+	for i := range constant {
+		constant[i] = 1
+	}
+	if d := ksExponential(constant); d < 0.3 {
+		t.Errorf("constant sample KS = %v, want large", d)
+	}
+	// An actual exponential sample passes.
+	rng := mathx.NewRand(1)
+	exp := make([]float64, 5000)
+	for i := range exp {
+		exp[i] = rng.Exp(1)
+	}
+	if d := ksExponential(exp); d > 0.03 {
+		t.Errorf("exponential sample KS = %v, want small", d)
+	}
+	if ksExponential(nil) != 0 {
+		t.Error("empty sample KS should be 0")
+	}
+}

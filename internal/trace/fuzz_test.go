@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the plain-text trace parser with arbitrary input:
+// it must never panic, and anything it accepts must be a valid trace
+// that survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1 10 20\n")
+	f.Add("# name: x\n# nodes: 3\n0 1 10 20\n1 2 15 40\n")
+	f.Add("")
+	f.Add("# only comments\n")
+	f.Add("0 1 10\n")
+	f.Add("a b c d\n")
+	f.Add("0 1 1e300 1e301\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, tr); werr != nil {
+			t.Fatalf("write of accepted trace failed: %v", werr)
+		}
+		again, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(again.Contacts) != len(tr.Contacts) {
+			t.Fatalf("round trip changed contact count: %d vs %d",
+				len(again.Contacts), len(tr.Contacts))
+		}
+	})
+}
+
+// FuzzReadONE exercises the ONE event parser: no panics, and accepted
+// traces validate.
+func FuzzReadONE(f *testing.F) {
+	f.Add("0 CONN 0 1 up\n10 CONN 0 1 down\n")
+	f.Add("5 CONN p1 n2 up\n")
+	f.Add("x CONN 0 1 up\n")
+	f.Add("0 MSG M1 created\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadONE(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted invalid ONE trace: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"dtncache/internal/mathx"
+)
+
+// GenConfig parameterizes the synthetic trace generator.
+//
+// The generator substitutes for the proprietary CRAWDAD traces: each node
+// draws an activity level from a bounded Pareto distribution (producing
+// the strongly heterogeneous node popularity the paper validates in
+// Fig. 4), pairwise contacts form Poisson processes with rate
+// proportional to the product of the endpoint activities (optionally
+// boosted within communities), and the base rate is calibrated so the
+// expected total number of contacts matches TargetContacts, the quantity
+// reported as "No. of internal contacts" in Table I.
+type GenConfig struct {
+	// Name labels the resulting trace.
+	Name string
+	// Nodes is the number of devices (must be >= 2).
+	Nodes int
+	// DurationSec is the trace length in seconds.
+	DurationSec float64
+	// GranularitySec is the device scan period; contact durations are
+	// drawn as Granularity + Exp(mean 2*Granularity).
+	GranularitySec float64
+	// TargetContacts is the expected total contact count to calibrate to.
+	TargetContacts int
+	// ActivityAlpha is the bounded-Pareto shape for node activity; smaller
+	// values produce stronger hubs. Typical: 1.2-2.0.
+	ActivityAlpha float64
+	// ActivityMax bounds the activity ratio between the most and least
+	// active node. Typical: 10-30 (Fig. 4 shows up to tenfold skew).
+	ActivityMax float64
+	// EdgeProb is the probability that a node pair ever meets at all
+	// (the contact-graph edge density). Real traces are far from
+	// complete graphs: campus traces especially have low pair coverage.
+	// 0 or 1 keeps the graph complete.
+	EdgeProb float64
+	// PairSkewAlpha/PairSkewMax add a heavy-tailed per-pair rate factor
+	// (bounded Pareto on [1, PairSkewMax] with shape PairSkewAlpha):
+	// real traces concentrate most contacts in a few recurring partner
+	// pairs, leaving the typical edge weak. 0 disables the factor.
+	PairSkewAlpha float64
+	PairSkewMax   float64
+	// DiurnalAmplitude in [0,1] concentrates contacts in daytime
+	// (08:00-20:00 of each simulated day): 0 keeps the process
+	// time-homogeneous, 1 silences the night completely. The total
+	// contact count stays calibrated to TargetContacts.
+	DiurnalAmplitude float64
+	// Communities optionally partitions nodes into this many equal-size
+	// communities; 0 disables community structure.
+	Communities int
+	// IntraBoost multiplies the contact rate of same-community pairs
+	// (ignored when Communities == 0). Must be >= 1.
+	IntraBoost float64
+	// Seed drives all randomness; equal configs yield identical traces.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return errors.New("trace: generator needs >= 2 nodes")
+	case c.DurationSec <= 0:
+		return errors.New("trace: duration must be positive")
+	case c.GranularitySec <= 0:
+		return errors.New("trace: granularity must be positive")
+	case c.TargetContacts <= 0:
+		return errors.New("trace: target contact count must be positive")
+	case c.ActivityAlpha <= 0:
+		return errors.New("trace: activity alpha must be positive")
+	case c.ActivityMax <= 1:
+		return errors.New("trace: activity max must exceed 1")
+	case c.EdgeProb < 0 || c.EdgeProb > 1:
+		return errors.New("trace: edge probability must be in [0,1]")
+	case c.PairSkewAlpha < 0 || (c.PairSkewAlpha > 0 && c.PairSkewMax <= 1):
+		return errors.New("trace: pair skew needs alpha > 0 and max > 1")
+	case c.DiurnalAmplitude < 0 || c.DiurnalAmplitude > 1:
+		return errors.New("trace: diurnal amplitude must be in [0,1]")
+	case c.Communities < 0:
+		return errors.New("trace: communities must be >= 0")
+	case c.Communities > 0 && c.IntraBoost < 1:
+		return errors.New("trace: intra-community boost must be >= 1")
+	case c.Communities > c.Nodes:
+		return errors.New("trace: more communities than nodes")
+	}
+	return nil
+}
+
+// Generate produces a synthetic contact trace. It also returns the
+// pairwise rate matrix used (ground truth), which tests use to check the
+// online rate estimator against.
+func Generate(cfg GenConfig) (*Trace, [][]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	actRng := rng.Derive("activity")
+	edgeRng := rng.Derive("edges")
+	contactRng := rng.Derive("contacts")
+
+	activity := make([]float64, cfg.Nodes)
+	for i := range activity {
+		activity[i] = actRng.Pareto(cfg.ActivityAlpha, 1, cfg.ActivityMax)
+	}
+	community := make([]int, cfg.Nodes)
+	if cfg.Communities > 0 {
+		for i := range community {
+			community[i] = i % cfg.Communities
+		}
+	}
+	edges := sampleEdges(cfg, edgeRng, activity)
+	skew := sampleEdgeSkew(cfg, edgeRng.Derive("skew"), edges)
+
+	// Calibrate the base rate so sum over pairs of min(base*w, cap) * D
+	// equals the target contact count. The cap reflects a physical
+	// limit: a pair in near-permanent contact cannot register more than
+	// one contact every few scan periods, so heavy-tailed pair weights
+	// would otherwise make the realized total undershoot the target.
+	// Raising base monotonically raises the capped sum, so a few
+	// multiplicative water-filling corrections converge.
+	lambdaCap := 1.0 / (4 * cfg.GranularitySec)
+	weights := make([]float64, 0, cfg.Nodes*(cfg.Nodes-1)/2)
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			if edges[i][j] {
+				weights = append(weights, pairWeight(cfg, activity, community, i, j)*skew[i][j])
+			}
+		}
+	}
+	var weightSum float64
+	for _, w := range weights {
+		weightSum += w
+	}
+	if weightSum == 0 {
+		return nil, nil, errors.New("trace: degenerate activity weights")
+	}
+	target := float64(cfg.TargetContacts)
+	base := target / (weightSum * cfg.DurationSec)
+	for iter := 0; iter < 20; iter++ {
+		var got float64
+		for _, w := range weights {
+			l := base * w
+			if l > lambdaCap {
+				l = lambdaCap
+			}
+			got += l * cfg.DurationSec
+		}
+		if got >= 0.999*target || got == 0 {
+			break
+		}
+		base *= target / got
+	}
+
+	rates := make([][]float64, cfg.Nodes)
+	for i := range rates {
+		rates[i] = make([]float64, cfg.Nodes)
+	}
+	tr := &Trace{
+		Name:        cfg.Name,
+		Nodes:       cfg.Nodes,
+		Duration:    cfg.DurationSec,
+		Granularity: cfg.GranularitySec,
+	}
+	tr.Contacts = make([]Contact, 0, cfg.TargetContacts+cfg.TargetContacts/8)
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			if !edges[i][j] {
+				continue
+			}
+			lambda := base * pairWeight(cfg, activity, community, i, j) * skew[i][j]
+			if lambda > lambdaCap {
+				lambda = lambdaCap
+			}
+			rates[i][j], rates[j][i] = lambda, lambda
+			if lambda <= 0 {
+				continue
+			}
+			appendPairContacts(tr, cfg, contactRng, NodeID(i), NodeID(j), lambda)
+		}
+	}
+	tr.SortContacts()
+	if err := tr.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("trace: generated invalid trace: %w", err)
+	}
+	return tr, rates, nil
+}
+
+// sampleEdges draws the contact-graph topology: each pair meets at all
+// with probability EdgeProb, biased so active nodes keep more edges, and
+// every node is guaranteed at least one edge (to the most active node)
+// so no device is entirely unobservable.
+func sampleEdges(cfg GenConfig, rng *mathx.Rand, activity []float64) [][]bool {
+	n := cfg.Nodes
+	edges := make([][]bool, n)
+	for i := range edges {
+		edges[i] = make([]bool, n)
+	}
+	p := cfg.EdgeProb
+	if p == 0 {
+		p = 1
+	}
+	// Normalize activities to [0,1] for the bias term.
+	maxAct := 1.0
+	for _, a := range activity {
+		if a > maxAct {
+			maxAct = a
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Hubs meet nearly everyone; peripheral pairs rarely meet.
+			bias := (activity[i]/maxAct + activity[j]/maxAct) / 2
+			keep := p * (0.5 + bias)
+			if keep > 1 {
+				keep = 1
+			}
+			if rng.Bernoulli(keep) {
+				edges[i][j], edges[j][i] = true, true
+			}
+		}
+	}
+	// Guarantee a minimum degree of one.
+	hub := 0
+	for i, a := range activity {
+		if a > activity[hub] {
+			hub = i
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg := 0
+		for j := 0; j < n; j++ {
+			if edges[i][j] {
+				deg++
+			}
+		}
+		if deg == 0 {
+			other := hub
+			if other == i {
+				other = (i + 1) % n
+			}
+			edges[i][other], edges[other][i] = true, true
+		}
+	}
+	return edges
+}
+
+// sampleEdgeSkew draws the per-pair heavy-tailed rate factors (1 when
+// disabled).
+func sampleEdgeSkew(cfg GenConfig, rng *mathx.Rand, edges [][]bool) [][]float64 {
+	n := cfg.Nodes
+	skew := make([][]float64, n)
+	for i := range skew {
+		skew[i] = make([]float64, n)
+		for j := range skew[i] {
+			skew[i][j] = 1
+		}
+	}
+	if cfg.PairSkewAlpha == 0 {
+		return skew
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !edges[i][j] {
+				continue
+			}
+			f := rng.Pareto(cfg.PairSkewAlpha, 1, cfg.PairSkewMax)
+			skew[i][j], skew[j][i] = f, f
+		}
+	}
+	return skew
+}
+
+func pairWeight(cfg GenConfig, activity []float64, community []int, i, j int) float64 {
+	w := activity[i] * activity[j]
+	if cfg.Communities > 0 && community[i] == community[j] {
+		w *= cfg.IntraBoost
+	}
+	return w
+}
+
+// appendPairContacts simulates the (possibly diurnally modulated)
+// Poisson contact process of one pair via thinning. Contact durations
+// are Granularity + Exp(mean 2*Granularity), truncated at the trace end;
+// a following contact never overlaps the previous one.
+func appendPairContacts(tr *Trace, cfg GenConfig, rng *mathx.Rand, a, b NodeID, lambda float64) {
+	// Thinning: draw candidates at the peak rate and accept with the
+	// time-of-day intensity; scaling by the mean intensity keeps the
+	// expected total calibrated.
+	meanF := 1 - cfg.DiurnalAmplitude/2 // daytime is half of each day
+	peak := lambda / meanF
+	t := rng.Exp(peak)
+	for t < cfg.DurationSec {
+		// Short-circuit keeps the amplitude-0 path free of thinning draws
+		// (and bit-identical to the homogeneous process).
+		if cfg.DiurnalAmplitude > 0 &&
+			rng.Float64() >= diurnalIntensity(cfg.DiurnalAmplitude, t) {
+			t += rng.Exp(peak)
+			continue
+		}
+		dur := cfg.GranularitySec + rng.Exp(1/(2*cfg.GranularitySec))
+		end := t + dur
+		if end > cfg.DurationSec {
+			end = cfg.DurationSec
+		}
+		if end > t {
+			tr.Contacts = append(tr.Contacts, Contact{A: a, B: b, Start: t, End: end})
+		}
+		next := t + rng.Exp(peak)
+		if next <= end {
+			next = end + 1e-6
+		}
+		t = next
+	}
+}
+
+// diurnalIntensity is the acceptance probability of a candidate contact
+// at time t: 1 during the day (08:00-20:00), 1-amplitude at night.
+func diurnalIntensity(amplitude, t float64) float64 {
+	if amplitude == 0 {
+		return 1
+	}
+	hourOfDay := t / 3600
+	hourOfDay -= float64(int(hourOfDay/24)) * 24
+	if hourOfDay >= 8 && hourOfDay < 20 {
+		return 1
+	}
+	return 1 - amplitude
+}

@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGenConfigValidate(t *testing.T) {
+	good := GenConfig{
+		Nodes: 10, DurationSec: 86400, GranularitySec: 120,
+		TargetContacts: 1000, ActivityAlpha: 1.5, ActivityMax: 10,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.Nodes = 1 },
+		func(c *GenConfig) { c.DurationSec = 0 },
+		func(c *GenConfig) { c.GranularitySec = 0 },
+		func(c *GenConfig) { c.TargetContacts = 0 },
+		func(c *GenConfig) { c.ActivityAlpha = 0 },
+		func(c *GenConfig) { c.ActivityMax = 1 },
+		func(c *GenConfig) { c.Communities = -1 },
+		func(c *GenConfig) { c.Communities = 2; c.IntraBoost = 0.5 },
+		func(c *GenConfig) { c.Communities = 11 },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateProducesValidCalibratedTrace(t *testing.T) {
+	cfg := GenConfig{
+		Name: "synthetic", Nodes: 30, DurationSec: 2 * day,
+		GranularitySec: 120, TargetContacts: 20000,
+		ActivityAlpha: 1.5, ActivityMax: 10, Seed: 1,
+	}
+	tr, rates, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if tr.Name != "synthetic" || tr.Nodes != 30 {
+		t.Errorf("metadata wrong: %+v", tr)
+	}
+	// Total contacts within 15% of target (Poisson fluctuation is ~0.7%;
+	// the non-overlap adjustment shaves a little more).
+	got := float64(len(tr.Contacts))
+	if math.Abs(got-20000) > 0.15*20000 {
+		t.Errorf("contacts = %v, want ~20000", got)
+	}
+	// Rate matrix symmetric with zero diagonal.
+	for i := 0; i < cfg.Nodes; i++ {
+		if rates[i][i] != 0 {
+			t.Errorf("diagonal rate %d nonzero", i)
+		}
+		for j := 0; j < cfg.Nodes; j++ {
+			if rates[i][j] != rates[j][i] {
+				t.Errorf("rates not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 15, DurationSec: day, GranularitySec: 60,
+		TargetContacts: 3000, ActivityAlpha: 1.5, ActivityMax: 10, Seed: 7,
+	}
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 15, DurationSec: day, GranularitySec: 60,
+		TargetContacts: 3000, ActivityAlpha: 1.5, ActivityMax: 10, Seed: 7,
+	}
+	a, _, _ := Generate(cfg)
+	cfg.Seed = 8
+	b, _, _ := Generate(cfg)
+	if len(a.Contacts) == len(b.Contacts) {
+		same := true
+		for i := range a.Contacts {
+			if a.Contacts[i] != b.Contacts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateEmpiricalRatesMatchGroundTruth(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 10, DurationSec: 30 * day, GranularitySec: 60,
+		TargetContacts: 40000, ActivityAlpha: 1.5, ActivityMax: 5, Seed: 3,
+	}
+	tr, rates, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([][]int, cfg.Nodes)
+	for i := range counts {
+		counts[i] = make([]int, cfg.Nodes)
+	}
+	for _, c := range tr.Contacts {
+		counts[c.A][c.B]++
+		counts[c.B][c.A]++
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			want := rates[i][j] * cfg.DurationSec
+			if want < 100 {
+				continue // too few expected contacts for a tight check
+			}
+			got := float64(counts[i][j])
+			// Non-overlap shifting depresses counts slightly at high
+			// rates; allow 5 sigma + 5%.
+			tol := 5*math.Sqrt(want) + 0.05*want
+			if math.Abs(got-want) > tol {
+				t.Errorf("pair %d-%d: %v contacts, want ~%v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateCommunityBoost(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 20, DurationSec: 10 * day, GranularitySec: 60,
+		TargetContacts: 20000, ActivityAlpha: 1.5, ActivityMax: 5,
+		Communities: 4, IntraBoost: 10, Seed: 5,
+	}
+	_, rates, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node i is in community i%4; same-community pairs should have a much
+	// higher average rate.
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			if i%4 == j%4 {
+				intra += rates[i][j]
+				nIntra++
+			} else {
+				inter += rates[i][j]
+				nInter++
+			}
+		}
+	}
+	intraMean := intra / float64(nIntra)
+	interMean := inter / float64(nInter)
+	if intraMean < 3*interMean {
+		t.Errorf("intra mean %v not clearly above inter mean %v", intraMean, interMean)
+	}
+}
+
+func TestGeneratePresetsMatchTable1(t *testing.T) {
+	// Table I ground truth: nodes, duration (days), granularity, contacts.
+	want := map[Preset]struct {
+		nodes    int
+		days     float64
+		gran     float64
+		contacts int
+	}{
+		Infocom05:  {41, 3, 120, 22459},
+		Infocom06:  {78, 4, 120, 182951},
+		MITReality: {97, 246, 300, 114046},
+		UCSD:       {275, 77, 20, 123225},
+	}
+	for _, p := range Presets() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			tr, err := GeneratePreset(p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := want[p]
+			s := tr.ComputeStats()
+			if s.Nodes != w.nodes {
+				t.Errorf("nodes = %d, want %d", s.Nodes, w.nodes)
+			}
+			if math.Abs(s.DurationDays-w.days) > 1e-9 {
+				t.Errorf("days = %v, want %v", s.DurationDays, w.days)
+			}
+			if s.GranularitySec != w.gran {
+				t.Errorf("granularity = %v, want %v", s.GranularitySec, w.gran)
+			}
+			if math.Abs(float64(s.Contacts-w.contacts)) > 0.15*float64(w.contacts) {
+				t.Errorf("contacts = %d, want ~%d", s.Contacts, w.contacts)
+			}
+		})
+	}
+}
+
+func TestPresetConfigUnknown(t *testing.T) {
+	if _, ok := PresetConfig("nope", 1); ok {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := GeneratePreset("nope", 1); err == nil {
+		t.Error("GeneratePreset with unknown preset: want error")
+	} else {
+		var upe *UnknownPresetError
+		if !errors.As(err, &upe) {
+			t.Errorf("want UnknownPresetError, got %T", err)
+		}
+	}
+}
+
+func TestGenerateDiurnalPattern(t *testing.T) {
+	base := GenConfig{
+		Nodes: 20, DurationSec: 10 * day, GranularitySec: 60,
+		TargetContacts: 20000, ActivityAlpha: 1.5, ActivityMax: 10, Seed: 6,
+	}
+	nightShare := func(tr *Trace) float64 {
+		night := 0
+		for _, c := range tr.Contacts {
+			h := c.Start / 3600
+			h -= float64(int(h/24)) * 24
+			if h < 8 || h >= 20 {
+				night++
+			}
+		}
+		return float64(night) / float64(len(tr.Contacts))
+	}
+
+	flat, _, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.DiurnalAmplitude = 1
+	day1, _, err := Generate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nightShare(day1); got != 0 {
+		t.Errorf("amplitude 1: night share = %v, want 0", got)
+	}
+	if got := nightShare(flat); got < 0.4 || got > 0.6 {
+		t.Errorf("amplitude 0: night share = %v, want ~0.5", got)
+	}
+	// Calibration holds under thinning.
+	if n := float64(len(day1.Contacts)); math.Abs(n-20000) > 0.15*20000 {
+		t.Errorf("diurnal contacts = %v, want ~20000", n)
+	}
+
+	partial := base
+	partial.DiurnalAmplitude = 0.8
+	mid, _, err := Generate(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nightShare(mid); got >= nightShare(flat) {
+		t.Errorf("amplitude 0.8 night share %v not below flat %v", got, nightShare(flat))
+	}
+}
+
+func TestGenerateRejectsBadDiurnal(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 5, DurationSec: day, GranularitySec: 60,
+		TargetContacts: 100, ActivityAlpha: 1.5, ActivityMax: 10,
+		DiurnalAmplitude: 1.2,
+	}
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("amplitude > 1 accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := validTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Nodes != orig.Nodes ||
+		got.Duration != orig.Duration || got.Granularity != orig.Granularity {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, orig)
+	}
+	if len(got.Contacts) != len(orig.Contacts) {
+		t.Fatalf("contact count %d vs %d", len(got.Contacts), len(orig.Contacts))
+	}
+	for i := range got.Contacts {
+		if got.Contacts[i] != orig.Contacts[i] {
+			t.Errorf("contact %d: %+v vs %+v", i, got.Contacts[i], orig.Contacts[i])
+		}
+	}
+}
+
+func TestReadWithoutHeaderInfersMetadata(t *testing.T) {
+	in := "0 1 10 20\n2 1 15 40\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 3 {
+		t.Errorf("inferred nodes = %d, want 3", tr.Nodes)
+	}
+	if tr.Duration != 40 {
+		t.Errorf("inferred duration = %v, want 40", tr.Duration)
+	}
+	// 2 1 must have been normalized to 1 2.
+	if tr.Contacts[1].A != 1 || tr.Contacts[1].B != 2 {
+		t.Errorf("contact not normalized: %+v", tr.Contacts[1])
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n   \n0 1 10 20\n# another\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) != 1 {
+		t.Errorf("contacts = %d, want 1", len(tr.Contacts))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"too few fields", "0 1 10\n"},
+		{"too many fields", "0 1 10 20 30\n"},
+		{"bad node", "x 1 10 20\n"},
+		{"bad node b", "0 x 10 20\n"},
+		{"bad start", "0 1 x 20\n"},
+		{"bad end", "0 1 10 x\n"},
+		{"self contact", "0 0 10 20\n"},
+		{"bad interval", "0 1 20 10\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestRoundTripGeneratedTrace(t *testing.T) {
+	cfg := GenConfig{
+		Nodes: 12, DurationSec: day, GranularitySec: 60,
+		TargetContacts: 2000, ActivityAlpha: 1.5, ActivityMax: 8, Seed: 2,
+	}
+	orig, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Contacts) != len(orig.Contacts) {
+		t.Fatalf("contact count %d vs %d", len(got.Contacts), len(orig.Contacts))
+	}
+	s1, s2 := orig.ComputeStats(), got.ComputeStats()
+	if s1.DistinctPairs != s2.DistinctPairs || s1.Contacts != s2.Contacts {
+		t.Error("stats differ after round trip")
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"errors"
+	"math"
+
+	"dtncache/internal/mathx"
+)
+
+// RWPConfig parameterizes the random-waypoint mobility generator: nodes
+// move in a square arena between uniformly chosen waypoints and a
+// contact is recorded whenever two nodes stay within communication
+// range across a scan interval. Unlike the Poisson generator (Generate),
+// contacts here emerge from geometry, so inter-contact times are bursty
+// and spatially correlated — a structurally different substrate for
+// stress-testing the protocols beyond the paper's Poisson model.
+type RWPConfig struct {
+	// Name labels the trace.
+	Name string
+	// Nodes is the number of devices (>= 2).
+	Nodes int
+	// DurationSec is the trace length.
+	DurationSec float64
+	// ArenaMeters is the side of the square arena.
+	ArenaMeters float64
+	// RangeMeters is the communication range.
+	RangeMeters float64
+	// SpeedMin/SpeedMax bound the uniform waypoint speed (m/s).
+	SpeedMin, SpeedMax float64
+	// PauseMaxSec is the maximum uniform pause at each waypoint.
+	PauseMaxSec float64
+	// ScanSec is the position-sampling period (also the contact
+	// granularity; default 60 s).
+	ScanSec float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c RWPConfig) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return errors.New("trace: RWP needs >= 2 nodes")
+	case c.DurationSec <= 0:
+		return errors.New("trace: RWP duration must be positive")
+	case c.ArenaMeters <= 0:
+		return errors.New("trace: RWP arena must be positive")
+	case c.RangeMeters <= 0 || c.RangeMeters >= c.ArenaMeters:
+		return errors.New("trace: RWP range must be in (0, arena)")
+	case c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin:
+		return errors.New("trace: RWP speeds must satisfy 0 < min <= max")
+	case c.PauseMaxSec < 0:
+		return errors.New("trace: RWP pause must be >= 0")
+	}
+	return nil
+}
+
+// rwpNode is one node's mobility state.
+type rwpNode struct {
+	x, y       float64 // current position
+	tx, ty     float64 // waypoint target
+	speed      float64
+	pauseUntil float64
+}
+
+// GenerateRWP simulates random-waypoint mobility and extracts the
+// contact trace.
+func GenerateRWP(cfg RWPConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scan := cfg.ScanSec
+	if scan <= 0 {
+		scan = 60
+	}
+	rng := mathx.NewRand(cfg.Seed).Derive("rwp")
+	nodes := make([]rwpNode, cfg.Nodes)
+	for i := range nodes {
+		nodes[i].x = rng.Uniform(0, cfg.ArenaMeters)
+		nodes[i].y = rng.Uniform(0, cfg.ArenaMeters)
+		retarget(&nodes[i], cfg, rng)
+	}
+
+	tr := &Trace{
+		Name: cfg.Name, Nodes: cfg.Nodes,
+		Duration: cfg.DurationSec, Granularity: scan,
+	}
+	// open[i*n+j] holds the start time of an ongoing contact, or -1.
+	n := cfg.Nodes
+	open := make([]float64, n*n)
+	for i := range open {
+		open[i] = -1
+	}
+	rangeSq := cfg.RangeMeters * cfg.RangeMeters
+
+	for t := 0.0; t < cfg.DurationSec; t += scan {
+		for i := range nodes {
+			step(&nodes[i], cfg, rng, t, scan)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := nodes[i].x - nodes[j].x
+				dy := nodes[i].y - nodes[j].y
+				within := dx*dx+dy*dy <= rangeSq
+				k := i*n + j
+				switch {
+				case within && open[k] < 0:
+					open[k] = t
+				case !within && open[k] >= 0:
+					if t > open[k] {
+						tr.Contacts = append(tr.Contacts, Contact{
+							A: NodeID(i), B: NodeID(j), Start: open[k], End: t,
+						})
+					}
+					open[k] = -1
+				}
+			}
+		}
+	}
+	// Close contacts still open at the end.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s := open[i*n+j]; s >= 0 && cfg.DurationSec > s {
+				tr.Contacts = append(tr.Contacts, Contact{
+					A: NodeID(i), B: NodeID(j), Start: s, End: cfg.DurationSec,
+				})
+			}
+		}
+	}
+	tr.SortContacts()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// retarget picks a new waypoint, speed and pause for the node.
+func retarget(nd *rwpNode, cfg RWPConfig, rng *mathx.Rand) {
+	nd.tx = rng.Uniform(0, cfg.ArenaMeters)
+	nd.ty = rng.Uniform(0, cfg.ArenaMeters)
+	nd.speed = rng.Uniform(cfg.SpeedMin, cfg.SpeedMax)
+	if cfg.PauseMaxSec > 0 {
+		nd.pauseUntil = rng.Uniform(0, cfg.PauseMaxSec)
+	} else {
+		nd.pauseUntil = 0
+	}
+}
+
+// step advances the node by dt seconds of mobility.
+func step(nd *rwpNode, cfg RWPConfig, rng *mathx.Rand, now, dt float64) {
+	remaining := dt
+	for remaining > 0 {
+		if nd.pauseUntil > 0 {
+			if nd.pauseUntil >= remaining {
+				nd.pauseUntil -= remaining
+				return
+			}
+			remaining -= nd.pauseUntil
+			nd.pauseUntil = 0
+		}
+		dx := nd.tx - nd.x
+		dy := nd.ty - nd.y
+		dist := math.Hypot(dx, dy)
+		travel := nd.speed * remaining
+		if travel >= dist {
+			// Reach the waypoint; consume the needed time, then retarget.
+			nd.x, nd.y = nd.tx, nd.ty
+			if nd.speed > 0 {
+				remaining -= dist / nd.speed
+			} else {
+				remaining = 0
+			}
+			retarget(nd, cfg, rng)
+			continue
+		}
+		nd.x += dx / dist * travel
+		nd.y += dy / dist * travel
+		return
+	}
+}

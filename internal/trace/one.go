@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadONE parses connection events in the format of the ONE simulator's
+// StandardEventsReader — the de-facto exchange format for DTN contact
+// traces:
+//
+//	<time> CONN <nodeA> <nodeB> up
+//	<time> CONN <nodeA> <nodeB> down
+//
+// Non-CONN lines are ignored. An "up" without a matching "down" is
+// closed at the last event time seen. Node count and duration are
+// inferred; Granularity is left 0 (unknown).
+func ReadONE(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	t := &Trace{Name: "one-trace"}
+	open := make(map[[2]NodeID]float64)
+	maxNode := -1
+	var lastTime float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.EqualFold(fields[1], "CONN") {
+			continue
+		}
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: ONE line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: ONE line %d: time: %w", lineNo, err)
+		}
+		a, err := parseONENode(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: ONE line %d: %w", lineNo, err)
+		}
+		b, err := parseONENode(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: ONE line %d: %w", lineNo, err)
+		}
+		if a == b {
+			return nil, fmt.Errorf("trace: ONE line %d: self connection", lineNo)
+		}
+		if at > lastTime {
+			lastTime = at
+		}
+		if int(a) > maxNode {
+			maxNode = int(a)
+		}
+		if int(b) > maxNode {
+			maxNode = int(b)
+		}
+		key := pairKeyONE(a, b)
+		switch strings.ToLower(fields[4]) {
+		case "up":
+			if _, ok := open[key]; !ok {
+				open[key] = at
+			}
+		case "down":
+			start, ok := open[key]
+			if !ok {
+				continue // down without up: ignore (truncated trace head)
+			}
+			delete(open, key)
+			if at > start {
+				t.Contacts = append(t.Contacts, Contact{A: key[0], B: key[1], Start: start, End: at})
+			}
+		default:
+			return nil, fmt.Errorf("trace: ONE line %d: unknown state %q", lineNo, fields[4])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read ONE: %w", err)
+	}
+	// Close dangling connections at the last observed event time.
+	for key, start := range open {
+		if lastTime > start {
+			t.Contacts = append(t.Contacts, Contact{A: key[0], B: key[1], Start: start, End: lastTime})
+		}
+	}
+	t.Nodes = maxNode + 1
+	t.Duration = lastTime
+	t.SortContacts()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseONENode accepts plain integers and the common "pNN"/"nNN" styles
+// of ONE scenario node names.
+func parseONENode(s string) (NodeID, error) {
+	trimmed := strings.TrimLeftFunc(s, func(r rune) bool {
+		return r < '0' || r > '9'
+	})
+	n, err := strconv.Atoi(trimmed)
+	if err != nil {
+		return 0, fmt.Errorf("node %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("node %q: negative id", s)
+	}
+	return NodeID(n), nil
+}
+
+func pairKeyONE(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}

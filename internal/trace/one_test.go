@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadONEBasic(t *testing.T) {
+	in := `
+0 CONN 0 1 up
+10 CONN 0 1 down
+5 CONN 1 2 up
+25 CONN 1 2 down
+30 CONN 0 2 up
+`
+	tr, err := ReadONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 3 {
+		t.Errorf("nodes = %d, want 3", tr.Nodes)
+	}
+	// Dangling 0-2 "up" at t=30 closes at lastTime=30 => zero length,
+	// dropped; two real contacts remain.
+	if len(tr.Contacts) != 2 {
+		t.Fatalf("contacts = %d, want 2", len(tr.Contacts))
+	}
+	if tr.Contacts[0].A != 0 || tr.Contacts[0].B != 1 || tr.Contacts[0].End != 10 {
+		t.Errorf("first contact = %+v", tr.Contacts[0])
+	}
+	if tr.Duration != 30 {
+		t.Errorf("duration = %v", tr.Duration)
+	}
+}
+
+func TestReadONEDanglingUpClosedAtEnd(t *testing.T) {
+	in := `
+0 CONN 0 1 up
+50 CONN 1 2 up
+60 CONN 1 2 down
+`
+	tr, err := ReadONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-1 up at 0 never goes down: closed at 60.
+	found := false
+	for _, c := range tr.Contacts {
+		if c.A == 0 && c.B == 1 {
+			found = true
+			if c.End != 60 {
+				t.Errorf("dangling contact end = %v, want 60", c.End)
+			}
+		}
+	}
+	if !found {
+		t.Error("dangling contact missing")
+	}
+}
+
+func TestReadONENodePrefixes(t *testing.T) {
+	in := "0 CONN p3 n7 up\n9 CONN p3 n7 down\n"
+	tr, err := ReadONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 8 {
+		t.Errorf("nodes = %d, want 8", tr.Nodes)
+	}
+	if tr.Contacts[0].A != 3 || tr.Contacts[0].B != 7 {
+		t.Errorf("contact = %+v", tr.Contacts[0])
+	}
+}
+
+func TestReadONEIgnoresOtherEvents(t *testing.T) {
+	in := `
+# scenario header
+0 CONN 0 1 up
+5 MSG M1 0 1 created
+10 CONN 0 1 down
+`
+	tr, err := ReadONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) != 1 {
+		t.Errorf("contacts = %d", len(tr.Contacts))
+	}
+}
+
+func TestReadONEErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad time", "x CONN 0 1 up\n"},
+		{"bad node", "0 CONN zz 1 up\n"},
+		{"self conn", "0 CONN 1 1 up\n"},
+		{"bad state", "0 CONN 0 1 sideways\n"},
+		{"wrong arity", "0 CONN 0 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadONE(strings.NewReader(c.in)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadONEDuplicateUpIgnored(t *testing.T) {
+	in := `
+0 CONN 0 1 up
+2 CONN 0 1 up
+10 CONN 0 1 down
+12 CONN 0 1 down
+`
+	tr, err := ReadONE(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Contacts) != 1 || tr.Contacts[0].Start != 0 || tr.Contacts[0].End != 10 {
+		t.Errorf("contacts = %+v", tr.Contacts)
+	}
+}
