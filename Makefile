@@ -1,0 +1,35 @@
+# Tier-1 verify is `make build test`; `make check` is the tier-2
+# pre-merge gate (vet + dtnlint + race + fuzz corpora, see
+# scripts/check.sh and DESIGN.md "Determinism contract").
+
+GO ?= go
+CMDS := dtnsim nclstat experiments tracegen dtnlint
+
+.PHONY: build test check smoke fuzz lint clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/dtnlint ./...
+
+check:
+	./scripts/check.sh
+
+# CI-style smoke: every cmd/ binary must build and serve its --help.
+smoke:
+	@mkdir -p bin
+	@for c in $(CMDS); do \
+		$(GO) build -o bin/$$c ./cmd/$$c || exit 1; \
+		./bin/$$c --help >/dev/null 2>&1 || { echo "smoke: $$c --help failed"; exit 1; }; \
+		echo "smoke: $$c ok"; \
+	done
+
+fuzz:
+	CHECK_FUZZ_TIME=$${CHECK_FUZZ_TIME:-30s} ./scripts/check.sh
+
+clean:
+	rm -rf bin

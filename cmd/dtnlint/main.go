@@ -1,0 +1,138 @@
+// Command dtnlint is the determinism-lint multichecker for this
+// repository. It runs the internal/analysis suite — nondeterminism,
+// maporder, and seedflow — over the requested packages and reports
+// every violation of the determinism contract (see DESIGN.md): all
+// randomness must flow through internal/mathx.Rand seeded streams, no
+// wall-clock time may leak into simulation logic, and no result may
+// depend on Go map-iteration order.
+//
+// Usage:
+//
+//	dtnlint ./...                 # lint the whole repository
+//	dtnlint ./internal/sim        # lint one package
+//	dtnlint -tests ./internal/... # include in-package _test.go files
+//	dtnlint -list                 # show the analyzers and their docs
+//
+// A false positive is silenced with an inline directive on the flagged
+// line or the line above:
+//
+//	//lint:allow maporder reason why the order cannot matter here
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
+// load or usage error.
+//
+// The framework is built on the standard library's go/types with a
+// source importer, so it needs neither network access nor
+// golang.org/x/tools.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dtncache/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the multichecker and returns the process exit code.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("dtnlint", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		tests    = fs.Bool("tests", false, "also lint in-package _test.go files")
+		noScope  = fs.Bool("all-packages", false, "ignore analyzer package scopes (lint everything everywhere)")
+		analyzer = fs.String("analyzer", "", "run only the named analyzer")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dtnlint [flags] [packages]\n\n"+
+			"Determinism lint for the dtncache repository. Patterns default to ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	analyzers := analysis.All()
+	if *analyzer != "" {
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if a.Name == *analyzer {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			return 2, fmt.Errorf("unknown analyzer %q", *analyzer)
+		}
+		analyzers = kept[:1:1]
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 2, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return 2, err
+	}
+	loader.IncludeTests = *tests
+	dirs, err := analysis.ExpandPatterns(loader.ModuleRoot, fs.Args())
+	if err != nil {
+		return 2, err
+	}
+
+	count := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return 2, err
+		}
+		for _, a := range analyzers {
+			if !*noScope && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := analysis.RunPackage(pkg, a)
+			if err != nil {
+				return 2, err
+			}
+			for _, d := range diags {
+				count++
+				fmt.Fprintf(out, "%s:%d:%d: %s: %s\n",
+					relPath(loader.ModuleRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+					d.Analyzer, d.Message)
+			}
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(out, "dtnlint: %d finding(s)\n", count)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// relPath shortens filenames to module-relative paths when possible.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return path
+}

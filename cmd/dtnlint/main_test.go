@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	code, err := run([]string{"-list"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code %d, err %v", code, err)
+	}
+	for _, name := range []string{"nondeterminism", "maporder", "seedflow"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("list output missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var buf strings.Builder
+	if _, err := run([]string{"-analyzer", "nope"}, &buf); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	var buf strings.Builder
+	code, err := run([]string{"./internal/mathx"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("mathx should be clean, got code %d:\n%s", code, buf.String())
+	}
+}
+
+func TestFindingsInFixture(t *testing.T) {
+	// The analyzer golden fixtures are deliberately full of violations;
+	// pointing the driver at one must produce findings and exit code 1.
+	var buf strings.Builder
+	code, err := run([]string{
+		"-analyzer", "maporder", "internal/analysis/testdata/src/maporder",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("expected findings (code 1), got %d:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "maporder:") {
+		t.Errorf("output missing analyzer name:\n%s", buf.String())
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed; --help is a successful exit
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nclstat:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,140 @@
+// Package analysis is a miniature, dependency-free counterpart of
+// golang.org/x/tools/go/analysis, built on the standard library's
+// go/parser and go/types only (this repository must build without
+// network access, so x/tools cannot be a dependency).
+//
+// It hosts the determinism lint suite behind cmd/dtnlint: the
+// reproduction's headline claim is that every figure in EXPERIMENTS.md
+// regenerates bit-identically from a seed, which rests on three
+// invariants no ordinary test enforces:
+//
+//   - all randomness flows through internal/mathx.Rand seeded streams
+//     (analyzer "nondeterminism");
+//   - no result depends on Go map-iteration order (analyzer "maporder");
+//   - RNG streams created per sweep cell or per goroutine derive their
+//     seed from the cell index (analyzer "seedflow").
+//
+// A false positive is silenced with an inline directive on the flagged
+// line or the line above:
+//
+//	//lint:allow maporder reason why the order cannot matter here
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope lists package-path prefixes the analyzer applies to when run
+	// by the dtnlint driver; empty means every package. Tests run
+	// analyzers directly and ignore Scope.
+	Scope []string
+	Run   func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer's scope covers pkgPath.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the dtnlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Nondeterminism, MapOrder, SeedFlow}
+}
+
+// RunPackage runs one analyzer over a loaded package and returns its
+// diagnostics with //lint:allow suppressions already applied, sorted by
+// position.
+func RunPackage(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	allowed := allowedLines(pkg)
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if allowed[suppressKey{d.Pos.Filename, d.Pos.Line, a.Name}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

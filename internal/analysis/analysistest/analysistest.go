@@ -1,0 +1,138 @@
+// Package analysistest is a miniature counterpart of
+// golang.org/x/tools/go/analysis/analysistest for this repository's
+// dependency-free analyzer framework. Test packages live under
+// testdata/src/<name>/ and mark expected diagnostics with trailing
+// comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every diagnostic on a line must be matched by exactly one want
+// pattern on that line, and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dtncache/internal/analysis"
+)
+
+// Run loads each named package from testdata/src and checks the
+// analyzer's diagnostics against the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(testdata)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		diags, err := analysis.RunPackage(pkg, a)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, name, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// check matches diagnostics against want annotations line by line.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	got := make(map[lineKey][]string)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	for k, patterns := range wants {
+		msgs := got[k]
+		for _, p := range patterns {
+			rx, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s:%d: bad want pattern %q: %v", k.file, k.line, p, err)
+				continue
+			}
+			idx := -1
+			for i, m := range msgs {
+				if rx.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: expected diagnostic matching %q, none found (have %v)",
+					k.file, k.line, p, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		got[k] = msgs
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// collectWants extracts // want annotations from the package's files.
+func collectWants(t *testing.T, pkg *analysis.Package) map[lineKey][]string {
+	t.Helper()
+	out := make(map[lineKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				out[k] = append(out[k], patterns...)
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns reads a sequence of Go-quoted or backquoted strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("analysistest: want patterns must be quoted strings, got %q", s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: bad want pattern in %q: %v", s, err)
+		}
+		val, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, val)
+		s = s[len(prefix):]
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose loop body has
+// order-dependent effects:
+//
+//   - appending to a slice declared outside the loop (unless a later
+//     statement in the same function sorts that slice);
+//   - writing ordered output (fmt.Print*/Fprint*, Write*/Encode method
+//     calls);
+//   - consuming randomness (advancing an RNG stream a different number
+//     of times per iteration order);
+//   - accumulating floating-point sums (+= / -= / *= on an outer
+//     float variable: float addition is not associative, so the result
+//     depends on iteration order in the last ulps).
+//
+// The sanctioned pattern is to collect the keys, sort them, and iterate
+// the sorted slice — which this analyzer recognizes and accepts.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration with order-dependent effects (appends, output, RNG draws, float accumulation)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Examine each function body independently so "sorted later"
+		// checks stay within the right scope.
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges inspects every map-range statement directly inside
+// body (not inside nested function literals, which get their own pass).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapRange(pass, body, rs)
+		return true
+	})
+}
+
+func reportMapRange(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// x = append(x, ...) with x declared outside the loop.
+			for i, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(v.Lhs) {
+					continue
+				}
+				target := rootIdent(v.Lhs[i])
+				if target == nil {
+					continue
+				}
+				obj := info.ObjectOf(target)
+				if obj == nil || within(rs, declNode(obj)) {
+					continue
+				}
+				if sortedAfter(pass, funcBody, rs, target.Name) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration appends to %q in map order; iterate sorted keys or sort %q afterwards", target.Name, target.Name)
+			}
+			// Float accumulation: x += expr in map order.
+			if len(v.Lhs) == 1 && compoundFloatOp(info, v) {
+				target := rootIdent(v.Lhs[0])
+				if target != nil {
+					if obj := info.ObjectOf(target); obj != nil && !within(rs, declNode(obj)) {
+						pass.Reportf(rs.Pos(),
+							"map iteration accumulates floating-point %q in map order; float addition is not associative — iterate sorted keys", target.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFunc(info, v.Fun); ok && path == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(rs.Pos(),
+					"map iteration writes output via fmt.%s in map order; iterate sorted keys", name)
+				return true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				if isOutputMethod(sel.Sel.Name) && info.Selections[sel] != nil {
+					pass.Reportf(rs.Pos(),
+						"map iteration writes output via %s in map order; iterate sorted keys", sel.Sel.Name)
+					return true
+				}
+				if isRNGCall(info, sel) {
+					pass.Reportf(rs.Pos(),
+						"map iteration draws randomness per key; the RNG stream position becomes order-dependent — iterate sorted keys")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// declNode wraps an object's declaration position as a node for within.
+func declNode(obj types.Object) ast.Node { return posNode(obj.Pos()) }
+
+type posNode token.Pos
+
+func (p posNode) Pos() token.Pos { return token.Pos(p) }
+func (p posNode) End() token.Pos { return token.Pos(p) }
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// compoundFloatOp reports whether v is x += / -= / *= on a float.
+func compoundFloatOp(info *types.Info, v *ast.AssignStmt) bool {
+	switch v.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+	default:
+		return false
+	}
+	t := info.TypeOf(v.Lhs[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isOutputMethod recognizes method names that produce ordered output.
+func isOutputMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+// isRNGCall reports whether sel is a method call on a *mathx.Rand or
+// *math/rand.Rand receiver, or a top-level math/rand function.
+func isRNGCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	if path, _, ok := pkgFunc(info, sel); ok {
+		return isRandPkg(path)
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rand" || obj.Pkg() == nil {
+		return false
+	}
+	pp := obj.Pkg().Path()
+	return isRandPkg(pp) || strings.HasSuffix(pp, "internal/mathx")
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function sorts the named slice: sort.*/slices.Sort*(x, ...) with x as
+// first argument, or a method call on x's root whose name contains
+// "Sort" (e.g. t.SortContacts()).
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if path, _, ok := pkgFunc(pass.TypesInfo, call.Fun); ok &&
+			(path == "sort" || path == "slices") && len(call.Args) > 0 {
+			if id := rootIdent(call.Args[0]); id != nil && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && strings.Contains(sel.Sel.Name, "Sort") {
+			if id := rootIdent(sel.X); id != nil && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

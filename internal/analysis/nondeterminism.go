@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages lists the packages whose logic must replay
+// bit-identically from a seed: everything a simulation result flows
+// through. internal/mathx is deliberately absent — it is the one
+// sanctioned wrapper around math/rand — and cmd/ is absent because
+// wall-clock timing of the CLI (progress lines) does not feed results.
+var DeterministicPackages = []string{
+	"dtncache/internal/sim",
+	"dtncache/internal/core",
+	"dtncache/internal/scheme",
+	"dtncache/internal/trace",
+	"dtncache/internal/graph",
+	"dtncache/internal/buffer",
+	"dtncache/internal/knapsack",
+	"dtncache/internal/routing",
+	"dtncache/internal/workload",
+}
+
+// Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in
+// simulation packages: time.Now/Since/Until, top-level math/rand
+// functions (which draw from the shared process-global source), and
+// rand.New calls whose source is not an explicitly seeded constructor.
+var Nondeterminism = &Analyzer{
+	Name:  "nondeterminism",
+	Doc:   "flags wall-clock time and ad-hoc math/rand usage in simulation packages",
+	Scope: DeterministicPackages,
+	Run:   runNondeterminism,
+}
+
+// wallClockFuncs are the time package functions that read the system
+// clock. Everything else in package time (durations, formatting) is
+// deterministic.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededSources are math/rand constructors that take an explicit seed,
+// making rand.New(...) reproducible.
+var seededSources = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+// randConstructors are math/rand package-level functions that do not
+// consume the global source and are therefore not flagged on their own.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runNondeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "time" && wallClockFuncs[name]:
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock inside simulation logic; use the simulated clock or pass times explicitly", name)
+			case isRandPkg(path):
+				// Only function *uses* matter; rand.Rand in a type
+				// declaration resolves to a TypeName, not a Func.
+				fn, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !isFunc || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if name == "New" {
+					if !seededRandNew(pass, sel, stack) {
+						pass.Reportf(sel.Pos(),
+							"rand.New without an explicitly seeded source (rand.NewSource(seed)); use mathx.NewRand so the stream replays from the experiment seed")
+					}
+					return true
+				}
+				if !randConstructors[name] {
+					pass.Reportf(sel.Pos(),
+						"top-level %s.%s draws from the shared process-global source; use a seeded mathx.Rand stream instead", path, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededRandNew reports whether the rand.New call that sel heads passes
+// a directly seeded source constructor as its argument.
+func seededRandNew(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != sel || len(call.Args) == 0 {
+		return false
+	}
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	path, name, ok := pkgFunc(pass.TypesInfo, argCall.Fun)
+	return ok && isRandPkg(path) && seededSources[name]
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dtncache/internal/analysis"
+	"dtncache/internal/analysis/analysistest"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Nondeterminism, "nondet")
+}
+
+func TestNondeterminismScope(t *testing.T) {
+	a := analysis.Nondeterminism
+	for _, pkg := range analysis.DeterministicPackages {
+		if !a.AppliesTo(pkg) {
+			t.Errorf("scope should cover %s", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"dtncache/internal/mathx", // the sanctioned math/rand wrapper
+		"dtncache/cmd/dtnsim",     // CLI wall-clock progress output
+		"dtncache/internal/analysis",
+	} {
+		if a.AppliesTo(pkg) {
+			t.Errorf("scope should not cover %s", pkg)
+		}
+	}
+	if !a.AppliesTo("dtncache/internal/sim/subpkg") {
+		t.Error("scope should cover subpackages of scoped packages")
+	}
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedFlow flags mathx.NewRand (and seeded rand.New) calls inside a
+// loop body or a goroutine whose seed expression does not depend on the
+// loop index / goroutine parameters. Constructing the same stream in
+// every iteration is the bug class parallel sweeps invite: each cell
+// silently replays identical randomness, and results stop depending on
+// the cell index, so reordering cells (or racing workers) changes which
+// stream serves which cell.
+//
+// A call is accepted when any identifier in the full method chain
+// (mathx.NewRand(base).Derive(fmt.Sprintf("cell-%d", i)) counts) is
+// tainted by the loop: the loop variables themselves, or a local whose
+// initializer mentions a tainted identifier.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "flags per-iteration RNG construction whose seed ignores the loop index",
+	Run:  runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRandConstructor(pass, call) {
+				return true
+			}
+			ctx, ctxKind := enclosingLoopOrGoroutine(stack)
+			if ctx == nil {
+				return true
+			}
+			tainted := taintedObjects(pass.TypesInfo, stack)
+			chain := maximalChain(call, stack)
+			if mentionsAny(pass.TypesInfo, chain, tainted) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"RNG constructed inside a %s with a seed that ignores the iteration; derive a per-index stream (e.g. base.Derive(fmt.Sprintf(\"cell-%%d\", i)))", ctxKind)
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandConstructor matches mathx.NewRand(...) and rand.New(...).
+func isRandConstructor(pass *Pass, call *ast.CallExpr) bool {
+	path, name, ok := pkgFunc(pass.TypesInfo, call.Fun)
+	if !ok {
+		return false
+	}
+	if isRandPkg(path) && name == "New" {
+		return true
+	}
+	return name == "NewRand" && pkgPathHasSuffix(path, "internal/mathx")
+}
+
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// enclosingLoopOrGoroutine returns the innermost enclosing for/range
+// statement, or the innermost function literal launched via `go`, that
+// contains the call. Crossing an ordinary (non-go) function literal
+// ends the search: the literal may run anywhere, and flagging every
+// closure would drown real findings.
+func enclosingLoopOrGoroutine(stack []ast.Node) (ast.Node, string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.ForStmt:
+			return v, "loop"
+		case *ast.RangeStmt:
+			return v, "loop"
+		case *ast.FuncLit:
+			// A goroutine body appears as go func(...){...}(...): the
+			// literal's parent is the CallExpr, whose parent is GoStmt.
+			if i > 1 {
+				call, isCall := stack[i-1].(*ast.CallExpr)
+				_, isGo := stack[i-2].(*ast.GoStmt)
+				if isCall && call.Fun == v && isGo {
+					return v, "goroutine"
+				}
+			}
+			return nil, ""
+		case *ast.FuncDecl:
+			return nil, ""
+		}
+	}
+	return nil, ""
+}
+
+// taintedObjects collects the objects whose value varies per iteration:
+// loop index/value variables of every enclosing loop, parameters of
+// enclosing goroutine-launched function literals, and (one fixpoint
+// pass) locals whose := initializer mentions a tainted object.
+func taintedObjects(info *types.Info, stack []ast.Node) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	var bodies []*ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.RangeStmt:
+			addIdent(v.Key)
+			addIdent(v.Value)
+			bodies = append(bodies, v.Body)
+		case *ast.ForStmt:
+			if init, ok := v.Init.(*ast.AssignStmt); ok {
+				for _, l := range init.Lhs {
+					addIdent(l)
+				}
+			}
+			switch post := v.Post.(type) {
+			case *ast.IncDecStmt:
+				addIdent(post.X)
+			case *ast.AssignStmt:
+				for _, l := range post.Lhs {
+					addIdent(l)
+				}
+			}
+			bodies = append(bodies, v.Body)
+		case *ast.FuncLit:
+			for _, field := range v.Type.Params.List {
+				for _, nm := range field.Names {
+					addIdent(nm)
+				}
+			}
+			bodies = append(bodies, v.Body)
+		case *ast.FuncDecl:
+			i = -1
+		}
+	}
+	// Propagate through local definitions until no new objects appear.
+	for changed := true; changed; {
+		changed = false
+		for _, body := range bodies {
+			ast.Inspect(body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, l := range as.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := info.ObjectOf(id)
+					if obj == nil || tainted[obj] {
+						continue
+					}
+					rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+					if mentionsAny(info, rhs, tainted) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return tainted
+}
+
+// maximalChain climbs from the constructor call through enclosing
+// selector/call chains so derived seeds count:
+// mathx.NewRand(s).Derive(label) is judged as one expression.
+func maximalChain(call *ast.CallExpr, stack []ast.Node) ast.Node {
+	var cur ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.SelectorExpr:
+			if v.X == cur {
+				cur = v
+				continue
+			}
+		case *ast.CallExpr:
+			if v.Fun == cur {
+				cur = v
+				continue
+			}
+		}
+		return cur
+	}
+	return cur
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import "strings"
+
+// suppressKey identifies one (file, line, analyzer) suppression target.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowedLines scans a package's comments for //lint:allow directives.
+// A directive suppresses the named analyzer on its own line (trailing
+// comment) and on the following line (comment above the statement).
+func allowedLines(pkg *Package) map[suppressKey]bool {
+	out := make(map[suppressKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := pkg.Fset.Position(c.Pos())
+				out[suppressKey{pos.Filename, pos.Line, name}] = true
+				out[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package maporder exercises the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// positive cases
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" in map order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m { // want `map iteration writes output via fmt\.Println in map order`
+		fmt.Println(k, v)
+	}
+}
+
+func writesInMapOrder(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `map iteration writes output via WriteString in map order`
+		b.WriteString(k)
+	}
+}
+
+func drawsPerKey(m map[string]int, r *rand.Rand) int {
+	total := 0
+	for range m { // want `map iteration draws randomness per key`
+		total += r.Intn(10)
+	}
+	return total
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration accumulates floating-point "sum" in map order`
+		sum += v
+	}
+	return sum
+}
+
+// negative cases
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // sorted below: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+type contactList struct{ contacts []int }
+
+func (c *contactList) SortContacts() { sort.Ints(c.contacts) }
+
+func appendThenMethodSort(m map[int]bool, c *contactList) {
+	for k := range m { // c.SortContacts() below: allowed
+		c.contacts = append(c.contacts, k)
+	}
+	c.SortContacts()
+}
+
+func localAppendIsFine(m map[string]int) int {
+	n := 0
+	for k := range m {
+		local := []string{}
+		local = append(local, k) // target declared inside the loop
+		n += len(local)
+	}
+	return n
+}
+
+func intCountersAreFine(m map[string]int) int {
+	count := 0
+	for _, v := range m {
+		count += v // integer addition commutes
+	}
+	return count
+}
+
+func deleteOnlyIsFine(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var keys []string
+	//lint:allow maporder order is irrelevant for this probe
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,45 @@
+// Package nondet exercises the nondeterminism analyzer.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// positive cases
+
+func wallClock() float64 {
+	start := time.Now()                    // want `time\.Now reads the wall clock`
+	_ = time.Since(start)                  // want `time\.Since reads the wall clock`
+	_ = time.Until(start.Add(time.Second)) // want `time\.Until reads the wall clock`
+	return rand.Float64()                  // want `top-level math/rand\.Float64 draws from the shared process-global source`
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `top-level math/rand\.Shuffle`
+	return rand.Intn(n)                // want `top-level math/rand\.Intn`
+}
+
+func unseeded(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New without an explicitly seeded source`
+}
+
+// negative cases
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d + 3*time.Second // no wall-clock read
+}
+
+func typeUsesAreFine() *rand.Rand {
+	var r *rand.Rand // referencing the type is not a draw
+	return r
+}
+
+func suppressed() float64 {
+	//lint:allow nondeterminism demo of the suppression directive
+	return rand.Float64()
+}

@@ -1,0 +1,79 @@
+// Package seedflow exercises the seedflow analyzer.
+package seedflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dtncache/internal/mathx"
+)
+
+// positive cases
+
+func sameStreamEveryCell(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		rng := mathx.NewRand(seed) // want `RNG constructed inside a loop with a seed that ignores the iteration`
+		_ = rng.Float64()
+		_ = i
+	}
+}
+
+func sameStreamEveryKey(cells map[int]float64, seed int64) {
+	for k := range cells {
+		r := rand.New(rand.NewSource(seed)) // want `RNG constructed inside a loop with a seed that ignores the iteration`
+		cells[k] = r.Float64()
+	}
+}
+
+func goroutineSharedSeed(seed int64, out chan<- float64) {
+	go func() {
+		rng := mathx.NewRand(seed) // want `RNG constructed inside a goroutine with a seed that ignores the iteration`
+		out <- rng.Float64()
+	}()
+}
+
+// negative cases
+
+func perIndexSeed(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		rng := mathx.NewRand(seed + int64(i)) // seed depends on i
+		_ = rng.Float64()
+	}
+}
+
+func perIndexDerive(n int, base *mathx.Rand, seed int64) {
+	for i := 0; i < n; i++ {
+		rng := mathx.NewRand(seed).Derive(fmt.Sprintf("cell-%d", i)) // derived per index
+		_ = rng.Float64()
+	}
+}
+
+func taintedLocal(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		cellSeed := seed + int64(i)*1000003
+		rng := mathx.NewRand(cellSeed) // local derived from i
+		_ = rng.Float64()
+	}
+}
+
+func goroutineParamSeed(seeds []int64, out chan<- float64) {
+	for _, s := range seeds {
+		go func(s int64) {
+			rng := mathx.NewRand(s) // parameter varies per goroutine
+			out <- rng.Float64()
+		}(s)
+	}
+}
+
+func outsideLoopIsFine(seed int64) *mathx.Rand {
+	return mathx.NewRand(seed)
+}
+
+func suppressed(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		//lint:allow seedflow identical streams wanted for this control experiment
+		rng := mathx.NewRand(seed)
+		_ = rng.Float64()
+		_ = i
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalkStack traverses root in depth-first order, calling fn with each
+// node and the stack of its ancestors (outermost first, root excluded
+// from its own stack). Returning false skips the node's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgFunc reports the import path and name of e when e is a selector on
+// an imported package identifier (e.g. time.Now -> "time", "Now").
+func pkgFunc(info *types.Info, e ast.Expr) (path, name string, ok bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (t.Contacts -> t, xs[i] -> xs), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos lies inside node's source range.
+func within(node ast.Node, pos ast.Node) bool {
+	return node.Pos() <= pos.Pos() && pos.End() <= node.End()
+}
+
+// mentionsAny reports whether any identifier inside e resolves (via
+// Uses or Defs) to an object in objs.
+func mentionsAny(info *types.Info, e ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -163,8 +163,17 @@ func (s *Intentional) buildPool(a, b trace.NodeID, now float64) (pool []poolItem
 	if len(byID) == 0 {
 		return nil, 0, 0
 	}
+	// Iterate the pool in sorted data-ID order: pinnedA/pinnedB are
+	// floating-point sums, and float addition in map-iteration order
+	// would make the result run-dependent in the last ulps.
+	ids := make([]workload.DataID, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	pool = make([]poolItem, 0, len(byID))
-	for _, p := range byID {
+	for _, id := range ids {
+		p := byID[id]
 		if p.atA && p.atB && p.homeA != p.homeB {
 			// Copies of the same item belonging to different NCLs are
 			// intentional redundancy ("one copy of data is cached at
@@ -180,7 +189,7 @@ func (s *Intentional) buildPool(a, b trace.NodeID, now float64) (pool []poolItem
 		p.utility = math.Max(u, s.utilityFloor)
 		pool = append(pool, *p)
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i].item.ID < pool[j].item.ID })
+	// pool is already in ascending item-ID order because ids is sorted.
 	return pool, pinnedA, pinnedB
 }
 

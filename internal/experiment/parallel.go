@@ -10,6 +10,10 @@ import (
 // fully independent (each builds its own environment and RNG streams),
 // so sweep cells parallelize without affecting determinism — results
 // are written into caller-owned slots indexed by i.
+//
+// The dispatch fails fast: after the first error no new cells are
+// handed out, in-flight cells finish, and the already-recorded first
+// error is returned. Workers that error stop immediately.
 func forEachCell(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -29,23 +33,34 @@ func forEachCell(n int, fn func(i int) error) error {
 		firstErr error
 	)
 	next := make(chan int)
+	done := make(chan struct{}) // closed once, with firstErr set
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
+					return
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCellRunsEveryCellOnce(t *testing.T) {
+	const n = 200
+	var calls [n]int32
+	err := forEachCell(n, func(i int) error {
+		atomic.AddInt32(&calls[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachCellPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := forEachCell(64, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("cell %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestForEachCellSingleCell(t *testing.T) {
+	boom := errors.New("boom")
+	if err := forEachCell(1, func(int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("sequential path lost the error: %v", err)
+	}
+}
+
+// TestForEachCellFastFail checks that after the first error the
+// dispatcher stops handing out cells: with every cell failing
+// instantly, the number of executed cells must stay near the worker
+// count instead of approaching n.
+func TestForEachCellFastFail(t *testing.T) {
+	const n = 100000
+	var calls int32
+	boom := errors.New("boom")
+	err := forEachCell(n, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Each worker can execute at most a handful of cells before the
+	// done channel wins the dispatch select; allow generous slack but
+	// far below n.
+	limit := int32(8 * runtime.GOMAXPROCS(0))
+	if got := atomic.LoadInt32(&calls); got > limit {
+		t.Fatalf("fast-fail dispatched %d cells (limit %d of %d)", got, limit, n)
+	}
+}
+
+// TestForEachCellWorkerShutdown checks that forEachCell returns only
+// after every worker has finished: no fn invocation may still be
+// running (or start) once the call returns.
+func TestForEachCellWorkerShutdown(t *testing.T) {
+	var active, peak int32
+	var mu sync.Mutex
+	boom := errors.New("boom")
+	err := forEachCell(1000, func(i int) error {
+		cur := atomic.AddInt32(&active, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&active, -1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := atomic.LoadInt32(&active); got != 0 {
+		t.Fatalf("%d workers still active after return", got)
+	}
+	if peak > int32(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("concurrency exceeded worker cap: peak %d", peak)
+	}
+}

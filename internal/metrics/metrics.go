@@ -5,6 +5,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"dtncache/internal/mathx"
 	"dtncache/internal/workload"
 )
@@ -149,8 +151,17 @@ func (c *Collector) Report() Report {
 		},
 		PhaseSamples: c.phases[0].N(),
 	}
+	// Iterate queries in sorted ID order so delays collects in a
+	// run-independent order (map iteration order would leak into any
+	// order-sensitive consumer downstream).
+	ids := make([]workload.QueryID, 0, len(c.queries))
+	for id := range c.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var delays []float64
-	for _, r := range c.queries {
+	for _, id := range ids {
+		r := c.queries[id]
 		rep.QueriesIssued++
 		if r.satisfied {
 			rep.QueriesSatisfied++

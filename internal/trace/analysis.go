@@ -44,10 +44,23 @@ func (t *Trace) AnalyzeInterContacts() InterContactStats {
 		}
 		starts[key] = append(starts[key], c.Start)
 	}
+	// Iterate pairs in sorted key order so raw and normalized collect
+	// in a run-independent order (normalized feeds the KS statistic).
+	keys := make([][2]NodeID, 0, len(starts))
+	for k := range starts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	var raw []float64        // raw gaps, for mean/median/CV
 	var normalized []float64 // per-pair normalized gaps, for KS
 	pairs := 0
-	for _, ss := range starts {
+	for _, k := range keys {
+		ss := starts[k]
 		if len(ss) < 2 {
 			continue
 		}

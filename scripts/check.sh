@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-2 pre-merge gate: everything the determinism contract depends on.
+#
+#   go vet            — stock correctness vet
+#   dtnlint           — the determinism lint suite (see DESIGN.md)
+#   go test -race     — full test suite with the race detector, which
+#                       also exercises the parallel-sweep determinism
+#                       regression test under racing workers
+#   fuzz corpora      — replays the checked-in fuzz seed corpora as
+#                       unit tests (short mode)
+#
+# Set CHECK_FUZZ_TIME (e.g. CHECK_FUZZ_TIME=30s) to additionally run
+# each fuzz target for that long.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== dtnlint ./..."
+go run ./cmd/dtnlint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== fuzz seed corpora (short mode)"
+go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack
+
+if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
+    echo "== fuzzing for ${CHECK_FUZZ_TIME} per target"
+    targets=(
+        "./internal/trace FuzzRead"
+        "./internal/trace FuzzReadONE"
+        "./internal/knapsack FuzzSolve"
+        "./internal/knapsack FuzzProbabilisticSelect"
+    )
+    for entry in "${targets[@]}"; do
+        read -r pkg fn <<<"$entry"
+        go test -count=1 -run "^$fn\$" -fuzz "^$fn\$" -fuzztime "$CHECK_FUZZ_TIME" "$pkg"
+    done
+fi
+
+echo "check: OK"
