@@ -3,9 +3,9 @@
 # scripts/check.sh and DESIGN.md "Determinism contract").
 
 GO ?= go
-CMDS := dtnsim nclstat experiments tracegen dtnlint
+CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson
 
-.PHONY: build test check smoke fuzz lint clean
+.PHONY: build test check smoke fuzz lint bench clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,17 @@ smoke:
 		./bin/$$c --help >/dev/null 2>&1 || { echo "smoke: $$c --help failed"; exit 1; }; \
 		echo "smoke: $$c ok"; \
 	done
+
+# Knowledge-layer benchmarks (PR 2): the incremental-vs-full refresh
+# microbenchmarks and the end-to-end shared-vs-isolated comparison cell,
+# summarized with derived speedups into BENCH_pr2.json.
+bench:
+	@{ $(GO) test ./internal/knowledge -run '^$$' -bench . -benchtime 2x -benchmem; \
+	   $(GO) test ./internal/experiment -run '^$$' -bench RunComparison -benchtime 1x -benchmem; } \
+	 | $(GO) run ./cmd/benchjson -o BENCH_pr2.json \
+	     -ratio run_comparison_speedup=RunComparisonIsolated/RunComparison \
+	     -ratio incremental_speedup=AllPathsFull/SnapshotIncremental
+	@cat BENCH_pr2.json
 
 fuzz:
 	CHECK_FUZZ_TIME=$${CHECK_FUZZ_TIME:-30s} ./scripts/check.sh

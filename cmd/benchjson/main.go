@@ -1,0 +1,211 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// summary, optionally computing named speedup ratios between benchmark
+// pairs — the format behind the repo's committed BENCH_*.json files.
+//
+// Usage:
+//
+//	go test ./... -bench . -benchmem | benchjson -o BENCH.json \
+//	    -ratio comparison_speedup=RunComparisonIsolated/RunComparison
+//
+// Input lines that are not benchmark results (goos/pkg headers, PASS,
+// ok) are ignored, so whole `go test` transcripts can be piped in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is B/op when -benchmem was set.
+	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is allocs/op when -benchmem was set.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any extra b.ReportMetric units (e.g. reused-frac).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Ratio is a derived speedup: NsPerOp(Numerator) / NsPerOp(Denominator).
+type Ratio struct {
+	Name        string  `json:"name"`
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// Summary is the emitted JSON document.
+type Summary struct {
+	Benchmarks []Result `json:"benchmarks"`
+	Ratios     []Ratio  `json:"ratios,omitempty"`
+}
+
+func main() {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed; --help is a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out    = fs.String("o", "", "write JSON here (default stdout)")
+		ratios []string
+	)
+	fs.Func("ratio", "derived speedup `name=NumeratorBench/DenominatorBench` (repeatable)", func(v string) error {
+		ratios = append(ratios, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	sum, err := parse(in)
+	if err != nil {
+		return err
+	}
+	for _, r := range ratios {
+		ratio, err := computeRatio(r, sum.Benchmarks)
+		if err != nil {
+			return err
+		}
+		sum.Ratios = append(sum.Ratios, ratio)
+	}
+
+	buf, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// parse extracts benchmark result lines from a `go test -bench`
+// transcript.
+func parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations, then (value unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmarking..." noise
+		}
+		res := Result{Name: benchName(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad measurement %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				v := val
+				res.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		sum.Benchmarks = append(sum.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, errors.New("no benchmark lines found in input")
+	}
+	return sum, nil
+}
+
+// benchName strips the Benchmark prefix and the -GOMAXPROCS suffix.
+func benchName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndex(s, "-"); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+// computeRatio resolves one -ratio spec against the parsed results.
+func computeRatio(spec string, results []Result) (Ratio, error) {
+	name, expr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return Ratio{}, fmt.Errorf("ratio %q: want name=Numerator/Denominator", spec)
+	}
+	num, den, ok := strings.Cut(expr, "/")
+	if !ok {
+		return Ratio{}, fmt.Errorf("ratio %q: want name=Numerator/Denominator", spec)
+	}
+	find := func(n string) (Result, error) {
+		for _, r := range results {
+			if r.Name == n {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("ratio %q: benchmark %q not in input", name, n)
+	}
+	a, err := find(num)
+	if err != nil {
+		return Ratio{}, err
+	}
+	b, err := find(den)
+	if err != nil {
+		return Ratio{}, err
+	}
+	if b.NsPerOp == 0 {
+		return Ratio{}, fmt.Errorf("ratio %q: %s has zero ns/op", name, den)
+	}
+	return Ratio{Name: name, Numerator: num, Denominator: den, Speedup: a.NsPerOp / b.NsPerOp}, nil
+}

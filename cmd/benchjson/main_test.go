@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dtncache/internal/knowledge
+cpu: Intel(R) Xeon(R)
+BenchmarkAllPathsFull             	       2	1925639784 ns/op	89972512 B/op	 1161390 allocs/op
+BenchmarkSnapshotIncremental-4    	       2	 784084922 ns/op	         0.6250 reused-frac	37483776 B/op	  435633 allocs/op
+PASS
+ok  	dtncache/internal/knowledge	13.702s
+`
+
+func TestParse(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	full, incr := sum.Benchmarks[0], sum.Benchmarks[1]
+	if full.Name != "AllPathsFull" || full.Iterations != 2 || full.NsPerOp != 1925639784 {
+		t.Errorf("full parsed as %+v", full)
+	}
+	if full.AllocsPerOp == nil || *full.AllocsPerOp != 1161390 {
+		t.Errorf("full allocs/op = %v", full.AllocsPerOp)
+	}
+	if incr.Name != "SnapshotIncremental" { // -4 GOMAXPROCS suffix stripped
+		t.Errorf("incremental name = %q", incr.Name)
+	}
+	if incr.Metrics["reused-frac"] != 0.625 {
+		t.Errorf("custom metric = %v", incr.Metrics)
+	}
+}
+
+func TestComputeRatio(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := computeRatio("incremental_speedup=AllPathsFull/SnapshotIncremental", sum.Benchmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 2.4 || r.Speedup > 2.5 {
+		t.Errorf("speedup = %v, want ~2.456", r.Speedup)
+	}
+	if _, err := computeRatio("bad=Missing/AllPathsFull", sum.Benchmarks); err == nil {
+		t.Error("missing benchmark accepted")
+	}
+	if _, err := computeRatio("malformed", sum.Benchmarks); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"dtncache/internal/experiment"
 	"dtncache/internal/graph"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/mathx"
 	"dtncache/internal/trace"
 )
@@ -76,14 +77,18 @@ func run(args []string) error {
 	if t == 0 {
 		t = experiment.DefaultMetricT(tr.Name)
 	}
-	metricsVals, err := experiment.NCLMetrics(tr, t)
-	if err != nil {
-		return err
-	}
+	// Whole-trace knowledge snapshot over the raw contact list, the
+	// Sec. IV-B offline analysis convention.
+	snap := knowledge.NewProvider(knowledge.Params{
+		Nodes:   tr.Nodes,
+		MetricT: t,
+	}, tr.Contacts).At(tr.Duration)
+	metricsVals := snap.Metrics()
 	sorted := append([]float64(nil), metricsVals...)
 	sort.Float64s(sorted)
 	sum := mathx.Summarize(sorted)
-	fmt.Printf("trace %s: %d nodes, T = %.0fs\n", tr.Name, tr.Nodes, t)
+	fmt.Printf("trace %s: %d nodes, T = %.0fs (knowledge snapshot v%d at t=%.0fs)\n",
+		tr.Name, tr.Nodes, t, snap.Version(), snap.BuiltAt())
 	fmt.Printf("C_i distribution: min %.4f, median %.4f, p90 %.4f, max %.4f (skew max/median %.1fx)\n",
 		sum.Min, sum.Median, sum.P90, sum.Max, safeRatio(sum.Max, sum.Median))
 

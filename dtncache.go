@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"dtncache/internal/experiment"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
 	"dtncache/internal/routing"
 	"dtncache/internal/scheme"
@@ -65,6 +66,13 @@ type (
 	// ResponseMode selects the probabilistic-response strategy of
 	// Sec. V-C.
 	ResponseMode = scheme.ResponseMode
+	// Knowledge is a thread-safe provider of versioned, immutable
+	// network-knowledge snapshots (contact rates → opportunistic paths →
+	// NCL metrics) that concurrent runs share via Setup.Knowledge.
+	Knowledge = knowledge.Provider
+	// KnowledgeSnapshot is one immutable knowledge view: path weights
+	// and NCL metrics at a build time.
+	KnowledgeSnapshot = knowledge.Snapshot
 )
 
 // Probabilistic response modes (Sec. V-C).
@@ -145,6 +153,20 @@ func Run(s Setup, schemeName string) (Report, error) {
 // headline metrics.
 func RunAveraged(s Setup, schemeName string, repeats int) (Report, error) {
 	return experiment.RunAveraged(s, schemeName, repeats)
+}
+
+// RunComparison runs every named scheme on the same setup concurrently
+// with one shared knowledge pipeline, returning reports in name order;
+// each report is bit-identical to an isolated Run.
+func RunComparison(s Setup, names []string) ([]Report, error) {
+	return experiment.RunComparison(s, names)
+}
+
+// SharedKnowledge builds the knowledge provider for a trace that sweep
+// cells share via Setup.Knowledge (metricT = 0 picks the trace's
+// default horizon).
+func SharedKnowledge(tr *Trace, metricT float64) *Knowledge {
+	return experiment.SharedKnowledge(tr, metricT)
 }
 
 // Routing-substrate re-exports: the canonical DTN unicast forwarding

@@ -16,6 +16,7 @@ var DeterministicPackages = []string{
 	"dtncache/internal/scheme",
 	"dtncache/internal/trace",
 	"dtncache/internal/graph",
+	"dtncache/internal/knowledge",
 	"dtncache/internal/buffer",
 	"dtncache/internal/knapsack",
 	"dtncache/internal/routing",

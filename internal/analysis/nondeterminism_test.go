@@ -18,6 +18,12 @@ func TestNondeterminismScope(t *testing.T) {
 			t.Errorf("scope should cover %s", pkg)
 		}
 	}
+	// The knowledge layer's parallel snapshot builder must sit inside
+	// the determinism gate: a regression dropping it from the scope
+	// would silently exempt the fan-out from the lint.
+	if !a.AppliesTo("dtncache/internal/knowledge") {
+		t.Error("scope must cover dtncache/internal/knowledge")
+	}
 	for _, pkg := range []string{
 		"dtncache/internal/mathx", // the sanctioned math/rand wrapper
 		"dtncache/cmd/dtnsim",     // CLI wall-clock progress output

@@ -458,12 +458,14 @@ func (s *Intentional) pushFromRelay(sess *sim.Session, from trace.NodeID) {
 
 // betterToward reports whether `to` has a strictly higher opportunistic
 // path weight toward center than `from` (the relay selection metric of
-// Sec. V-A), or is the center itself.
+// Sec. V-A), read from the knowledge snapshot's precomputed weight
+// matrix, or is the center itself.
 func (s *Intentional) betterToward(to, from, center trace.NodeID) bool {
 	if to == center {
 		return true
 	}
-	return s.env.MetricWeight(to, center) > s.env.MetricWeight(from, center)
+	snap := s.env.Knowledge()
+	return snap.MetricWeight(to, center) > snap.MetricWeight(from, center)
 }
 
 // tryCache inserts a pushed copy at node n homed at NCL k. With the

@@ -112,11 +112,13 @@ func (s *Intentional) replace(sess *sim.Session) {
 }
 
 // nclWeight is node n's closeness to the NCLs: its best opportunistic
-// weight toward any central node.
+// weight toward any central node, read from the knowledge snapshot's
+// precomputed weight matrix.
 func (s *Intentional) nclWeight(n trace.NodeID) float64 {
 	best := 0.0
+	snap := s.env.Knowledge()
 	for _, center := range s.env.NCLs() {
-		if w := s.env.MetricWeight(n, center); w > best {
+		if w := snap.MetricWeight(n, center); w > best {
 			best = w
 		}
 	}

@@ -1,7 +1,7 @@
 package experiment
 
 import (
-	"dtncache/internal/graph"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
 	"dtncache/internal/routing"
 	"dtncache/internal/scheme"
@@ -65,9 +65,10 @@ func Ablations(o FigureOptions) (*Table, error) {
 	if o.Quick {
 		variants = variants[:3]
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(variants))
 	if err := forEachCell(len(variants), func(i int) error {
-		setup := Setup{Trace: tr, AvgLifetime: tl, K: 8, Seed: o.Seed}
+		setup := Setup{Trace: tr, AvgLifetime: tl, K: 8, Seed: o.Seed, Knowledge: kb}
 		variants[i].mutate(&setup)
 		rep, err := RunAveraged(setup, variants[i].scheme, o.Repeats)
 		reports[i] = rep
@@ -118,10 +119,12 @@ func Robustness(o FigureOptions) (*Table, error) {
 			cells = append(cells, cell{p, name})
 		}
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(cells))
 	if err := forEachCell(len(cells), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgLifetime: tl, K: 8, Seed: o.Seed, DropProb: cells[i].p,
+			Knowledge: kb,
 		}, cells[i].name, o.Repeats)
 		reports[i] = rep
 		return err
@@ -157,10 +160,12 @@ func DelayBreakdown(o FigureOptions) (*Table, error) {
 		Headers: []string{"K", "query->NCL (h)", "broadcast (h)",
 			"reply (h)", "total (h)", "queries"},
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(ks))
 	if err := forEachCell(len(ks), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgLifetime: 3 * hour, K: ks[i], Seed: o.Seed,
+			Knowledge: kb,
 		}, SchemeIntentional, o.Repeats)
 		reports[i] = rep
 		return err
@@ -191,21 +196,21 @@ func RoutingComparison(o FigureOptions) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	est := graph.NewRateEstimator(tr.Nodes, 0)
-	for _, c := range tr.Contacts {
-		est.Observe(c.A, c.B)
-	}
-	paths := est.Snapshot(tr.Duration).AllPaths(0)
+	// Whole-trace path knowledge from raw contacts, as in Sec. IV-B; the
+	// gradient relay score reads the snapshot's precomputed weight
+	// matrix (safe under the parallel strategy evaluation below).
 	metricT := DefaultMetricT(string(preset))
+	snap := knowledge.NewProvider(knowledge.Params{
+		Nodes:   tr.Nodes,
+		MetricT: metricT,
+	}, tr.Contacts).At(tr.Duration)
 	strategies := []routing.Strategy{
 		routing.DirectDelivery{},
 		routing.FirstContact{},
 		routing.Epidemic{},
 		routing.SprayAndWait{},
 		routing.NewPRoPHET(tr.Nodes),
-		&routing.Gradient{Score: func(node, dst trace.NodeID) float64 {
-			return paths[node].Weight(dst, metricT)
-		}},
+		&routing.Gradient{Score: snap.MetricWeight},
 	}
 	if o.Quick {
 		strategies = strategies[:3]
@@ -269,12 +274,14 @@ func CrossTrace(o FigureOptions) (*Table, error) {
 	}
 	var cells []cell
 	traces := make(map[trace.Preset]*trace.Trace, len(envs))
+	shared := make(map[trace.Preset]*knowledge.Provider, len(envs))
 	for _, e := range envs {
 		tr, err := trace.GeneratePreset(e.preset, o.Seed)
 		if err != nil {
 			return nil, err
 		}
 		traces[e.preset] = tr
+		shared[e.preset] = SharedKnowledge(tr, 0)
 		for _, name := range names {
 			cells = append(cells, cell{e, name})
 		}
@@ -284,7 +291,7 @@ func CrossTrace(o FigureOptions) (*Table, error) {
 		c := cells[i]
 		rep, err := RunAveraged(Setup{
 			Trace: traces[c.env.preset], AvgLifetime: c.env.tl, K: 8,
-			Seed: o.Seed,
+			Seed: o.Seed, Knowledge: shared[c.env.preset],
 		}, c.name, o.Repeats)
 		reports[i] = rep
 		return err
@@ -334,12 +341,13 @@ func RWPComparison(o FigureOptions) (*Table, error) {
 			"geometric contacts (no Poisson assumption); T_L = 6h, K = 6, s_avg = 20Mb",
 		},
 	}
+	kb := SharedKnowledge(tr, 1800)
 	reports := make([]metrics.Report, len(names))
 	if err := forEachCell(len(names), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, MetricT: 1800, AvgLifetime: 6 * hour,
 			AvgSizeBits: 20e6, K: 6, Seed: o.Seed,
-			BufferMinBits: 50e6, BufferMaxBits: 150e6,
+			BufferMinBits: 50e6, BufferMaxBits: 150e6, Knowledge: kb,
 		}, names[i], o.Repeats)
 		reports[i] = rep
 		return err

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+var (
+	comparisonOnce  sync.Once
+	comparisonTrace *trace.Trace
+)
+
+func comparisonSetup(b *testing.B) Setup {
+	b.Helper()
+	comparisonOnce.Do(func() {
+		// A knowledge-bound cell: a large sparse population (vehicular /
+		// rural DTN regime) where the contact-rate → paths → metric
+		// pipeline, not event replay, dominates a run. The Table I
+		// conference traces are the opposite regime (small n, dense
+		// contacts), so they mostly measure the simulator.
+		tr, _, err := trace.Generate(trace.GenConfig{
+			Name:           "bench-sparse",
+			Nodes:          200,
+			DurationSec:    30 * 86400,
+			GranularitySec: 60,
+			TargetContacts: 10000,
+			ActivityAlpha:  1.3,
+			ActivityMax:    25,
+			EdgeProb:       0.05,
+			PairSkewAlpha:  0.6,
+			PairSkewMax:    500,
+			Communities:    8,
+			IntraBoost:     8,
+			Seed:           1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		comparisonTrace = tr
+	})
+	return Setup{Trace: comparisonTrace, Seed: 1, MetricT: 3 * 86400}
+}
+
+// BenchmarkRunComparison measures a full multi-scheme comparison cell —
+// all five Fig. 10 schemes on MIT Reality — with the knowledge pipeline
+// built once and shared across schemes via the Provider.
+func BenchmarkRunComparison(b *testing.B) {
+	setup := comparisonSetup(b)
+	names := SchemeNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunComparison(setup, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunComparisonIsolated is the seed behavior for the same
+// cell: identical concurrency (forEachCell), but every scheme builds
+// its own knowledge pipeline, so the only difference from
+// BenchmarkRunComparison is the sharing.
+func BenchmarkRunComparisonIsolated(b *testing.B) {
+	setup := comparisonSetup(b)
+	names := SchemeNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := forEachCell(len(names), func(j int) error {
+			_, err := Run(setup, names[j])
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import "testing"
+
+// TestRunComparisonMatchesRun is the sharing contract of the knowledge
+// layer: running every scheme concurrently against one shared Provider
+// must produce reports bit-identical to isolated Runs that each build
+// their own knowledge.
+func TestRunComparisonMatchesRun(t *testing.T) {
+	tr := tinyTrace(t)
+	setup := Setup{
+		Trace:       tr,
+		AvgLifetime: 6 * 3600,
+		K:           2,
+		Seed:        3,
+	}
+	names := SchemeNames()
+	shared, err := RunComparison(setup, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		isolated, err := Run(setup, name)
+		if err != nil {
+			t.Fatalf("%s isolated run: %v", name, err)
+		}
+		if a, b := reportString(shared[i]), reportString(isolated); a != b {
+			t.Errorf("%s: shared-knowledge report diverged from isolated run:\n%s\n%s", name, a, b)
+		}
+	}
+}
+
+// TestRunComparisonReusesExplicitProvider checks that a caller-supplied
+// provider is honored (the sweep-cell sharing pattern) and still
+// matches isolated runs.
+func TestRunComparisonReusesExplicitProvider(t *testing.T) {
+	tr := tinyTrace(t)
+	setup := Setup{
+		Trace:       tr,
+		AvgLifetime: 6 * 3600,
+		K:           2,
+		Seed:        3,
+		Knowledge:   SharedKnowledge(tr, 0),
+	}
+	names := []string{SchemeIntentional, SchemeBundleCache}
+	shared, err := RunComparison(setup, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated := setup
+	isolated.Knowledge = nil
+	for i, name := range names {
+		rep, err := Run(isolated, name)
+		if err != nil {
+			t.Fatalf("%s isolated run: %v", name, err)
+		}
+		if a, b := reportString(shared[i]), reportString(rep); a != b {
+			t.Errorf("%s: explicit-provider report diverged from isolated run:\n%s\n%s", name, a, b)
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/core"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
 	"dtncache/internal/scheme"
+	"dtncache/internal/sim"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
 )
@@ -63,6 +65,13 @@ type Setup struct {
 	DropProb float64
 	// Seed drives workload and protocol randomness (default 1).
 	Seed int64
+	// Knowledge optionally shares a prebuilt knowledge provider across
+	// runs (see SharedKnowledge). It must have been built for this
+	// trace's merged contacts with the same MetricT; nil gives each run
+	// its own provider. Knowledge is independent of Seed, workload and
+	// scheme, so one provider serves every cell of a sweep over the
+	// same trace.
+	Knowledge *knowledge.Provider
 }
 
 // normalized fills defaults.
@@ -160,11 +169,51 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 	cfg.PopularityFromFirst = s.PopularityFromFirst
 	cfg.DropProb = s.DropProb
 	cfg.Seed = s.Seed
-	env, err := scheme.NewEnv(s.Trace, w, cfg, factory())
+	env, err := scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)
 	if err != nil {
 		return metrics.Report{}, err
 	}
 	return env.Run(), nil
+}
+
+// SharedKnowledge builds a knowledge provider for tr that concurrent
+// Run cells share via Setup.Knowledge: one contact-rate → paths →
+// NCL-metric pipeline per trace instead of one per environment. The
+// provider is exact (Epsilon 0), so shared results are bit-identical to
+// isolated ones. metricT = 0 picks the trace's default horizon, the
+// same rule Setup.normalized applies.
+func SharedKnowledge(tr *trace.Trace, metricT float64) *knowledge.Provider {
+	if metricT == 0 {
+		metricT = DefaultMetricT(tr.Name)
+	}
+	return knowledge.NewProvider(knowledge.Params{
+		Nodes:   tr.Nodes,
+		MetricT: metricT,
+	}, sim.MergeOverlaps(tr.Contacts))
+}
+
+// RunComparison runs every named scheme on the same setup concurrently,
+// sharing one knowledge provider across all of them (built on demand
+// when s.Knowledge is nil), and returns the reports in name order. The
+// shared pipeline is exact, so each report is bit-identical to what an
+// isolated Run of that scheme produces.
+func RunComparison(s Setup, names []string) ([]metrics.Report, error) {
+	s, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if s.Knowledge == nil {
+		s.Knowledge = SharedKnowledge(s.Trace, s.MetricT)
+	}
+	reports := make([]metrics.Report, len(names))
+	if err := forEachCell(len(names), func(i int) error {
+		rep, err := Run(s, names[i])
+		reports[i] = rep
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return reports, nil
 }
 
 // RunAveraged repeats Run with seeds seed, seed+1, ... and averages the

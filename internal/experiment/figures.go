@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"dtncache/internal/graph"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/mathx"
 	"dtncache/internal/metrics"
 	"dtncache/internal/trace"
@@ -107,14 +107,15 @@ func Fig4(o FigureOptions) (*Table, error) {
 
 // NCLMetrics computes the NCL selection metric C_i (Eq. 3) for every
 // node of the trace, using the whole trace for rate estimation as in
-// Sec. IV-B.
+// Sec. IV-B. The raw (unmerged) contact list feeds the knowledge
+// builder, matching the offline analysis convention (the in-simulation
+// estimator counts merged contacts instead).
 func NCLMetrics(tr *trace.Trace, metricT float64) ([]float64, error) {
-	est := graph.NewRateEstimator(tr.Nodes, 0)
-	for _, c := range tr.Contacts {
-		est.Observe(c.A, c.B)
-	}
-	g := est.Snapshot(tr.Duration)
-	return g.Metrics(metricT, graph.DefaultMaxHops), nil
+	pr := knowledge.NewProvider(knowledge.Params{
+		Nodes:   tr.Nodes,
+		MetricT: metricT,
+	}, tr.Contacts)
+	return pr.At(tr.Duration).Metrics(), nil
 }
 
 // Fig7 regenerates Fig. 7: the sigmoid response probability of Eq. (4)
@@ -223,10 +224,12 @@ func Fig10(o FigureOptions) (*Table, error) {
 			cells = append(cells, cell{tl, name})
 		}
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(cells))
 	if err := forEachCell(len(cells), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgLifetime: cells[i].tl, K: 8, Seed: o.Seed,
+			Knowledge: kb,
 		}, cells[i].name, o.Repeats)
 		reports[i] = rep
 		return err
@@ -269,10 +272,12 @@ func Fig11(o FigureOptions) (*Table, error) {
 			cells = append(cells, cell{sz, name})
 		}
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(cells))
 	if err := forEachCell(len(cells), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgSizeBits: cells[i].sz, K: 8, Seed: o.Seed,
+			Knowledge: kb,
 		}, cells[i].name, o.Repeats)
 		reports[i] = rep
 		return err
@@ -318,10 +323,12 @@ func Fig12(o FigureOptions) (*Table, error) {
 			cells = append(cells, cell{sz, name})
 		}
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(cells))
 	if err := forEachCell(len(cells), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgSizeBits: cells[i].sz, K: 8, Seed: o.Seed,
+			Knowledge: kb,
 		}, cells[i].name, o.Repeats)
 		reports[i] = rep
 		return err
@@ -394,11 +401,13 @@ func Fig13(o FigureOptions) (*Table, error) {
 			cells = append(cells, cell{b.label, b.min, b.max, k})
 		}
 	}
+	kb := SharedKnowledge(tr, 0)
 	reports := make([]metrics.Report, len(cells))
 	if err := forEachCell(len(cells), func(i int) error {
 		rep, err := RunAveraged(Setup{
 			Trace: tr, AvgLifetime: 3 * hour, K: cells[i].k, Seed: o.Seed,
 			BufferMinBits: cells[i].min, BufferMaxBits: cells[i].max,
+			Knowledge: kb,
 		}, SchemeIntentional, o.Repeats)
 		reports[i] = rep
 		return err

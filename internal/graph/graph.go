@@ -327,6 +327,22 @@ func (p *Paths) Weight(dst trace.NodeID, t float64) float64 {
 	return h.CDF(t)
 }
 
+// Materialize eagerly constructs the hypoexponential distribution of
+// every reachable destination. Weight normally builds them lazily,
+// mutating the receiver on first use per destination; after Materialize
+// every Weight call is read-only, so a materialized Paths is safe for
+// concurrent use (the contract knowledge snapshots rely on).
+func (p *Paths) Materialize() {
+	for v, rates := range p.hopRates {
+		if rates == nil || p.dists[v] != nil {
+			continue
+		}
+		if h, err := mathx.NewHypoexp(rates); err == nil {
+			p.dists[v] = h
+		}
+	}
+}
+
 // AllPaths computes Paths from every node. The graph is undirected, so
 // result[i].Weight(j, T) == result[j].Weight(i, T) up to tie-breaking.
 func (g *Graph) AllPaths(maxHops int) []*Paths {

@@ -1,0 +1,101 @@
+package knowledge_test
+
+import (
+	"sync"
+	"testing"
+
+	"dtncache/internal/experiment"
+	"dtncache/internal/knowledge"
+	"dtncache/internal/trace"
+)
+
+// The refresh benchmarks replay a fine-grained knowledge-refresh grid —
+// a 3-hour RefreshSec over the last three days of the MIT Reality trace
+// (the scheme's RefreshSec is a free parameter; duration/100 is only
+// its default) — and compare rebuilding every snapshot from scratch
+// against incremental builds chained through their predecessor.
+const benchSteps = 24
+
+var (
+	benchOnce   sync.Once
+	benchTrace  *trace.Trace
+	benchParams knowledge.Params
+)
+
+func benchSetup(b *testing.B) (*trace.Trace, knowledge.Params) {
+	b.Helper()
+	benchOnce.Do(func() {
+		tr, err := trace.GeneratePreset(trace.MITReality, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTrace = tr
+		benchParams = knowledge.Params{
+			Nodes:   tr.Nodes,
+			MetricT: experiment.DefaultMetricT(tr.Name),
+		}
+	})
+	return benchTrace, benchParams
+}
+
+func benchGrid(tr *trace.Trace) []float64 {
+	grid := make([]float64, benchSteps)
+	step := 3 * 3600.0
+	start := tr.Duration - float64(benchSteps-1)*step
+	for i := range grid {
+		grid[i] = start + float64(i)*step
+	}
+	return grid
+}
+
+// BenchmarkAllPathsFull is the seed behavior: every refresh recomputes
+// rates, paths, the weight matrix and the metrics from scratch.
+func BenchmarkAllPathsFull(b *testing.B) {
+	tr, params := benchSetup(b)
+	grid := benchGrid(tr)
+	builder := knowledge.NewBuilder(params, tr.Contacts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v, t := range grid {
+			builder.Build(t, nil, v+1)
+		}
+	}
+}
+
+// BenchmarkSnapshotIncremental chains each refresh off the previous
+// snapshot with the relative rate tolerance Epsilon = 0.05, so
+// components whose rates barely moved keep their paths and weight rows.
+func BenchmarkSnapshotIncremental(b *testing.B) {
+	tr, params := benchSetup(b)
+	grid := benchGrid(tr)
+	params.Epsilon = 0.05
+	builder := knowledge.NewBuilder(params, tr.Contacts)
+	b.ResetTimer()
+	reusedTotal := 0
+	for i := 0; i < b.N; i++ {
+		var base *knowledge.Snapshot
+		for v, t := range grid {
+			s := builder.Build(t, base, v+1)
+			reusedTotal += s.ReusedSources()
+			base = s
+		}
+	}
+	b.ReportMetric(float64(reusedTotal)/float64(b.N*benchSteps*tr.Nodes), "reused-frac")
+}
+
+// BenchmarkSnapshotIncrementalExact is the Epsilon = 0 contract mode:
+// on a connected trace elapsed-time rescaling dirties every component,
+// so this bounds the incremental bookkeeping overhead rather than
+// showing reuse.
+func BenchmarkSnapshotIncrementalExact(b *testing.B) {
+	tr, params := benchSetup(b)
+	grid := benchGrid(tr)
+	builder := knowledge.NewBuilder(params, tr.Contacts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var base *knowledge.Snapshot
+		for v, t := range grid {
+			base = builder.Build(t, base, v+1)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package knowledge
+
+import (
+	"sort"
+
+	"dtncache/internal/graph"
+	"dtncache/internal/trace"
+)
+
+// Builder turns contact-trace prefixes into Snapshots. It holds no
+// mutable state of its own — Build is a pure function of (contacts,
+// build time, base snapshot) — so one Builder may serve concurrent
+// Build calls for different times.
+//
+// The contact list must be sorted by start time (trace.Validate
+// guarantees this for raw traces; sim.MergeOverlaps preserves it).
+// Whether the list is raw or merged is the caller's choice: scheme.Env
+// counts merged contacts (one Handler.ContactStart per merged session),
+// while the offline Fig. 4 analysis counts raw contacts, exactly as the
+// seed code did.
+type Builder struct {
+	params   Params
+	contacts []trace.Contact
+}
+
+// NewBuilder creates a builder over the given contact list.
+func NewBuilder(p Params, contacts []trace.Contact) *Builder {
+	return &Builder{params: p.Normalized(), contacts: contacts}
+}
+
+// Params returns the normalized pipeline configuration.
+func (b *Builder) Params() Params { return b.params }
+
+// counts accumulates the symmetric pairwise contact counts of every
+// contact with Start <= t — the same prefix graph.RateEstimator has
+// observed by the refresh event at time t (contact-start events at
+// equal virtual time carry lower sequence numbers than maintenance
+// ticks, so they fire first).
+func (b *Builder) counts(t float64) []int {
+	n := b.params.Nodes
+	counts := make([]int, n*n)
+	// Contacts are sorted by start, so the observed prefix is contiguous.
+	end := sort.Search(len(b.contacts), func(i int) bool {
+		return b.contacts[i].Start > t
+	})
+	for _, c := range b.contacts[:end] {
+		if c.A == c.B || c.A < 0 || c.B < 0 || int(c.A) >= n || int(c.B) >= n {
+			continue
+		}
+		counts[int(c.A)*n+int(c.B)]++
+		counts[int(c.B)*n+int(c.A)]++
+	}
+	return counts
+}
+
+// Build produces the snapshot at time t. With base == nil every source
+// is computed from scratch; with a base, sources whose connected
+// component is unchanged within Epsilon reuse the base's paths, weight
+// row and metric (see dirtySources). version is recorded on the
+// snapshot; the Provider passes its own monotone counter.
+func (b *Builder) Build(t float64, base *Snapshot, version int) *Snapshot {
+	n := b.params.Nodes
+	s := &Snapshot{
+		params:  b.params,
+		version: version,
+		builtAt: t,
+		paths:   make([]*graph.Paths, n),
+		metricW: make([]float64, n*n),
+		metrics: make([]float64, n),
+	}
+	// The rate arithmetic must match RateEstimator.Snapshot bit-for-bit:
+	// count/elapsed with the observation window starting at 0.
+	s.g = graph.NewGraph(n)
+	if t > 0 {
+		counts := b.counts(t)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if c := counts[i*n+j]; c > 0 {
+					s.g.SetRate(trace.NodeID(i), trace.NodeID(j), float64(c)/t)
+				}
+			}
+		}
+	}
+
+	var dirty []int
+	if base != nil && base.params == b.params && len(base.paths) == n {
+		dirty = b.dirtySources(base.g, s.g)
+	} else {
+		dirty = make([]int, n)
+		for i := range dirty {
+			dirty[i] = i
+		}
+	}
+
+	// Clean sources: carry the base's artifacts over unchanged.
+	if len(dirty) < n {
+		isDirty := make([]bool, n)
+		for _, i := range dirty {
+			isDirty[i] = true
+		}
+		for i := 0; i < n; i++ {
+			if isDirty[i] {
+				continue
+			}
+			s.paths[i] = base.paths[i]
+			copy(s.metricW[i*n:(i+1)*n], base.metricW[i*n:(i+1)*n])
+			s.metrics[i] = base.metrics[i]
+			s.reused++
+		}
+	}
+
+	// Dirty sources: recompute paths, the weight row at MetricT, and the
+	// Eq. (3) metric, in parallel across index-owned slots. Evaluating
+	// the full weight row also materializes every reachable
+	// hypoexponential, so the published snapshot is never mutated again.
+	forEachSource(len(dirty), func(k int) {
+		i := dirty[k]
+		p := s.g.Paths(trace.NodeID(i), b.params.MaxHops)
+		p.Materialize()
+		s.paths[i] = p
+		row := s.metricW[i*n : (i+1)*n]
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				row[j] = 1
+				continue
+			}
+			w := p.Weight(trace.NodeID(j), b.params.MetricT)
+			row[j] = w
+			sum += w
+		}
+		if n > 1 {
+			s.metrics[i] = sum / float64(n-1)
+		}
+	})
+	return s
+}
+
+// dirtySources decides which sources must be recomputed when moving
+// from the rates of old to the rates of new. A single changed edge
+// anywhere in a source's connected component can reroute its shortest
+// opportunistic paths, so dirtiness propagates over components of the
+// union graph (edges present in either old or new — covering nodes that
+// joined or left a component). Per-source paths, weights and metrics
+// depend only on the source's own component (the layered DP never
+// relaxes an edge out of it, and weights to other components are 0), so
+// a component whose rates are unchanged within Epsilon is reused whole.
+// With Epsilon = 0 "unchanged" means bitwise equal, which makes reuse
+// bit-identical to recomputation.
+func (b *Builder) dirtySources(prevG, nextG *graph.Graph) []int {
+	n := b.params.Nodes
+	comp := newDSU(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			or := prevG.Rate(trace.NodeID(i), trace.NodeID(j))
+			nr := nextG.Rate(trace.NodeID(i), trace.NodeID(j))
+			if or > 0 || nr > 0 {
+				comp.union(i, j)
+			}
+		}
+	}
+	changed := make([]bool, n) // indexed by component root
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			or := prevG.Rate(trace.NodeID(i), trace.NodeID(j))
+			nr := nextG.Rate(trace.NodeID(i), trace.NodeID(j))
+			if (or > 0 || nr > 0) && !b.closeEnough(or, nr) {
+				changed[comp.find(i)] = true
+			}
+		}
+	}
+	var dirty []int
+	for i := 0; i < n; i++ {
+		if changed[comp.find(i)] {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}
+
+// closeEnough reports whether an edge rate moving prev -> next counts
+// as unchanged under the configured Epsilon.
+func (b *Builder) closeEnough(prev, next float64) bool {
+	if b.params.Epsilon == 0 {
+		return prev == next
+	}
+	diff := next - prev
+	if diff < 0 {
+		diff = -diff
+	}
+	ref := prev
+	if next > ref {
+		ref = next
+	}
+	return diff <= b.params.Epsilon*ref
+}
+
+// dsu is a union-find over node indices with path halving.
+type dsu []int
+
+func newDSU(n int) dsu {
+	d := make(dsu, n)
+	for i := range d {
+		d[i] = i
+	}
+	return d
+}
+
+func (d dsu) find(x int) int {
+	for d[x] != x {
+		d[x] = d[d[x]]
+		x = d[x]
+	}
+	return x
+}
+
+func (d dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d[ra] = rb
+	}
+}

@@ -1,0 +1,42 @@
+package knowledge
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachSource runs fn(i) for every i in [0, n) concurrently on up to
+// GOMAXPROCS workers — the per-source fan-out of a snapshot build,
+// mirroring internal/experiment's forEachCell dispatcher. Determinism:
+// each fn(i) is a pure function of the (already final) rate graph and
+// writes only slots indexed by i, so worker scheduling cannot change
+// the built snapshot. Builds cannot fail, so unlike forEachCell there
+// is no error plumbing.
+func forEachSource(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

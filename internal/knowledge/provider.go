@@ -1,0 +1,92 @@
+package knowledge
+
+import (
+	"sort"
+	"sync"
+
+	"dtncache/internal/trace"
+)
+
+// maxCached bounds how many snapshots a Provider retains. It must
+// cover a whole default refresh grid (duration/100 from the mid-trace
+// warmup, ~51 points): consumers of a comparison walk the same grid but
+// not in lockstep — on few cores they run one after another — so a
+// bound smaller than the grid makes each later consumer miss every
+// time (a sequential scan over an undersized cache evicts entries just
+// before their reuse). Evicting the oldest beyond the bound merely
+// costs a rebuild if a very late consumer asks again; with Epsilon = 0
+// a rebuild is bit-identical, so eviction never changes results.
+const maxCached = 128
+
+// Provider builds and caches snapshots for one (contact list, Params)
+// pipeline. It is safe for concurrent use: schemes in a comparison
+// share a provider, and whichever requests a refresh time first builds
+// it (incrementally, against the newest earlier snapshot) while the
+// rest reuse the cached value.
+//
+// With Epsilon = 0 every snapshot is bit-identical to a full recompute,
+// so results never depend on which consumer built what or on eviction
+// timing. With Epsilon > 0 a snapshot depends on its incremental base;
+// that approximate mode is deterministic only for a single consumer
+// requesting monotonically increasing times.
+type Provider struct {
+	builder *Builder
+
+	mu      sync.Mutex
+	byTime  map[float64]*Snapshot
+	times   []float64 // sorted build times of cached snapshots
+	version int
+	empty   *Snapshot
+}
+
+// NewProvider creates a provider over the given sorted contact list
+// (see Builder for the raw-vs-merged contract).
+func NewProvider(p Params, contacts []trace.Contact) *Provider {
+	return &Provider{
+		builder: NewBuilder(p, contacts),
+		byTime:  make(map[float64]*Snapshot),
+	}
+}
+
+// Params returns the normalized pipeline configuration, for
+// compatibility checks when a provider is shared.
+func (pr *Provider) Params() Params { return pr.builder.Params() }
+
+// Empty returns the version-0 snapshot of an empty graph: the knowledge
+// an Env holds before its first refresh.
+func (pr *Provider) Empty() *Snapshot {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.empty == nil {
+		pr.empty = pr.builder.Build(0, nil, 0)
+	}
+	return pr.empty
+}
+
+// At returns the snapshot of the contact prefix up to time t, building
+// it on first request. The build is incremental against the newest
+// cached snapshot older than t when one exists.
+func (pr *Provider) At(t float64) *Snapshot {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if s, ok := pr.byTime[t]; ok {
+		return s
+	}
+	var base *Snapshot
+	// The newest cached time strictly before t, if any.
+	if i := sort.SearchFloat64s(pr.times, t); i > 0 {
+		base = pr.byTime[pr.times[i-1]]
+	}
+	pr.version++
+	s := pr.builder.Build(t, base, pr.version)
+	pr.byTime[t] = s
+	i := sort.SearchFloat64s(pr.times, t)
+	pr.times = append(pr.times, 0)
+	copy(pr.times[i+1:], pr.times[i:])
+	pr.times[i] = t
+	if len(pr.times) > maxCached {
+		delete(pr.byTime, pr.times[0])
+		pr.times = pr.times[1:]
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package knowledge
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dtncache/internal/graph"
+	"dtncache/internal/trace"
+)
+
+// memoLimit bounds the per-snapshot cache of off-horizon Weight calls.
+// Beyond it, Weight still answers correctly from the paths; it just
+// stops adding entries (remaining-time horizons are unbounded in
+// principle, and an unbounded map would leak across a long run).
+const memoLimit = 1 << 16
+
+// Snapshot is one immutable, versioned view of the network knowledge at
+// a build time: the contact-rate graph, shortest opportunistic paths
+// from every source, the dense path-weight matrix at the metric horizon
+// T, and the Eq. (3) NCL selection metric of every node.
+//
+// All methods are safe for concurrent use. Consumers must treat the
+// snapshot as read-only; in a comparison the same value is shared by
+// every scheme.
+type Snapshot struct {
+	params  Params
+	version int
+	builtAt float64
+	reused  int
+
+	g       *graph.Graph
+	paths   []*graph.Paths
+	metricW []float64 // n×n row-major weights at MetricT; diagonal 1
+	metrics []float64 // C_i of Eq. (3) per node
+
+	memo     sync.Map // weightKey -> float64, off-horizon Weight cache
+	memoSize atomic.Int64
+}
+
+// weightKey identifies one memoized off-horizon weight evaluation.
+type weightKey struct {
+	src, dst trace.NodeID
+	t        float64
+}
+
+// Params returns the pipeline configuration the snapshot was built for
+// (normalized: MaxHops filled in).
+func (s *Snapshot) Params() Params { return s.params }
+
+// Version is the snapshot's sequence number within its Provider,
+// starting at 1 (0 is the empty pre-warm-up snapshot).
+func (s *Snapshot) Version() int { return s.version }
+
+// BuiltAt is the virtual time of the contact prefix the snapshot was
+// built from.
+func (s *Snapshot) BuiltAt() float64 { return s.builtAt }
+
+// ReusedSources reports how many sources were carried over unchanged
+// from the incremental base (0 for a full build).
+func (s *Snapshot) ReusedSources() int { return s.reused }
+
+// Graph returns the contact-rate graph. The graph is shared, not
+// copied: callers must not SetRate on it.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Paths returns the shortest opportunistic paths from src. The value is
+// materialized and shared: read-only.
+func (s *Snapshot) Paths(src trace.NodeID) *graph.Paths { return s.paths[src] }
+
+// Metrics returns a copy of the NCL selection metric C_i (Eq. 3) for
+// every node.
+func (s *Snapshot) Metrics() []float64 {
+	out := make([]float64, len(s.metrics))
+	copy(out, s.metrics)
+	return out
+}
+
+// MetricWeight returns the opportunistic path weight p_ab(T) at the
+// metric horizon, from the precomputed matrix.
+func (s *Snapshot) MetricWeight(a, b trace.NodeID) float64 {
+	n := s.params.Nodes
+	if a < 0 || b < 0 || int(a) >= n || int(b) >= n {
+		return 0
+	}
+	return s.metricW[int(a)*n+int(b)]
+}
+
+// Weight returns the opportunistic path weight p_ab(t): 1 for a == b, a
+// matrix lookup at the metric horizon, and a memoized Paths evaluation
+// for any other horizon.
+func (s *Snapshot) Weight(a, b trace.NodeID, t float64) float64 {
+	if a == b {
+		return 1
+	}
+	n := s.params.Nodes
+	if a < 0 || b < 0 || int(a) >= n || int(b) >= n {
+		return 0
+	}
+	if t == s.params.MetricT {
+		return s.metricW[int(a)*n+int(b)]
+	}
+	k := weightKey{src: a, dst: b, t: t}
+	if v, ok := s.memo.Load(k); ok {
+		return v.(float64)
+	}
+	w := s.paths[a].Weight(b, t)
+	if s.memoSize.Load() < memoLimit {
+		s.memoSize.Add(1)
+		s.memo.Store(k, w)
+	}
+	return w
+}

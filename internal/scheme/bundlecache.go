@@ -81,7 +81,8 @@ func (s *BundleCache) relayCache(at trace.NodeID, rc *ReplyCarry) {
 }
 
 // capability lazily computes node n's contact metric normalized by the
-// best node's, clamped to [0.02, 1].
+// best node's, clamped to [0.02, 1]. The metric values come precomputed
+// on the knowledge snapshot instead of a fresh all-pairs recompute.
 func (s *BundleCache) capability(n trace.NodeID) float64 {
 	if s.reach[n] > 0 {
 		return s.reach[n]
@@ -89,7 +90,7 @@ func (s *BundleCache) capability(n trace.NodeID) float64 {
 	e := s.base.E
 	best := 0.0
 	var all []float64
-	all = e.Graph().Metrics(e.Cfg.MetricT, e.Cfg.MaxHops)
+	all = e.Knowledge().Metrics()
 	for _, m := range all {
 		if m > best {
 			best = m

@@ -17,6 +17,7 @@ import (
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/graph"
+	"dtncache/internal/knowledge"
 	"dtncache/internal/mathx"
 	"dtncache/internal/metrics"
 	"dtncache/internal/sim"
@@ -101,6 +102,11 @@ type Config struct {
 	Bandwidth float64
 	// DropProb injects random transfer failures (0 = off).
 	DropProb float64
+	// KnowledgeEpsilon is the relative rate-change threshold of the
+	// incremental knowledge builder (knowledge.Params.Epsilon). The
+	// default 0 is exact mode: every snapshot is bit-identical to a
+	// full recompute. Positive values trade accuracy for refresh speed.
+	KnowledgeEpsilon float64
 	// Seed drives all run randomness (coin flips, buffer sizes).
 	Seed int64
 }
@@ -146,8 +152,12 @@ func (c Config) Validate() error {
 		return errors.New("scheme: QuantBits must be positive")
 	case c.BufferMinBits <= 0 || c.BufferMaxBits < c.BufferMinBits:
 		return errors.New("scheme: buffer bounds must satisfy 0 < min <= max")
+	case c.MaxHops < 0:
+		return errors.New("scheme: MaxHops must be >= 0 (0 selects the default)")
 	case c.WarmupEnd < 0:
 		return errors.New("scheme: WarmupEnd must be >= 0")
+	case c.KnowledgeEpsilon < 0:
+		return errors.New("scheme: KnowledgeEpsilon must be >= 0")
 	case c.DropProb < 0 || c.DropProb > 1:
 		return errors.New("scheme: DropProb must be in [0,1]")
 	}
@@ -195,10 +205,11 @@ type Env struct {
 	scheme Scheme
 	sig    *mathx.ResponseSigmoid
 
-	// knowledge
-	g     *graph.Graph
-	paths []*graph.Paths
-	ncls  []trace.NodeID
+	// knowledge: a provider (owned, or shared across schemes via
+	// NewEnvShared) and the immutable snapshot of the latest refresh.
+	kb   *knowledge.Provider
+	snap *knowledge.Snapshot
+	ncls []trace.NodeID
 
 	// ownData[n] holds items generated by node n (sources always retain
 	// their own live data, outside the caching buffer).
@@ -206,8 +217,33 @@ type Env struct {
 }
 
 // NewEnv wires a full simulation: trace replay, workload schedule,
-// knowledge refresh, housekeeping, and the scheme's hooks.
+// knowledge refresh, housekeeping, and the scheme's hooks. The
+// environment owns a private knowledge provider; use NewEnvShared to
+// share one across schemes.
 func NewEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme) (*Env, error) {
+	return NewEnvShared(tr, w, cfg, s, nil)
+}
+
+// KnowledgeParams returns the knowledge pipeline configuration an Env
+// with this Config over nodes nodes requires. A shared provider must
+// have exactly these Params.
+func (c Config) KnowledgeParams(nodes int) knowledge.Params {
+	return knowledge.Params{
+		Nodes:   nodes,
+		MetricT: c.MetricT,
+		MaxHops: c.MaxHops,
+		Epsilon: c.KnowledgeEpsilon,
+	}
+}
+
+// NewEnvShared is NewEnv with an externally owned knowledge provider,
+// letting every scheme of a comparison share one contact-rate → paths →
+// metric pipeline instead of rebuilding it per environment. kb may be
+// nil (a private provider is created); otherwise its Params must match
+// the config, and the caller must have built it over
+// sim.MergeOverlaps(tr.Contacts) so its counts equal what this Env's
+// rate estimator observes.
+func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *knowledge.Provider) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,9 +282,15 @@ func NewEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme) (*Env, 
 	if err := e.Driver.Load(tr); err != nil {
 		return nil, err
 	}
+	if kb == nil {
+		kb = knowledge.NewProvider(cfg.KnowledgeParams(e.N), sim.MergeOverlaps(tr.Contacts))
+	} else if kb.Params() != cfg.KnowledgeParams(e.N).Normalized() {
+		return nil, fmt.Errorf("scheme: shared knowledge provider params %+v do not match config %+v",
+			kb.Params(), cfg.KnowledgeParams(e.N).Normalized())
+	}
+	e.kb = kb
 	// Empty knowledge until the first refresh.
-	e.g = graph.NewGraph(e.N)
-	e.paths = e.g.AllPaths(cfg.MaxHops)
+	e.snap = e.kb.Empty()
 
 	if cfg.Response == ResponseSigmoid {
 		tq := w.Config.AvgLifetime / 2
@@ -334,8 +376,7 @@ func (e *Env) scheduleMaintenance() error {
 
 func (e *Env) refreshKnowledge() {
 	now := e.Sim.Now()
-	e.g = e.Est.Snapshot(now)
-	e.paths = e.g.AllPaths(e.Cfg.MaxHops)
+	e.snap = e.kb.At(now)
 	if e.ncls == nil && e.Cfg.NCLCount > 0 {
 		// One-time NCL selection at the end of warm-up; the paper keeps
 		// the selected NCLs fixed during data access (Sec. IV-A).
@@ -396,7 +437,7 @@ func (e *Env) selectNCLs() []trace.NodeID {
 	switch e.Cfg.NCLSelection {
 	case NCLByDegree:
 		for n := 0; n < e.N; n++ {
-			scores[n] = float64(len(e.g.Neighbors(trace.NodeID(n))))
+			scores[n] = float64(len(e.snap.Graph().Neighbors(trace.NodeID(n))))
 		}
 	case NCLByContacts:
 		for n := 0; n < e.N; n++ {
@@ -408,13 +449,19 @@ func (e *Env) selectNCLs() []trace.NodeID {
 			scores[n] = float64(p)
 		}
 	default: // NCLByMetric, the paper's Eq. (3)
-		scores = e.g.Metrics(e.Cfg.MetricT, e.Cfg.MaxHops)
+		scores = e.snap.Metrics()
 	}
 	return graph.SelectNCLs(scores, e.Cfg.NCLCount)
 }
 
-// Graph returns the latest contact-graph snapshot.
-func (e *Env) Graph() *graph.Graph { return e.g }
+// Graph returns the latest contact-rate graph. It may be shared with
+// other schemes: treat it as read-only.
+func (e *Env) Graph() *graph.Graph { return e.snap.Graph() }
+
+// Knowledge returns the immutable knowledge snapshot of the latest
+// refresh (the version-0 empty snapshot before warm-up ends). Schemes
+// must never mutate it: in a comparison the same value is shared.
+func (e *Env) Knowledge() *knowledge.Snapshot { return e.snap }
 
 // NCLs returns the selected central nodes (nil before warm-up ends or
 // when NCLCount is 0), ordered by descending metric.
@@ -423,16 +470,14 @@ func (e *Env) NCLs() []trace.NodeID { return e.ncls }
 // Weight returns the opportunistic-path weight p_ab(t) under current
 // knowledge.
 func (e *Env) Weight(a, b trace.NodeID, t float64) float64 {
-	if a == b {
-		return 1
-	}
-	return e.paths[a].Weight(b, t)
+	return e.snap.Weight(a, b, t)
 }
 
 // MetricWeight is Weight evaluated at the configured horizon T; it is
-// the relay-selection metric for gradient forwarding.
+// the relay-selection metric for gradient forwarding, answered from the
+// snapshot's precomputed weight matrix.
 func (e *Env) MetricWeight(a, b trace.NodeID) float64 {
-	return e.Weight(a, b, e.Cfg.MetricT)
+	return e.snap.MetricWeight(a, b)
 }
 
 // OwnData returns the item if node n generated it and it is still live.

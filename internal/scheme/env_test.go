@@ -70,6 +70,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.DropProb = 1.5 },
 		func(c *Config) { c.PMin = 0.1 }, // below pmax/2 for sigmoid
 		func(c *Config) { c.PMin = 0.9 }, // above pmax
+		func(c *Config) { c.MaxHops = -1 },
+		func(c *Config) { c.KnowledgeEpsilon = -0.1 },
 	}
 	for i, mutate := range bad {
 		c := DefaultConfig(86400)

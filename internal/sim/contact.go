@@ -248,7 +248,7 @@ func (d *Driver) Load(tr *trace.Trace) error {
 	if err := tr.Validate(); err != nil {
 		return errors.Join(ErrBadTrace, err)
 	}
-	merged := mergeOverlaps(tr.Contacts)
+	merged := MergeOverlaps(tr.Contacts)
 	d.mergedContacts = len(tr.Contacts) - len(merged)
 	for _, c := range merged {
 		c := c
@@ -282,9 +282,12 @@ func pairKey(a, b trace.NodeID) [2]trace.NodeID {
 	return [2]trace.NodeID{a, b}
 }
 
-// mergeOverlaps coalesces overlapping or touching contacts of the same
-// pair. Input must be sorted by start time; output is too.
-func mergeOverlaps(contacts []trace.Contact) []trace.Contact {
+// MergeOverlaps coalesces overlapping or touching contacts of the same
+// pair, exactly as Load does before scheduling sessions. Input must be
+// sorted by start time; output is too. It is exported so the knowledge
+// layer can count the same merged contacts the driver delivers to
+// Handler.ContactStart (one Est.Observe per merged contact).
+func MergeOverlaps(contacts []trace.Contact) []trace.Contact {
 	last := make(map[[2]trace.NodeID]int) // pair -> index in out
 	out := make([]trace.Contact, 0, len(contacts))
 	for _, c := range contacts {

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -24,26 +23,58 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a typed binary min-heap of events ordered by (at, seq):
+// earliest timestamp first, scheduling order among equal timestamps. It
+// replaces container/heap so Push/Pop avoid boxing every *event through
+// interface{} — the event queue is the hottest allocation site of the
+// engine.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) {
-	*h = append(*h, x.(*event))
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	q := *h
+	// Sift up.
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0], q[n] = q[n], nil
+	q = q[:n]
+	*h = q
+	// Sift down.
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		next := left
+		if right := left + 1; right < n && q.less(right, left) {
+			next = right
+		}
+		if !q.less(next, i) {
+			break
+		}
+		q[i], q[next] = q[next], q[i]
+		i = next
+	}
+	return top
 }
 
 // Simulator is the event loop. The zero value is not usable; call New.
@@ -73,7 +104,7 @@ func (s *Simulator) Schedule(at Time, fn func()) error {
 		return fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now)
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(&event{at: at, seq: s.seq, fn: fn})
 	return nil
 }
 
@@ -133,7 +164,7 @@ func (s *Simulator) runUntil(t Time, bounded bool) int {
 		if bounded && s.queue[0].at > t {
 			break
 		}
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		e.fn()
 		n++

@@ -20,6 +20,12 @@ go vet ./...
 echo "== dtnlint ./..."
 go run ./cmd/dtnlint ./...
 
+# The knowledge layer's parallel snapshot builder is the newest
+# determinism-sensitive code path; lint it explicitly (with in-package
+# tests) so a scope regression in the analyzer list cannot hide it.
+echo "== dtnlint -tests ./internal/knowledge"
+go run ./cmd/dtnlint -tests ./internal/knowledge
+
 echo "== go test -race ./..."
 go test -race ./...
 
