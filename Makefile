@@ -5,7 +5,7 @@
 GO ?= go
 CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson
 
-.PHONY: build test check smoke fuzz lint bench clean
+.PHONY: build test check smoke fuzz lint bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -28,16 +28,35 @@ smoke:
 		echo "smoke: $$c ok"; \
 	done
 
-# Knowledge-layer benchmarks (PR 2): the incremental-vs-full refresh
-# microbenchmarks and the end-to-end shared-vs-isolated comparison cell,
-# summarized with derived speedups into BENCH_pr2.json.
+# The full benchmark suite, shared by bench and bench-compare: the
+# pooled event-loop microbenchmarks (internal/sim), the end-to-end
+# replay-bound single-scheme run (internal/experiment), and the PR 2
+# knowledge/comparison benches for continuity.
+BENCH_CMDS = $(GO) test ./internal/sim -run '^$$' -bench Replay -benchmem; \
+	$(GO) test ./internal/experiment -run '^$$' -bench Replay -benchtime 1x -benchmem; \
+	$(GO) test ./internal/knowledge -run '^$$' -bench . -benchtime 2x -benchmem; \
+	$(GO) test ./internal/experiment -run '^$$' -bench RunComparison -benchtime 1x -benchmem;
+
+# Replay-performance benchmarks (PR 3): summarized into BENCH_pr3.json
+# with per-benchmark speedups against the committed pre-optimization
+# baseline (BENCH_pr3_baseline.json, measured at PR 2 HEAD).
 bench:
-	@{ $(GO) test ./internal/knowledge -run '^$$' -bench . -benchtime 2x -benchmem; \
-	   $(GO) test ./internal/experiment -run '^$$' -bench RunComparison -benchtime 1x -benchmem; } \
-	 | $(GO) run ./cmd/benchjson -o BENCH_pr2.json \
+	@{ $(BENCH_CMDS) } | $(GO) run ./cmd/benchjson -o BENCH_pr3.json \
+	     -baseline BENCH_pr3_baseline.json \
 	     -ratio run_comparison_speedup=RunComparisonIsolated/RunComparison \
 	     -ratio incremental_speedup=AllPathsFull/SnapshotIncremental
-	@cat BENCH_pr2.json
+	@cat BENCH_pr3.json
+
+# Regression gate: rerun the suite and fail when any benchmark shared
+# with $(BASELINE) falls below $(REGRESS_BELOW)x its baseline speed.
+# Committed BENCH files were measured on other machines, so the default
+# threshold only catches gross (>2x) slowdowns, not measurement noise.
+BASELINE ?= BENCH_pr2.json
+REGRESS_BELOW ?= 0.5
+bench-compare:
+	@{ $(BENCH_CMDS) } | $(GO) run ./cmd/benchjson -o BENCH_compare.json \
+	     -baseline $(BASELINE) -regress-below $(REGRESS_BELOW)
+	@cat BENCH_compare.json
 
 fuzz:
 	CHECK_FUZZ_TIME=$${CHECK_FUZZ_TIME:-30s} ./scripts/check.sh

@@ -7,6 +7,13 @@
 //	go test ./... -bench . -benchmem | benchjson -o BENCH.json \
 //	    -ratio comparison_speedup=RunComparisonIsolated/RunComparison
 //
+// With -baseline, the summary is compared against a previous BENCH
+// file: every benchmark present in both gets a vs_baseline entry with
+// its speedup (baseline ns/op divided by current ns/op), and
+// -regress-below makes the run fail when any common benchmark's
+// speedup drops under the threshold — the regression gate behind
+// `make bench-compare`.
+//
 // Input lines that are not benchmark results (goos/pkg headers, PASS,
 // ok) are ignored, so whole `go test` transcripts can be piped in.
 package main
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -48,10 +56,29 @@ type Ratio struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// EnvInfo pins the toolchain and parallelism a BENCH file was produced
+// with, so committed BENCH_*.json files stay comparable across PRs.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// Compared is one benchmark measured against the same benchmark in a
+// -baseline file. Speedup > 1 means the current run is faster.
+type Compared struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	CurrentNs  float64 `json:"current_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // Summary is the emitted JSON document.
 type Summary struct {
-	Benchmarks []Result `json:"benchmarks"`
-	Ratios     []Ratio  `json:"ratios,omitempty"`
+	Env        *EnvInfo   `json:"env,omitempty"`
+	Benchmarks []Result   `json:"benchmarks"`
+	Ratios     []Ratio    `json:"ratios,omitempty"`
+	Baseline   string     `json:"baseline,omitempty"`
+	VsBaseline []Compared `json:"vs_baseline,omitempty"`
 }
 
 func main() {
@@ -68,8 +95,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out    = fs.String("o", "", "write JSON here (default stdout)")
-		ratios []string
+		out      = fs.String("o", "", "write JSON here (default stdout)")
+		baseline = fs.String("baseline", "", "prior BENCH_*.json `file` to compare against")
+		regress  = fs.Float64("regress-below", 0, "fail when any vs-baseline speedup drops below this `threshold` (0 disables)")
+		ratios   []string
 	)
 	fs.Func("ratio", "derived speedup `name=NumeratorBench/DenominatorBench` (repeatable)", func(v string) error {
 		ratios = append(ratios, v)
@@ -77,6 +106,9 @@ func run(args []string) error {
 	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *regress > 0 && *baseline == "" {
+		return errors.New("-regress-below needs -baseline")
 	}
 
 	var in io.Reader = os.Stdin
@@ -95,12 +127,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sum.Env = &EnvInfo{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	for _, r := range ratios {
 		ratio, err := computeRatio(r, sum.Benchmarks)
 		if err != nil {
 			return err
 		}
 		sum.Ratios = append(sum.Ratios, ratio)
+	}
+	if *baseline != "" {
+		base, err := loadSummary(*baseline)
+		if err != nil {
+			return err
+		}
+		sum.Baseline = *baseline
+		sum.VsBaseline = compareBaseline(base.Benchmarks, sum.Benchmarks)
+		if len(sum.VsBaseline) == 0 {
+			return fmt.Errorf("baseline %s shares no benchmarks with the input", *baseline)
+		}
 	}
 
 	buf, err := json.MarshalIndent(sum, "", "  ")
@@ -109,10 +153,68 @@ func run(args []string) error {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
+	return checkRegressions(sum.VsBaseline, *regress)
+}
+
+// loadSummary reads a previously emitted BENCH_*.json file.
+func loadSummary(path string) (*Summary, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &sum, nil
+}
+
+// compareBaseline pairs up benchmarks by name and computes speedups,
+// preserving the current run's benchmark order.
+func compareBaseline(base, cur []Result) []Compared {
+	byName := make(map[string]Result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []Compared
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok || b.NsPerOp == 0 || c.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Compared{
+			Name:       c.Name,
+			BaselineNs: b.NsPerOp,
+			CurrentNs:  c.NsPerOp,
+			Speedup:    b.NsPerOp / c.NsPerOp,
+		})
+	}
+	return out
+}
+
+// checkRegressions fails the run when any compared benchmark fell below
+// the speedup threshold (after the output file was already written, so
+// the numbers remain inspectable).
+func checkRegressions(cmp []Compared, threshold float64) error {
+	if threshold <= 0 {
+		return nil
+	}
+	var bad []string
+	for _, c := range cmp {
+		if c.Speedup < threshold {
+			bad = append(bad, fmt.Sprintf("%s %.3fx", c.Name, c.Speedup))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("regression below %.2fx vs baseline: %s", threshold, strings.Join(bad, ", "))
+	}
+	return nil
 }
 
 // parse extracts benchmark result lines from a `go test -bench`

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -61,5 +63,103 @@ func TestComputeRatio(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+func TestParseCustomEventsPerSec(t *testing.T) {
+	const line = "BenchmarkReplayDispatch \t1000\t 11.76 ns/op\t 85056888 events/sec\t 0 B/op\t 0 allocs/op\n"
+	sum, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Benchmarks[0].Metrics["events/sec"]; got != 85056888 {
+		t.Errorf("events/sec = %v, want 85056888", got)
+	}
+	if a := sum.Benchmarks[0].AllocsPerOp; a == nil || *a != 0 {
+		t.Errorf("allocs/op = %v, want 0", a)
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []Result{
+		{Name: "ReplaySingleScheme", NsPerOp: 4000},
+		{Name: "OnlyInBaseline", NsPerOp: 10},
+	}
+	cur := []Result{
+		{Name: "ReplaySingleScheme", NsPerOp: 1600},
+		{Name: "OnlyInCurrent", NsPerOp: 5},
+	}
+	cmp := compareBaseline(base, cur)
+	if len(cmp) != 1 {
+		t.Fatalf("compared %d benchmarks, want 1 (only the common one)", len(cmp))
+	}
+	if cmp[0].Name != "ReplaySingleScheme" || cmp[0].Speedup != 2.5 {
+		t.Errorf("compared = %+v, want ReplaySingleScheme 2.5x", cmp[0])
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	cmp := []Compared{
+		{Name: "Fast", Speedup: 2.0},
+		{Name: "Slow", Speedup: 0.7},
+	}
+	if err := checkRegressions(cmp, 0); err != nil {
+		t.Errorf("threshold 0 must disable the gate, got %v", err)
+	}
+	if err := checkRegressions(cmp, 0.9); err == nil {
+		t.Error("0.7x speedup under 0.9 threshold must fail")
+	} else if !strings.Contains(err.Error(), "Slow") {
+		t.Errorf("error must name the regressed benchmark: %v", err)
+	}
+	if err := checkRegressions(cmp[:1], 0.9); err != nil {
+		t.Errorf("no regressions, got %v", err)
+	}
+}
+
+func TestRunBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	basePath := dir + "/base.json"
+	outPath := dir + "/out.json"
+	const baseRun = "BenchmarkReplayDispatch \t100\t 40 ns/op\n"
+	const curRun = "BenchmarkReplayDispatch \t100\t 10 ns/op\n"
+	write := func(p, s string) {
+		t.Helper()
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dir+"/base.txt", baseRun)
+	write(dir+"/cur.txt", curRun)
+	if err := run([]string{"-o", basePath, dir + "/base.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", outPath, "-baseline", basePath, "-regress-below", "0.9", dir + "/cur.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Env == nil || sum.Env.GoVersion == "" || sum.Env.GoMaxProcs < 1 {
+		t.Errorf("env block missing or incomplete: %+v", sum.Env)
+	}
+	if len(sum.VsBaseline) != 1 || sum.VsBaseline[0].Speedup != 4 {
+		t.Errorf("vs_baseline = %+v, want one 4x entry", sum.VsBaseline)
+	}
+	// The inverse comparison regresses 4x and must fail — but still
+	// write the output file for inspection.
+	failPath := dir + "/fail.json"
+	if err := run([]string{"-o", failPath, "-baseline", outPath, "-regress-below", "0.9", dir + "/base.txt"}); err == nil {
+		t.Error("4x regression under 0.9 threshold must fail")
+	}
+	if _, err := os.Stat(failPath); err != nil {
+		t.Errorf("output must be written even when the gate fails: %v", err)
+	}
+	if err := run([]string{"-regress-below", "0.9", dir + "/cur.txt"}); err == nil {
+		t.Error("-regress-below without -baseline must be rejected")
 	}
 }

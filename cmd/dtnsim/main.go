@@ -18,6 +18,7 @@ import (
 
 	"dtncache/internal/experiment"
 	"dtncache/internal/metrics"
+	"dtncache/internal/prof"
 	"dtncache/internal/scheme"
 	"dtncache/internal/trace"
 )
@@ -51,13 +52,19 @@ func run(args []string) error {
 		dropProb   = fs.Float64("drop", 0, "transfer failure-injection probability")
 		respMode   = fs.String("response", "sigmoid", "response mode: global, sigmoid, always")
 		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+
 	var tr *trace.Trace
-	var err error
 	if *traceFile != "" {
 		f, ferr := os.Open(*traceFile)
 		if ferr != nil {
@@ -97,6 +104,9 @@ func run(args []string) error {
 	}
 	start := time.Now()
 	rep, err := experiment.RunAveraged(setup, *schemeName, *repeats)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dtncache/internal/experiment"
+	"dtncache/internal/prof"
 )
 
 func main() {
@@ -43,8 +44,14 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "reduced sweeps for a fast pass")
 		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir  = fs.String("outdir", "", "also write each table as CSV into this directory")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
+		memProf = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
 		return err
 	}
 	o := experiment.FigureOptions{Seed: *seed, Repeats: *repeats, Quick: *quick}
@@ -131,5 +138,5 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-	return nil
+	return stopProf()
 }

@@ -21,6 +21,7 @@ var DeterministicPackages = []string{
 	"dtncache/internal/knapsack",
 	"dtncache/internal/routing",
 	"dtncache/internal/workload",
+	"dtncache/internal/metrics",
 }
 
 // Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in

@@ -24,6 +24,22 @@ func TestNondeterminismScope(t *testing.T) {
 	if !a.AppliesTo("dtncache/internal/knowledge") {
 		t.Error("scope must cover dtncache/internal/knowledge")
 	}
+	// The zero-allocation core — the pooled event heap (sim), the
+	// slice-backed per-node stores (scheme, core), the sorted buffer
+	// index (buffer), and the dense query records (metrics) — replays
+	// results bit-identically only if these packages never touch the
+	// wall clock or the global rand source; pin each one to the scope.
+	for _, pkg := range []string{
+		"dtncache/internal/sim",
+		"dtncache/internal/scheme",
+		"dtncache/internal/core",
+		"dtncache/internal/buffer",
+		"dtncache/internal/metrics",
+	} {
+		if !a.AppliesTo(pkg) {
+			t.Errorf("scope must cover the pooled-core package %s", pkg)
+		}
+	}
 	for _, pkg := range []string{
 		"dtncache/internal/mathx", // the sanctioned math/rand wrapper
 		"dtncache/cmd/dtnsim",     // CLI wall-clock progress output

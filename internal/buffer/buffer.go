@@ -8,7 +8,6 @@ package buffer
 import (
 	"errors"
 	"math"
-	"sort"
 
 	"dtncache/internal/workload"
 )
@@ -121,10 +120,16 @@ type Entry struct {
 // Buffer is a single node's caching buffer. It never evicts on its own:
 // Put fails when there is not enough free space, and callers decide what
 // to remove (directly or via a Policy).
+//
+// Entries are kept in a slice sorted by ascending data ID: lookups are
+// binary searches and Entries() hands out the slice itself, so the
+// per-contact iteration over a node's cache — the hottest read in every
+// scheme — costs no allocation and no re-sort (DataIDs are dense small
+// integers, so the slice stays short and cache-resident).
 type Buffer struct {
 	capacity float64
 	used     float64
-	entries  map[workload.DataID]*Entry
+	entries  []*Entry // sorted by ascending Data.ID
 	seq      int
 
 	evictions int
@@ -133,10 +138,7 @@ type Buffer struct {
 
 // New creates a buffer with the given capacity in bits.
 func New(capacityBits float64) *Buffer {
-	return &Buffer{
-		capacity: capacityBits,
-		entries:  make(map[workload.DataID]*Entry),
-	}
+	return &Buffer{capacity: capacityBits}
 }
 
 // Errors returned by Put.
@@ -158,15 +160,31 @@ func (b *Buffer) Free() float64 { return b.capacity - b.used }
 // Len returns the number of cached entries.
 func (b *Buffer) Len() int { return len(b.entries) }
 
+// search returns the insertion index for id in the sorted entry slice.
+func (b *Buffer) search(id workload.DataID) int {
+	lo, hi := 0, len(b.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.entries[mid].Data.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Has reports whether the item is cached.
 func (b *Buffer) Has(id workload.DataID) bool {
-	_, ok := b.entries[id]
-	return ok
+	return b.Get(id) != nil
 }
 
 // Get returns the entry for id, or nil.
 func (b *Buffer) Get(id workload.DataID) *Entry {
-	return b.entries[id]
+	if i := b.search(id); i < len(b.entries) && b.entries[i].Data.ID == id {
+		return b.entries[i]
+	}
+	return nil
 }
 
 // Stats returns cumulative insert and eviction counts.
@@ -180,7 +198,8 @@ func (b *Buffer) Put(item workload.DataItem, now float64) (*Entry, error) {
 	if item.SizeBits > b.capacity {
 		return nil, ErrTooLarge
 	}
-	if b.Has(item.ID) {
+	i := b.search(item.ID)
+	if i < len(b.entries) && b.entries[i].Data.ID == item.ID {
 		return nil, ErrDuplicate
 	}
 	if item.SizeBits > b.Free() {
@@ -194,7 +213,9 @@ func (b *Buffer) Put(item workload.DataItem, now float64) (*Entry, error) {
 		Seq:      b.seq,
 		Home:     -1,
 	}
-	b.entries[item.ID] = e
+	b.entries = append(b.entries, nil)
+	copy(b.entries[i+1:], b.entries[i:])
+	b.entries[i] = e
 	b.used += item.SizeBits
 	b.inserts++
 	return e, nil
@@ -202,35 +223,47 @@ func (b *Buffer) Put(item workload.DataItem, now float64) (*Entry, error) {
 
 // Remove evicts the item, returning its entry (nil if absent).
 func (b *Buffer) Remove(id workload.DataID) *Entry {
-	e, ok := b.entries[id]
-	if !ok {
+	i := b.search(id)
+	if i >= len(b.entries) || b.entries[i].Data.ID != id {
 		return nil
 	}
-	delete(b.entries, id)
+	e := b.entries[i]
+	n := len(b.entries) - 1
+	copy(b.entries[i:], b.entries[i+1:])
+	b.entries[n] = nil
+	b.entries = b.entries[:n]
 	b.used -= e.Data.SizeBits
 	b.evictions++
 	return e
 }
 
 // Entries returns all entries sorted by ascending data ID (deterministic
-// iteration order for protocols and tests).
+// iteration order for protocols and tests). The returned slice is the
+// buffer's internal store: callers must treat it as read-only and copy
+// it before reordering (see Policy.Victims), and must not Put/Remove
+// other IDs while iterating. Removing the current entry is safe only
+// through Remove-after-iteration patterns that re-read Entries.
 func (b *Buffer) Entries() []*Entry {
-	out := make([]*Entry, 0, len(b.entries))
-	for _, e := range b.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Data.ID < out[j].Data.ID })
-	return out
+	return b.entries
 }
 
-// DropExpired removes all entries expired at now and returns them.
+// DropExpired removes all entries expired at now and returns them, in
+// ascending ID order. The store is compacted in place.
 func (b *Buffer) DropExpired(now float64) []*Entry {
 	var dropped []*Entry
-	for _, e := range b.Entries() {
+	kept := b.entries[:0]
+	for _, e := range b.entries {
 		if e.Data.Expired(now) {
-			b.Remove(e.Data.ID)
+			b.used -= e.Data.SizeBits
+			b.evictions++
 			dropped = append(dropped, e)
+		} else {
+			kept = append(kept, e)
 		}
 	}
+	for i := len(kept); i < len(b.entries); i++ {
+		b.entries[i] = nil
+	}
+	b.entries = kept
 	return dropped
 }

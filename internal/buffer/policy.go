@@ -62,9 +62,15 @@ func (FIFO) Name() string { return "FIFO" }
 
 // Victims implements Policy.
 func (FIFO) Victims(b *Buffer, _ float64) []*Entry {
-	es := b.Entries()
+	es := copyEntries(b)
 	sort.Slice(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
 	return es
+}
+
+// copyEntries snapshots the buffer's (read-only, ID-sorted) entry slice
+// so a policy can reorder it by its own criterion.
+func copyEntries(b *Buffer) []*Entry {
+	return append([]*Entry(nil), b.Entries()...)
 }
 
 // OnInsert implements Policy.
@@ -84,7 +90,7 @@ func (LRU) Name() string { return "LRU" }
 
 // Victims implements Policy.
 func (LRU) Victims(b *Buffer, _ float64) []*Entry {
-	es := b.Entries()
+	es := copyEntries(b)
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].LastUsed != es[j].LastUsed {
 			return es[i].LastUsed < es[j].LastUsed
@@ -125,7 +131,7 @@ func (g *GreedyDualSize) gdsH(e *Entry) float64 {
 
 // Victims implements Policy.
 func (g *GreedyDualSize) Victims(b *Buffer, _ float64) []*Entry {
-	es := b.Entries()
+	es := copyEntries(b)
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].Cost != es[j].Cost {
 			return es[i].Cost < es[j].Cost

@@ -14,7 +14,6 @@ package core
 
 import (
 	"errors"
-	"sort"
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/scheme"
@@ -66,6 +65,28 @@ type pushKey struct {
 	NCL  int
 }
 
+// pendingPush is one pending push copy in a node's slice-backed store,
+// kept sorted by (Data, NCL) so contact-time iteration needs no
+// per-contact key sort and membership checks are binary searches.
+type pendingPush struct {
+	key  pushKey
+	item workload.DataItem
+}
+
+// searchPending returns the insertion index of key k in ps.
+func searchPending(ps []pendingPush, k pushKey) int {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps[mid].key.Data < k.Data || (ps[mid].key.Data == k.Data && ps[mid].key.NCL < k.NCL) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Intentional is the paper's NCL-based cooperative caching scheme.
 type Intentional struct {
 	base *scheme.Base
@@ -73,8 +94,9 @@ type Intentional struct {
 
 	// pending[source] holds push copies that have not yet left the data
 	// source (the source retains its own data, so these consume no
-	// buffer there and simply retry at every contact).
-	pending []map[pushKey]workload.DataItem
+	// buffer there and simply retry at every contact), sorted by
+	// (Data, NCL).
+	pending [][]pendingPush
 
 	utilityFloor  float64
 	replacementOn bool
@@ -145,10 +167,7 @@ func (s *Intentional) Init(e *scheme.Env) error {
 	}
 	s.env = e
 	s.base = scheme.NewBase(e)
-	s.pending = make([]map[pushKey]workload.DataItem, e.N)
-	for i := range s.pending {
-		s.pending[i] = make(map[pushKey]workload.DataItem)
-	}
+	s.pending = make([][]pendingPush, e.N)
 	s.inflightPush = make(map[pushTransfer]bool)
 	s.reachedNCL = make(map[workload.QueryID]float64)
 	s.respondedAt = make(map[workload.QueryID]float64)
@@ -195,7 +214,7 @@ func (s *Intentional) replyDelivered(rc *scheme.ReplyCarry, first bool) {
 func (s *Intentional) OnData(item workload.DataItem) {
 	ncls := s.env.NCLs()
 	for k := range ncls {
-		s.pending[item.Source][pushKey{Data: item.ID, NCL: k}] = item
+		s.pendingSet(item.Source, pushKey{Data: item.ID, NCL: k}, item)
 	}
 }
 
@@ -270,13 +289,12 @@ func (s *Intentional) queryAtCenter(center trace.NodeID, qc *scheme.QueryCarry) 
 func (s *Intentional) broadcastQueries(sess *sim.Session, from trace.NodeID) {
 	to := sess.Peer(from)
 	now := s.env.Sim.Now()
-	for _, qc := range s.base.Queries(from) {
-		qc := qc
+	s.base.ForEachQuery(from, func(qc *scheme.QueryCarry) {
 		if !qc.Broadcast || qc.Q.Deadline <= now {
-			continue
+			return
 		}
 		if !s.isCachingNode(to, qc.NCL) {
-			continue
+			return
 		}
 		copyQC := &scheme.QueryCarry{Q: qc.Q, Target: qc.Target, NCL: qc.NCL, Broadcast: true}
 		sess.Enqueue(sim.Transfer{
@@ -296,7 +314,7 @@ func (s *Intentional) broadcastQueries(sess *sim.Session, from trace.NodeID) {
 				}
 			},
 		})
-	}
+	})
 }
 
 // isCachingNode reports whether n belongs to NCL k's caching subgraph:
@@ -320,44 +338,39 @@ func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 	to := sess.Peer(from)
 	now := s.env.Sim.Now()
 	ncls := s.env.NCLs()
-	for _, key := range s.sortedPending(from) {
-		key := key
-		item, ok := s.pending[from][key]
-		if !ok {
-			continue
-		}
+	s.forEachPending(from, func(key pushKey, item workload.DataItem) {
 		if item.Expired(now) {
-			delete(s.pending[from], key)
+			s.pendingDelete(from, key)
 			s.stats.ExpiredPending++
-			continue
+			return
 		}
 		center := ncls[key.NCL]
 		if from == center {
 			// The source is the central node; cache locally if possible.
 			if s.tryCache(from, item, key.NCL, false) {
-				delete(s.pending[from], key)
+				s.pendingDelete(from, key)
 			}
-			continue
+			return
 		}
 		if !s.betterToward(to, from, center) {
-			continue
+			return
 		}
 		if s.env.Buffers[to].Has(item.ID) || s.hasPending(to, item.ID) {
 			// The peer already carries a copy of this item (for another
 			// NCL, or as its own pending push): each of the K copies must
 			// settle on a distinct node, so try a different relay later.
-			continue
+			return
 		}
 		if s.evictPolicy == nil && s.env.Buffers[to].Free() < item.SizeBits {
 			// Next relay's buffer is full: the source keeps the copy
 			// pending (it retains its own data regardless) and retries
 			// later. (With a traditional eviction policy configured, the
 			// relay admits the data by evicting instead.)
-			continue
+			return
 		}
 		tk := pushTransfer{holder: from, data: key.Data, ncl: key.NCL}
 		if s.inflightPush[tk] {
-			continue
+			return
 		}
 		s.inflightPush[tk] = true
 		sess.Enqueue(sim.Transfer{
@@ -368,11 +381,11 @@ func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 				if item.Expired(at) {
 					return
 				}
-				if _, still := s.pending[from][key]; !still {
+				if !s.pendingHas(from, key) {
 					return // another path already placed this copy
 				}
 				if s.tryCache(to, item, key.NCL, to != center) {
-					delete(s.pending[from], key)
+					s.pendingDelete(from, key)
 					s.stats.SourceDepartures++
 					if to == center {
 						s.stats.CachedAtCenter++
@@ -381,7 +394,7 @@ func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 			},
 			OnDropped: func(float64) { delete(s.inflightPush, tk) },
 		})
-	}
+	})
 }
 
 // pushFromRelay advances in-transit copies held by relays toward their
@@ -513,30 +526,68 @@ func (s *Intentional) touch(n trace.NodeID, id workload.DataID) {
 	}
 }
 
+// pendingSet inserts (or refreshes) a pending push copy at node n.
+func (s *Intentional) pendingSet(n trace.NodeID, k pushKey, item workload.DataItem) {
+	ps := s.pending[n]
+	i := searchPending(ps, k)
+	if i < len(ps) && ps[i].key == k {
+		ps[i].item = item
+		return
+	}
+	ps = append(ps, pendingPush{})
+	copy(ps[i+1:], ps[i:])
+	ps[i] = pendingPush{key: k, item: item}
+	s.pending[n] = ps
+}
+
+// pendingHas reports whether node n still holds this exact pending copy.
+func (s *Intentional) pendingHas(n trace.NodeID, k pushKey) bool {
+	ps := s.pending[n]
+	i := searchPending(ps, k)
+	return i < len(ps) && ps[i].key == k
+}
+
+// pendingDelete removes a pending push copy from node n.
+func (s *Intentional) pendingDelete(n trace.NodeID, k pushKey) {
+	ps := s.pending[n]
+	i := searchPending(ps, k)
+	if i >= len(ps) || ps[i].key != k {
+		return
+	}
+	copy(ps[i:], ps[i+1:])
+	s.pending[n] = ps[:len(ps)-1]
+}
+
+// forEachPending visits node n's pending copies in (Data, NCL) order
+// without allocating. fn may delete the copy it is handed (and no
+// other); additions happen only from OnData, never during a contact.
+func (s *Intentional) forEachPending(n trace.NodeID, fn func(k pushKey, item workload.DataItem)) {
+	for i := 0; i < len(s.pending[n]); {
+		p := s.pending[n][i]
+		fn(p.key, p.item)
+		if i < len(s.pending[n]) && s.pending[n][i].key == p.key {
+			i++
+		}
+	}
+}
+
 // hasPending reports whether node n has a pending source push for the
 // item (only data sources do).
 func (s *Intentional) hasPending(n trace.NodeID, id workload.DataID) bool {
-	for k := range s.pending[n] {
-		if k.Data == id {
-			return true
-		}
-	}
-	return false
+	ps := s.pending[n]
+	i := searchPending(ps, pushKey{Data: id, NCL: 0})
+	// NCL indexes are non-negative, so (id, 0) sorts at or before any
+	// pending copy of the item.
+	return i < len(ps) && ps[i].key.Data == id
 }
 
 // sortedPending returns node n's pending push keys in deterministic
-// order (map iteration order would make runs non-reproducible).
+// (Data, NCL) order — the store's native order.
 func (s *Intentional) sortedPending(n trace.NodeID) []pushKey {
 	keys := make([]pushKey, 0, len(s.pending[n]))
-	for k := range s.pending[n] {
-		keys = append(keys, k)
+	for _, p := range s.pending[n] {
+		keys = append(keys, p.key)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Data != keys[j].Data {
-			return keys[i].Data < keys[j].Data
-		}
-		return keys[i].NCL < keys[j].NCL
-	})
 	return keys
 }
 
@@ -547,11 +598,13 @@ func (s *Intentional) OnContactEnd(*sim.Session) {}
 func (s *Intentional) OnSweep(now float64) {
 	s.base.SweepExpired(now)
 	for n := range s.pending {
-		for key, item := range s.pending[n] {
-			if item.Expired(now) {
-				delete(s.pending[n], key)
+		kept := s.pending[n][:0]
+		for _, p := range s.pending[n] {
+			if !p.item.Expired(now) {
+				kept = append(kept, p)
 			}
 		}
+		s.pending[n] = kept
 	}
 	for id := range s.reachedNCL {
 		if s.env.W.Queries[id].Deadline <= now {

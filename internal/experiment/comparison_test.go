@@ -1,6 +1,10 @@
 package experiment
 
-import "testing"
+import (
+	"testing"
+
+	"dtncache/internal/trace"
+)
 
 // TestRunComparisonMatchesRun is the sharing contract of the knowledge
 // layer: running every scheme concurrently against one shared Provider
@@ -27,6 +31,57 @@ func TestRunComparisonMatchesRun(t *testing.T) {
 		if a, b := reportString(shared[i]), reportString(isolated); a != b {
 			t.Errorf("%s: shared-knowledge report diverged from isolated run:\n%s\n%s", name, a, b)
 		}
+	}
+}
+
+// TestTableIPresetComparisonIdentical pins the pooled core's behavior
+// on the calibrated Table I preset traces: for every preset, running
+// the scheme comparison against one shared knowledge provider must
+// produce reports byte-identical to isolated runs. This is the
+// cross-preset equivalence check behind the zero-allocation refactor —
+// the pooled event loop and slice-backed node stores must not perturb
+// any preset's results. scripts/check.sh runs this under -race, which
+// additionally exercises the pooled per-node state across the
+// comparison's concurrent scheme workers.
+func TestTableIPresetComparisonIdentical(t *testing.T) {
+	names := []string{SchemeIntentional, SchemeCacheData}
+	for _, p := range trace.Presets() {
+		t.Run(string(p), func(t *testing.T) {
+			tr, err := trace.GeneratePreset(p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cap the path-weight horizon: the long-trace defaults (1wk
+			// MIT Reality, 3d UCSD) put almost all of the wall time into
+			// hypoexponential path weights inside the knowledge build,
+			// which is orthogonal to the store-equivalence property under
+			// test here.
+			metricT := DefaultMetricT(string(p))
+			if metricT > 6*3600 {
+				metricT = 6 * 3600
+			}
+			setup := Setup{
+				Trace:       tr,
+				MetricT:     metricT,
+				AvgLifetime: 24 * 3600,
+				K:           2,
+				Seed:        5,
+			}
+			shared, err := RunComparison(setup, names)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, name := range names {
+				isolated, err := Run(setup, name)
+				if err != nil {
+					t.Fatalf("%s isolated run: %v", name, err)
+				}
+				if a, b := reportString(shared[i]), reportString(isolated); a != b {
+					t.Errorf("%s on %s: shared-knowledge report diverged from isolated run:\n%s\n%s",
+						name, p, a, b)
+				}
+			}
+		})
 	}
 }
 

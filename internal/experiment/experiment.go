@@ -136,13 +136,26 @@ func DefaultMetricT(name string) float64 {
 // Run executes one simulation of the named scheme and returns its
 // metric report.
 func Run(s Setup, schemeName string) (metrics.Report, error) {
-	s, err := s.normalized()
+	env, err := BuildEnv(s, schemeName)
 	if err != nil {
 		return metrics.Report{}, err
 	}
+	return env.Run(), nil
+}
+
+// BuildEnv constructs the fully wired simulation environment Run
+// executes, without running it. It exists so benchmarks and diagnostics
+// can reach the underlying simulator (e.g. the processed-event counter
+// behind the events/sec metric) while sharing the exact Setup
+// normalization and workload generation of Run.
+func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
+	s, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
 	factory, err := factoryForSetup(s, schemeName)
 	if err != nil {
-		return metrics.Report{}, err
+		return nil, err
 	}
 	w, err := workload.Generate(workload.Config{
 		Nodes:            s.Trace.Nodes,
@@ -156,7 +169,7 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 		Seed:             s.Seed,
 	})
 	if err != nil {
-		return metrics.Report{}, err
+		return nil, err
 	}
 	cfg := scheme.DefaultConfig(s.Trace.Duration)
 	cfg.MetricT = s.MetricT
@@ -169,11 +182,7 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 	cfg.PopularityFromFirst = s.PopularityFromFirst
 	cfg.DropProb = s.DropProb
 	cfg.Seed = s.Seed
-	env, err := scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)
-	if err != nil {
-		return metrics.Report{}, err
-	}
-	return env.Run(), nil
+	return scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)
 }
 
 // SharedKnowledge builds a knowledge provider for tr that concurrent

@@ -5,25 +5,27 @@
 package metrics
 
 import (
-	"sort"
-
 	"dtncache/internal/mathx"
 	"dtncache/internal/workload"
 )
 
 // queryRecord tracks one query's lifecycle.
 type queryRecord struct {
-	issued    float64
-	deadline  float64
-	satisfied bool
-	delay     float64
-	copies    int // data copies that reached the requester
+	issued     float64
+	deadline   float64
+	registered bool
+	satisfied  bool
+	delay      float64
+	copies     int // data copies that reached the requester
 }
 
 // Collector accumulates metrics during one simulation run. It is not
 // safe for concurrent use; the simulator is single-threaded.
 type Collector struct {
-	queries map[workload.QueryID]*queryRecord
+	// queries is indexed by QueryID (dense, assigned in issue order by
+	// the workload generator) and grown on demand; registered
+	// distinguishes real records from padding.
+	queries []queryRecord
 
 	copySamples  mathx.Online // avg cached copies per live item, per sample
 	usedBufFrac  mathx.Online // fraction of total buffer capacity in use
@@ -39,15 +41,19 @@ type Collector struct {
 
 // NewCollector creates an empty collector.
 func NewCollector() *Collector {
-	return &Collector{queries: make(map[workload.QueryID]*queryRecord)}
+	return &Collector{}
 }
 
 // QueryIssued registers a query the moment a requester sends it.
 func (c *Collector) QueryIssued(q workload.Query) {
-	if _, ok := c.queries[q.ID]; ok {
+	if int(q.ID) >= len(c.queries) {
+		c.queries = append(c.queries, make([]queryRecord, int(q.ID)+1-len(c.queries))...)
+	}
+	r := &c.queries[q.ID]
+	if r.registered {
 		return
 	}
-	c.queries[q.ID] = &queryRecord{issued: q.Issued, deadline: q.Deadline}
+	*r = queryRecord{issued: q.Issued, deadline: q.Deadline, registered: true}
 }
 
 // QueryDelivered records a data copy arriving at the requester at time
@@ -55,10 +61,10 @@ func (c *Collector) QueryIssued(q workload.Query) {
 // transitions to satisfied); later or late copies only count as
 // redundant deliveries.
 func (c *Collector) QueryDelivered(id workload.QueryID, at float64) bool {
-	r, ok := c.queries[id]
-	if !ok {
+	if int(id) >= len(c.queries) || !c.queries[id].registered {
 		return false
 	}
+	r := &c.queries[id]
 	r.copies++
 	if r.satisfied || at > r.deadline {
 		return false
@@ -151,17 +157,14 @@ func (c *Collector) Report() Report {
 		},
 		PhaseSamples: c.phases[0].N(),
 	}
-	// Iterate queries in sorted ID order so delays collects in a
-	// run-independent order (map iteration order would leak into any
-	// order-sensitive consumer downstream).
-	ids := make([]workload.QueryID, 0, len(c.queries))
-	for id := range c.queries {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// The dense store's natural order is ascending query ID — the same
+	// run-independent order the map-backed collector sorted into.
 	var delays []float64
-	for _, id := range ids {
-		r := c.queries[id]
+	for id := range c.queries {
+		r := &c.queries[id]
+		if !r.registered {
+			continue
+		}
 		rep.QueriesIssued++
 		if r.satisfied {
 			rep.QueriesSatisfied++

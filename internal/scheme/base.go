@@ -1,7 +1,7 @@
 package scheme
 
 import (
-	"sort"
+	"math/bits"
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/sim"
@@ -47,16 +47,29 @@ type ReplyCarry struct {
 // Base bundles the per-node protocol state and forwarding machinery
 // every scheme shares: carried query copies, carried replies, per-node
 // request histories, and single-shot response bookkeeping.
+//
+// All per-node stores are slice-backed (QueryID/DataID are dense small
+// integers, see workload): carried copies live in slices sorted by
+// (query ID, target) so per-contact iteration needs no map walk, no
+// re-sort, and no allocation; request histories are dense arrays
+// indexed by DataID; responded flags are bitsets indexed by QueryID.
+// This is the difference between the map-backed seed (a sort per
+// ForwardQueries call) and the zero-allocation replay loop — see
+// DESIGN.md "Replay performance".
 type Base struct {
 	E *Env
-	// queries[n] holds the query copies node n is carrying.
-	queries []map[queryKey]*QueryCarry
-	// replies[n] holds the reply copies node n is carrying.
-	replies []map[workload.QueryID]*ReplyCarry
-	// History[n] is node n's locally observed request history per item.
-	History []map[workload.DataID]*buffer.RequestStats
-	// responded[n] marks queries node n has already decided about.
-	responded []map[workload.QueryID]bool
+	// queries[n] holds the query copies node n is carrying, sorted by
+	// (Q.ID, Target).
+	queries [][]*QueryCarry
+	// replies[n] holds the reply copies node n is carrying, sorted by
+	// Q.ID.
+	replies [][]*ReplyCarry
+	// history[n] is node n's locally observed request history, indexed
+	// by DataID (grown on demand).
+	history [][]buffer.RequestStats
+	// responded[n] marks queries node n has already decided about, one
+	// bit per QueryID.
+	responded [][]uint64
 	// inflightQ/inflightR guard single-copy custody: a copy with an
 	// outstanding transfer on one contact must not be offered on a
 	// concurrent contact.
@@ -73,41 +86,76 @@ type inflight struct {
 
 // NewBase allocates the per-node state for the environment.
 func NewBase(e *Env) *Base {
-	b := &Base{
+	return &Base{
 		E:         e,
-		queries:   make([]map[queryKey]*QueryCarry, e.N),
-		replies:   make([]map[workload.QueryID]*ReplyCarry, e.N),
-		History:   make([]map[workload.DataID]*buffer.RequestStats, e.N),
-		responded: make([]map[workload.QueryID]bool, e.N),
+		queries:   make([][]*QueryCarry, e.N),
+		replies:   make([][]*ReplyCarry, e.N),
+		history:   make([][]buffer.RequestStats, e.N),
+		responded: make([][]uint64, e.N),
 		inflightQ: make(map[inflight]bool),
 		inflightR: make(map[inflight]bool),
 	}
-	for i := 0; i < e.N; i++ {
-		b.queries[i] = make(map[queryKey]*QueryCarry)
-		b.replies[i] = make(map[workload.QueryID]*ReplyCarry)
-		b.History[i] = make(map[workload.DataID]*buffer.RequestStats)
-		b.responded[i] = make(map[workload.QueryID]bool)
-	}
-	return b
 }
 
 // Observe records a request occurrence for item id in node n's history.
 func (b *Base) Observe(n trace.NodeID, id workload.DataID, at float64) {
-	rs, ok := b.History[n][id]
-	if !ok {
-		rs = &buffer.RequestStats{}
-		b.History[n][id] = rs
+	h := b.history[n]
+	if int(id) >= len(h) {
+		h = append(h, make([]buffer.RequestStats, int(id)+1-len(h))...)
+		b.history[n] = h
 	}
-	rs.Observe(at)
+	h[id].Observe(at)
 }
 
 // Stats returns node n's request history for item id (zero stats if
 // none).
 func (b *Base) Stats(n trace.NodeID, id workload.DataID) buffer.RequestStats {
-	if rs, ok := b.History[n][id]; ok {
-		return *rs
+	if h := b.history[n]; int(id) < len(h) {
+		return h[id]
 	}
 	return buffer.RequestStats{}
+}
+
+// searchQueryKey returns the insertion index of key k in qs.
+func searchQueryKey(qs []*QueryCarry, k queryKey) int {
+	lo, hi := 0, len(qs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if qs[mid].Q.ID < k.ID || (qs[mid].Q.ID == k.ID && qs[mid].Target < k.Target) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchQueryID returns the index of the first copy with Q.ID >= id.
+func searchQueryID(qs []*QueryCarry, id workload.QueryID) int {
+	lo, hi := 0, len(qs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if qs[mid].Q.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchReply returns the insertion index of query id in rs.
+func searchReply(rs []*ReplyCarry, id workload.QueryID) int {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rs[mid].Q.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // CarryQuery adds a query copy to node n (ignored if already carried or
@@ -116,32 +164,64 @@ func (b *Base) CarryQuery(n trace.NodeID, qc *QueryCarry) {
 	if qc.Q.Deadline <= b.E.Sim.Now() {
 		return
 	}
-	k := qc.key()
-	if _, ok := b.queries[n][k]; ok {
+	qs := b.queries[n]
+	i := searchQueryKey(qs, qc.key())
+	if i < len(qs) && qs[i].key() == qc.key() {
 		return
 	}
-	b.queries[n][k] = qc
+	qs = append(qs, nil)
+	copy(qs[i+1:], qs[i:])
+	qs[i] = qc
+	b.queries[n] = qs
 }
 
 // DropQuery removes a query copy from node n.
 func (b *Base) DropQuery(n trace.NodeID, qc *QueryCarry) {
-	delete(b.queries[n], qc.key())
+	qs := b.queries[n]
+	i := searchQueryKey(qs, qc.key())
+	if i >= len(qs) || qs[i].key() != qc.key() {
+		return
+	}
+	last := len(qs) - 1
+	copy(qs[i:], qs[i+1:])
+	qs[last] = nil
+	b.queries[n] = qs[:last]
 }
 
-// Queries returns the query copies node n carries, in deterministic
-// order (by query ID then target).
+// CarriesQueryKey reports whether node n carries this exact copy
+// (same query, same target).
+func (b *Base) CarriesQueryKey(n trace.NodeID, qc *QueryCarry) bool {
+	qs := b.queries[n]
+	i := searchQueryKey(qs, qc.key())
+	return i < len(qs) && qs[i].key() == qc.key()
+}
+
+// CarriesQueryID reports whether node n carries any copy of the query,
+// regardless of target.
+func (b *Base) CarriesQueryID(n trace.NodeID, id workload.QueryID) bool {
+	qs := b.queries[n]
+	i := searchQueryID(qs, id)
+	return i < len(qs) && qs[i].Q.ID == id
+}
+
+// Queries returns a copy of the query copies node n carries, in
+// deterministic order (by query ID then target). Hot paths use
+// ForEachQuery instead; this accessor allocates.
 func (b *Base) Queries(n trace.NodeID) []*QueryCarry {
-	out := make([]*QueryCarry, 0, len(b.queries[n]))
-	for _, qc := range b.queries[n] {
-		out = append(out, qc)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Q.ID != out[j].Q.ID {
-			return out[i].Q.ID < out[j].Q.ID
+	return append([]*QueryCarry(nil), b.queries[n]...)
+}
+
+// ForEachQuery visits node n's query copies in (query ID, target)
+// order without allocating. fn may drop the copy it is handed (and no
+// other) from n's store; additions to n must be deferred.
+func (b *Base) ForEachQuery(n trace.NodeID, fn func(qc *QueryCarry)) {
+	for i := 0; i < len(b.queries[n]); {
+		qc := b.queries[n][i]
+		fn(qc)
+		if i < len(b.queries[n]) && b.queries[n][i] == qc {
+			i++
 		}
-		return out[i].Target < out[j].Target
-	})
-	return out
+	}
 }
 
 // CarryReply adds a reply copy to node n (ignored if one for the same
@@ -150,34 +230,69 @@ func (b *Base) CarryReply(n trace.NodeID, rc *ReplyCarry) {
 	if rc.Q.Deadline <= b.E.Sim.Now() {
 		return
 	}
-	if _, ok := b.replies[n][rc.Q.ID]; ok {
+	rs := b.replies[n]
+	i := searchReply(rs, rc.Q.ID)
+	if i < len(rs) && rs[i].Q.ID == rc.Q.ID {
 		return
 	}
-	b.replies[n][rc.Q.ID] = rc
+	rs = append(rs, nil)
+	copy(rs[i+1:], rs[i:])
+	rs[i] = rc
+	b.replies[n] = rs
 }
 
 // DropReply removes a reply copy from node n.
 func (b *Base) DropReply(n trace.NodeID, id workload.QueryID) {
-	delete(b.replies[n], id)
+	rs := b.replies[n]
+	i := searchReply(rs, id)
+	if i >= len(rs) || rs[i].Q.ID != id {
+		return
+	}
+	last := len(rs) - 1
+	copy(rs[i:], rs[i+1:])
+	rs[last] = nil
+	b.replies[n] = rs[:last]
 }
 
-// Replies returns the reply copies node n carries, ordered by query ID.
+// CarriesReply reports whether node n carries a reply for the query.
+func (b *Base) CarriesReply(n trace.NodeID, id workload.QueryID) bool {
+	rs := b.replies[n]
+	i := searchReply(rs, id)
+	return i < len(rs) && rs[i].Q.ID == id
+}
+
+// Replies returns a copy of the reply copies node n carries, ordered by
+// query ID. Hot paths use ForEachReply instead; this accessor
+// allocates.
 func (b *Base) Replies(n trace.NodeID) []*ReplyCarry {
-	out := make([]*ReplyCarry, 0, len(b.replies[n]))
-	for _, rc := range b.replies[n] {
-		out = append(out, rc)
+	return append([]*ReplyCarry(nil), b.replies[n]...)
+}
+
+// ForEachReply visits node n's reply copies in query-ID order without
+// allocating, under the same contract as ForEachQuery.
+func (b *Base) ForEachReply(n trace.NodeID, fn func(rc *ReplyCarry)) {
+	for i := 0; i < len(b.replies[n]); {
+		rc := b.replies[n][i]
+		fn(rc)
+		if i < len(b.replies[n]) && b.replies[n][i] == rc {
+			i++
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Q.ID < out[j].Q.ID })
-	return out
 }
 
 // MarkResponded records that node n has made its one-shot response
 // decision for the query; it returns false if already decided.
 func (b *Base) MarkResponded(n trace.NodeID, id workload.QueryID) bool {
-	if b.responded[n][id] {
+	w, bit := int(id)>>6, uint(id)&63
+	r := b.responded[n]
+	if w >= len(r) {
+		r = append(r, make([]uint64, w+1-len(r))...)
+		b.responded[n] = r
+	}
+	if r[w]&(1<<bit) != 0 {
 		return false
 	}
-	b.responded[n][id] = true
+	r[w] |= 1 << bit
 	return true
 }
 
@@ -186,19 +301,38 @@ func (b *Base) MarkResponded(n trace.NodeID, id workload.QueryID) bool {
 // it from OnSweep.
 func (b *Base) SweepExpired(now float64) {
 	for n := 0; n < b.E.N; n++ {
-		for k, qc := range b.queries[n] {
-			if qc.Q.Deadline <= now {
-				delete(b.queries[n], k)
+		qs := b.queries[n]
+		kept := qs[:0]
+		for _, qc := range qs {
+			if qc.Q.Deadline > now {
+				kept = append(kept, qc)
 			}
 		}
-		for id, rc := range b.replies[n] {
-			if rc.Q.Deadline <= now {
-				delete(b.replies[n], id)
+		for i := len(kept); i < len(qs); i++ {
+			qs[i] = nil
+		}
+		b.queries[n] = kept
+
+		rs := b.replies[n]
+		keptR := rs[:0]
+		for _, rc := range rs {
+			if rc.Q.Deadline > now {
+				keptR = append(keptR, rc)
 			}
 		}
-		for id := range b.responded[n] {
-			if int(id) < len(b.E.W.Queries) && b.E.W.Queries[id].Deadline <= now {
-				delete(b.responded[n], id)
+		for i := len(keptR); i < len(rs); i++ {
+			rs[i] = nil
+		}
+		b.replies[n] = keptR
+
+		for w, word := range b.responded[n] {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &^= 1 << uint(bit)
+				id := w<<6 + bit
+				if id < len(b.E.W.Queries) && b.E.W.Queries[id].Deadline <= now {
+					b.responded[n][w] &^= 1 << uint(bit)
+				}
 			}
 		}
 	}
@@ -222,27 +356,26 @@ type QueryArrival func(at trace.NodeID, qc *QueryCarry)
 func (b *Base) ForwardQueries(s *sim.Session, from trace.NodeID, onArrive QueryArrival) {
 	to := s.Peer(from)
 	now := b.E.Sim.Now()
-	for _, qc := range b.Queries(from) {
-		qc := qc
+	b.ForEachQuery(from, func(qc *QueryCarry) {
 		if qc.Broadcast {
-			continue
+			return
 		}
 		if qc.Q.Deadline <= now {
 			b.DropQuery(from, qc)
-			continue
+			return
 		}
 		if qc.Copies > 1 && to != qc.Target {
 			b.sprayQuery(s, from, to, qc, onArrive)
-			continue
+			return
 		}
 		better := to == qc.Target ||
 			b.E.MetricWeight(to, qc.Target) > b.E.MetricWeight(from, qc.Target)
 		if !better {
-			continue
+			return
 		}
 		key := inflight{node: from, query: qc.Q.ID, target: qc.Target}
 		if b.inflightQ[key] {
-			continue
+			return
 		}
 		b.inflightQ[key] = true
 		s.Enqueue(sim.Transfer{
@@ -262,13 +395,13 @@ func (b *Base) ForwardQueries(s *sim.Session, from trace.NodeID, onArrive QueryA
 			},
 			OnDropped: func(float64) { delete(b.inflightQ, key) },
 		})
-	}
+	})
 }
 
 // sprayQuery hands half of a spray-mode copy's budget to a peer that
 // has not seen the query yet (binary spray-and-wait).
 func (b *Base) sprayQuery(s *sim.Session, from, to trace.NodeID, qc *QueryCarry, onArrive QueryArrival) {
-	if _, seen := b.queries[to][qc.key()]; seen {
+	if b.CarriesQueryKey(to, qc) {
 		return
 	}
 	key := inflight{node: from, query: qc.Q.ID, target: qc.Target}
@@ -313,22 +446,21 @@ type ReplyRelay func(at trace.NodeID, rc *ReplyCarry)
 func (b *Base) ForwardReplies(s *sim.Session, from trace.NodeID, onDelivered ReplyDelivered, onRelay ReplyRelay) {
 	to := s.Peer(from)
 	now := b.E.Sim.Now()
-	for _, rc := range b.Replies(from) {
-		rc := rc
+	b.ForEachReply(from, func(rc *ReplyCarry) {
 		if rc.Q.Deadline <= now {
 			b.DropReply(from, rc.Q.ID)
-			continue
+			return
 		}
 		req := rc.Q.Requester
 		remaining := rc.Q.Deadline - now
 		better := to == req ||
 			b.E.Weight(to, req, remaining) > b.E.Weight(from, req, remaining)
 		if !better {
-			continue
+			return
 		}
 		key := inflight{node: from, query: rc.Q.ID}
 		if b.inflightR[key] {
-			continue
+			return
 		}
 		b.inflightR[key] = true
 		s.Enqueue(sim.Transfer{
@@ -351,7 +483,7 @@ func (b *Base) ForwardReplies(s *sim.Session, from trace.NodeID, onDelivered Rep
 			},
 			OnDropped: func(float64) { delete(b.inflightR, key) },
 		})
-	}
+	})
 }
 
 // Respond creates a reply at node n for query qc if n can serve the data

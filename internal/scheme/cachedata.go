@@ -3,6 +3,7 @@ package scheme
 import (
 	"sort"
 
+	"dtncache/internal/buffer"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
@@ -87,7 +88,9 @@ func (*CacheData) CachePassBy(b *Base, n trace.NodeID, item workload.DataItem,
 	// Evict strictly-less-useful entries until the item fits; give up
 	// (and undo nothing — eviction order is least useful first, so what
 	// was evicted was the least valuable anyway) if it cannot fit.
-	entries := buf.Entries()
+	// Entries() is the buffer's internal ID-sorted store; copy before
+	// reordering by utility.
+	entries := append([]*buffer.Entry(nil), buf.Entries()...)
 	sort.Slice(entries, func(i, j int) bool {
 		ui := utility(entries[i].Data.ID, entries[i].Data.Expires)
 		uj := utility(entries[j].Data.ID, entries[j].Data.Expires)

@@ -211,6 +211,10 @@ type Env struct {
 	snap *knowledge.Snapshot
 	ncls []trace.NodeID
 
+	// copyScratch is the per-sweep copy-count scratch of sampleCaching,
+	// indexed by DataID and reused across sweeps.
+	copyScratch []int
+
 	// ownData[n] holds items generated by node n (sources always retain
 	// their own live data, outside the caching buffer).
 	ownData []map[workload.DataID]workload.DataItem
@@ -401,13 +405,19 @@ func (e *Env) sweep() {
 // sampleCaching records the caching overhead: average number of cached
 // copies per live data item, plus buffer occupancy.
 func (e *Env) sampleCaching(now float64) {
-	copies := make(map[workload.DataID]int)
+	if len(e.copyScratch) < len(e.W.Data) {
+		e.copyScratch = make([]int, len(e.W.Data))
+	}
+	copies := e.copyScratch
+	for i := range copies {
+		copies[i] = 0
+	}
 	var used, capacity float64
 	for _, b := range e.Buffers {
 		used += b.Used()
 		capacity += b.Capacity()
 		for _, en := range b.Entries() {
-			if !en.Data.Expired(now) {
+			if !en.Data.Expired(now) && int(en.Data.ID) < len(copies) {
 				copies[en.Data.ID]++
 			}
 		}

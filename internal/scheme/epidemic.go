@@ -56,14 +56,13 @@ func (s *Epidemic) floodQueries(sess *sim.Session, from trace.NodeID) {
 	e := s.base.E
 	to := sess.Peer(from)
 	now := e.Sim.Now()
-	for _, qc := range s.base.Queries(from) {
-		qc := qc
+	s.base.ForEachQuery(from, func(qc *QueryCarry) {
 		if qc.Q.Deadline <= now {
 			s.base.DropQuery(from, qc)
-			continue
+			return
 		}
-		if s.carriesQuery(to, qc) {
-			continue
+		if s.base.CarriesQueryID(to, qc.Q.ID) {
+			return
 		}
 		copyQC := &QueryCarry{Q: qc.Q, Target: qc.Target, NCL: -1}
 		sess.Enqueue(sim.Transfer{
@@ -79,21 +78,20 @@ func (s *Epidemic) floodQueries(sess *sim.Session, from trace.NodeID) {
 				}
 			},
 		})
-	}
+	})
 }
 
 func (s *Epidemic) floodReplies(sess *sim.Session, from trace.NodeID) {
 	e := s.base.E
 	to := sess.Peer(from)
 	now := e.Sim.Now()
-	for _, rc := range s.base.Replies(from) {
-		rc := rc
+	s.base.ForEachReply(from, func(rc *ReplyCarry) {
 		if rc.Q.Deadline <= now {
 			s.base.DropReply(from, rc.Q.ID)
-			continue
+			return
 		}
-		if s.carriesReply(to, rc.Q.ID) {
-			continue
+		if s.base.CarriesReply(to, rc.Q.ID) {
+			return
 		}
 		sess.Enqueue(sim.Transfer{
 			From: from, To: to, Bits: rc.Item.SizeBits, Label: "epidemic-reply",
@@ -106,28 +104,7 @@ func (s *Epidemic) floodReplies(sess *sim.Session, from trace.NodeID) {
 				s.base.CarryReply(to, rc)
 			},
 		})
-	}
-}
-
-// carriesQuery reports whether node n already has this query copy.
-func (s *Epidemic) carriesQuery(n trace.NodeID, qc *QueryCarry) bool {
-	for _, have := range s.base.Queries(n) {
-		if have.Q.ID == qc.Q.ID {
-			return true
-		}
-	}
-	return false
-}
-
-// carriesReply reports whether node n already carries a reply for the
-// query.
-func (s *Epidemic) carriesReply(n trace.NodeID, id workload.QueryID) bool {
-	for _, have := range s.base.Replies(n) {
-		if have.Q.ID == id {
-			return true
-		}
-	}
-	return false
+	})
 }
 
 // OnContactEnd implements Scheme.

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+// BenchmarkReplayDispatch measures one steady-state Schedule+fire cycle:
+// the event queue is warm, the callback is preallocated, and each
+// iteration pushes one event and dispatches it. This is the path every
+// simulated callback pays, so it must report 0 allocs/op.
+func BenchmarkReplayDispatch(b *testing.B) {
+	s := New()
+	count := 0
+	fn := func() { count++ }
+	// Warm the heap's backing array so steady state starts at iteration 0.
+	_ = s.After(1, fn)
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.After(1, fn)
+		s.Run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	if count != b.N+1 {
+		b.Fatalf("dispatched %d events, want %d", count, b.N+1)
+	}
+}
+
+// BenchmarkReplayBacklog measures scheduling and draining a deep event
+// backlog: b.N events at scattered timestamps pushed into one heap, then
+// dispatched in order. It exercises sift-up/sift-down on a large queue,
+// the regime of a dense contact trace.
+func BenchmarkReplayBacklog(b *testing.B) {
+	s := New()
+	count := 0
+	fn := func() { count++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := s.Now()
+	for i := 0; i < b.N; i++ {
+		// Deterministic scatter: spreads events over [now, now+8191] so
+		// pushes interleave instead of appending in sorted order.
+		at := now + float64((i*2654435761)&8191)
+		_ = s.Schedule(at, fn)
+	}
+	s.Run()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	if count != b.N {
+		b.Fatalf("dispatched %d events, want %d", count, b.N)
+	}
+}
+
+// benchHandler is a minimal protocol: on every contact each endpoint
+// sends one small transfer, so the benchmark covers session setup,
+// transfer completion events, and teardown.
+type benchHandler struct {
+	delivered int
+}
+
+func (h *benchHandler) ContactStart(s *Session) {
+	s.Enqueue(Transfer{From: s.A, To: s.B, Bits: 80e3, Label: "q",
+		OnDelivered: func(Time) { h.delivered++ }})
+	s.Enqueue(Transfer{From: s.B, To: s.A, Bits: 80e3, Label: "q",
+		OnDelivered: func(Time) { h.delivered++ }})
+}
+
+func (h *benchHandler) ContactEnd(*Session) {}
+
+var benchTrace *trace.Trace
+
+func replayTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	if benchTrace == nil {
+		tr, _, err := trace.Generate(trace.GenConfig{
+			Name:           "bench-replay",
+			Nodes:          60,
+			DurationSec:    7 * 86400,
+			GranularitySec: 30,
+			TargetContacts: 40000,
+			ActivityAlpha:  1.2,
+			ActivityMax:    15,
+			EdgeProb:       0.3,
+			Seed:           1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTrace = tr
+	}
+	return benchTrace
+}
+
+// BenchmarkReplayContacts replays a dense synthetic contact trace
+// through the driver with a two-transfer-per-contact handler: the
+// end-to-end cost of the engine (contact begin/end events, sessions,
+// bandwidth-limited transfers) without any caching protocol on top.
+func BenchmarkReplayContacts(b *testing.B) {
+	tr := replayTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		s := New()
+		h := &benchHandler{}
+		d := NewDriver(s, h)
+		if err := d.Load(tr); err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(tr.Duration)
+		if h.delivered == 0 {
+			b.Fatal("no transfers delivered")
+		}
+		events += s.Processed()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -34,9 +34,17 @@ type Session struct {
 
 	driver   *Driver
 	queue    []Transfer
+	head     int // first unserved queue index; the prefix is spent
 	busy     bool
 	closed   bool
 	sentBits float64
+
+	// At most one transfer is in flight per session (the link is serial),
+	// so its completion state lives on the session and onDone — a method
+	// value created once per session — replaces a per-transfer closure.
+	cur        Transfer
+	curDropped bool
+	onDone     func()
 }
 
 // Peer returns the other endpoint, or -1 if n is not part of the session.
@@ -77,51 +85,64 @@ func (s *Session) Enqueue(t Transfer) bool {
 }
 
 // startNext begins the next queued transfer, scheduling its completion.
+// The fit check happens in place — an unfitting head stays queued (it
+// will be reported dropped when the contact closes, and everything
+// behind it in the FIFO cannot fit either), so no re-prepend copy.
 func (s *Session) startNext() {
-	for len(s.queue) > 0 {
-		t := s.queue[0]
-		s.queue = s.queue[1:]
-		d := s.driver
-		dur := t.Bits / d.bandwidth
-		done := d.sim.Now() + dur
-		if done > s.End {
-			// Does not fit in the remaining contact time: it will be
-			// reported dropped when the contact closes. Everything behind
-			// it in the FIFO cannot fit either.
-			s.queue = append([]Transfer{t}, s.queue...)
-			return
-		}
-		dropped := d.dropProb > 0 && d.rng.Bernoulli(d.dropProb)
-		s.busy = true
-		tt := t
-		// Scheduling relative to now never fails.
-		_ = d.sim.Schedule(done, func() {
-			s.busy = false
-			if s.closed {
-				if tt.OnDropped != nil {
-					tt.OnDropped(d.sim.Now())
-				}
-				return
-			}
-			if dropped {
-				d.droppedTransfers++
-				if tt.OnDropped != nil {
-					tt.OnDropped(d.sim.Now())
-				}
-			} else {
-				s.sentBits += tt.Bits
-				d.deliveredTransfers++
-				d.deliveredByLabel[tt.Label]++
-				d.bitsByLabel[tt.Label] += tt.Bits
-				if tt.OnDelivered != nil {
-					tt.OnDelivered(d.sim.Now())
-				}
-			}
-			if !s.closed && !s.busy {
-				s.startNext()
-			}
-		})
+	if s.head >= len(s.queue) {
 		return
+	}
+	d := s.driver
+	t := &s.queue[s.head]
+	dur := t.Bits / d.bandwidth
+	done := d.sim.Now() + dur
+	if done > s.End {
+		return
+	}
+	s.cur = *t
+	// Clear the spent slot so delivered callbacks are not retained.
+	*t = Transfer{}
+	s.head++
+	if s.head == len(s.queue) {
+		// Fully drained: rewind so later enqueues reuse the backing array.
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.curDropped = d.dropProb > 0 && d.rng.Bernoulli(d.dropProb)
+	s.busy = true
+	// Scheduling relative to now never fails.
+	_ = d.sim.Schedule(done, s.onDone)
+}
+
+// finishTransfer completes the in-flight transfer; scheduled as the
+// session's reusable onDone callback.
+func (s *Session) finishTransfer() {
+	d := s.driver
+	s.busy = false
+	t := s.cur
+	s.cur = Transfer{}
+	if s.closed {
+		if t.OnDropped != nil {
+			t.OnDropped(d.sim.Now())
+		}
+		return
+	}
+	if s.curDropped {
+		d.droppedTransfers++
+		if t.OnDropped != nil {
+			t.OnDropped(d.sim.Now())
+		}
+	} else {
+		s.sentBits += t.Bits
+		d.deliveredTransfers++
+		d.deliveredByLabel[t.Label]++
+		d.bitsByLabel[t.Label] += t.Bits
+		if t.OnDelivered != nil {
+			t.OnDelivered(d.sim.Now())
+		}
+	}
+	if !s.closed && !s.busy {
+		s.startNext()
 	}
 }
 
@@ -131,12 +152,13 @@ func (s *Session) close(at Time) {
 		return
 	}
 	s.closed = true
-	for _, t := range s.queue {
-		if t.OnDropped != nil {
-			t.OnDropped(at)
+	for i := s.head; i < len(s.queue); i++ {
+		if s.queue[i].OnDropped != nil {
+			s.queue[i].OnDropped(at)
 		}
 	}
 	s.queue = nil
+	s.head = 0
 }
 
 // Handler receives contact lifecycle callbacks. Implementations hold the
@@ -262,6 +284,7 @@ func (d *Driver) Load(tr *trace.Trace) error {
 func (d *Driver) beginContact(c trace.Contact) {
 	key := pairKey(c.A, c.B)
 	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
+	s.onDone = s.finishTransfer
 	d.active[key] = s
 	// End event scheduled before the handler runs so an immediate Stop
 	// inside the handler still cleans up.

@@ -16,7 +16,11 @@ import (
 // Time is a virtual timestamp in seconds since the start of the trace.
 type Time = float64
 
-// event is one scheduled callback.
+// event is one scheduled callback. Events live by value inside the
+// heap's backing array — the array doubles as the event pool: a pop
+// vacates a slot that the next push reuses, so steady-state
+// Schedule/dispatch performs no allocation at all (see DESIGN.md
+// "Replay performance").
 type event struct {
 	at  Time
 	seq uint64
@@ -25,10 +29,11 @@ type event struct {
 
 // eventHeap is a typed binary min-heap of events ordered by (at, seq):
 // earliest timestamp first, scheduling order among equal timestamps. It
-// replaces container/heap so Push/Pop avoid boxing every *event through
-// interface{} — the event queue is the hottest allocation site of the
-// engine.
-type eventHeap []*event
+// stores events by value: no per-event allocation (the former
+// container/heap boxing and the later *event pointers were the hottest
+// allocation site of the engine), and sift moves are plain struct
+// copies within one cache-friendly array.
+type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -37,7 +42,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(e *event) {
+func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	q := *h
 	// Sift up.
@@ -51,11 +56,14 @@ func (h *eventHeap) push(e *event) {
 	}
 }
 
-func (h *eventHeap) pop() *event {
+func (h *eventHeap) pop() event {
 	q := *h
 	n := len(q) - 1
 	top := q[0]
-	q[0], q[n] = q[n], nil
+	q[0] = q[n]
+	// Clear the vacated slot so the popped callback is not retained by
+	// the pool's backing array.
+	q[n] = event{}
 	q = q[:n]
 	*h = q
 	// Sift down.
@@ -79,10 +87,11 @@ func (h *eventHeap) pop() *event {
 
 // Simulator is the event loop. The zero value is not usable; call New.
 type Simulator struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	stopped bool
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	stopped   bool
+	processed uint64
 }
 
 // New creates a simulator with the clock at 0.
@@ -92,6 +101,11 @@ func New() *Simulator {
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the cumulative number of events dispatched over the
+// simulator's lifetime (the events/sec numerator of the replay
+// benchmarks).
+func (s *Simulator) Processed() uint64 { return s.processed }
 
 // ErrPast reports an attempt to schedule an event before the current
 // virtual time.
@@ -104,7 +118,7 @@ func (s *Simulator) Schedule(at Time, fn func()) error {
 		return fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now)
 	}
 	s.seq++
-	s.queue.push(&event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(event{at: at, seq: s.seq, fn: fn})
 	return nil
 }
 
@@ -114,7 +128,9 @@ func (s *Simulator) After(d float64, fn func()) error {
 }
 
 // Every runs fn at start, start+interval, ... until the returned cancel
-// function is called or the simulation ends.
+// function is called or the simulation ends. The repetition reuses a
+// single tick closure: each reschedule pushes one by-value event, so a
+// running ticker never allocates.
 func (s *Simulator) Every(start Time, interval float64, fn func()) (cancel func(), err error) {
 	if interval <= 0 {
 		return nil, errors.New("sim: Every requires a positive interval")
@@ -138,28 +154,35 @@ func (s *Simulator) Every(start Time, interval float64, fn func()) (cancel func(
 	return func() { stopped = true }, nil
 }
 
-// Stop makes Run/RunUntil return after the current event.
+// Stop makes Run/RunUntil return after the current event. The request
+// is sticky: a Stop issued while no run is active (e.g. from a callback
+// during a previous bounded run, or between runs) makes the next
+// Run/RunUntil return immediately. Exactly one run entry consumes each
+// Stop; the run after that proceeds normally.
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Run processes events until the queue is empty or Stop is called.
 // It returns the number of events processed.
 func (s *Simulator) Run() int {
-	return s.runUntil(-1, false)
+	n, _ := s.run(-1, false)
+	return n
 }
 
 // RunUntil processes every event with timestamp <= t, then advances the
 // clock to t. It returns the number of events processed.
 func (s *Simulator) RunUntil(t Time) int {
-	n := s.runUntil(t, true)
-	if !s.stopped && t > s.now {
+	n, stopped := s.run(t, true)
+	if !stopped && t > s.now {
 		s.now = t
 	}
 	return n
 }
 
-func (s *Simulator) runUntil(t Time, bounded bool) int {
-	s.stopped = false
-	n := 0
+// run is the dispatch loop shared by Run and RunUntil. It does not
+// reset the stopped flag on entry — a Stop requested before the run
+// must not be lost — and consumes the flag on exit so one Stop stops
+// exactly one run.
+func (s *Simulator) run(t Time, bounded bool) (n int, stopped bool) {
 	for len(s.queue) > 0 && !s.stopped {
 		if bounded && s.queue[0].at > t {
 			break
@@ -168,8 +191,11 @@ func (s *Simulator) runUntil(t Time, bounded bool) int {
 		s.now = e.at
 		e.fn()
 		n++
+		s.processed++
 	}
-	return n
+	stopped = s.stopped
+	s.stopped = false
+	return n, stopped
 }
 
 // Pending returns the number of queued events (diagnostics only).

@@ -95,6 +95,68 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopBeforeRunIsSticky(t *testing.T) {
+	s := New()
+	var count int
+	mustSchedule(t, s, 1, func() { count++ })
+	// A Stop issued while no run is active must not be lost: the next
+	// run consumes it and returns immediately.
+	s.Stop()
+	if n := s.Run(); n != 0 {
+		t.Errorf("Run after sticky Stop processed %d events, want 0", n)
+	}
+	if count != 0 {
+		t.Errorf("count = %d, want 0 (stopped before dispatch)", count)
+	}
+	// One Stop stops exactly one run; the next proceeds normally.
+	if n := s.Run(); n != 1 {
+		t.Errorf("second Run processed %d events, want 1", n)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1 after resume", count)
+	}
+}
+
+func TestStopBeforeRunUntilIsSticky(t *testing.T) {
+	s := New()
+	var count int
+	mustSchedule(t, s, 5, func() { count++ })
+	s.Stop()
+	if n := s.RunUntil(10); n != 0 {
+		t.Errorf("RunUntil after sticky Stop processed %d events, want 0", n)
+	}
+	// A stopped bounded run must not advance the clock past unprocessed
+	// events.
+	if s.Now() != 0 {
+		t.Errorf("clock = %v, want 0 (stopped run must not advance)", s.Now())
+	}
+	if n := s.RunUntil(10); n != 1 {
+		t.Errorf("second RunUntil processed %d events, want 1", n)
+	}
+	if count != 1 || s.Now() != 10 {
+		t.Errorf("count = %d clock = %v, want 1 and 10", count, s.Now())
+	}
+}
+
+func TestStopFromBoundedRunCallback(t *testing.T) {
+	// The original regression: a callback in a bounded run requests a
+	// stop near its end; the request must terminate that run (or, if the
+	// run already drained, the next one) rather than being reset.
+	s := New()
+	var count int
+	mustSchedule(t, s, 5, func() { count++; s.Stop() })
+	mustSchedule(t, s, 15, func() { count++ })
+	if n := s.RunUntil(10); n != 1 {
+		t.Errorf("bounded run processed %d events, want 1", n)
+	}
+	// The Stop fired inside the bounded run and was consumed by it; the
+	// follow-up run proceeds.
+	s.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
 func TestEvery(t *testing.T) {
 	s := New()
 	var at []Time

@@ -20,17 +20,29 @@ go vet ./...
 echo "== dtnlint ./..."
 go run ./cmd/dtnlint ./...
 
-# The knowledge layer's parallel snapshot builder is the newest
-# determinism-sensitive code path; lint it explicitly (with in-package
-# tests) so a scope regression in the analyzer list cannot hide it.
-echo "== dtnlint -tests ./internal/knowledge"
-go run ./cmd/dtnlint -tests ./internal/knowledge
+# The knowledge layer's parallel snapshot builder and the pooled
+# zero-allocation core (event heap, slice-backed node stores, dense
+# metrics records) are the determinism-sensitive code paths; lint them
+# explicitly (with in-package tests) so a scope regression in the
+# analyzer list cannot hide them.
+echo "== dtnlint -tests (determinism-sensitive packages)"
+go run ./cmd/dtnlint -tests ./internal/knowledge ./internal/sim \
+    ./internal/scheme ./internal/core ./internal/buffer ./internal/metrics
 
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== fuzz seed corpora (short mode)"
-go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack
+go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim
+
+# Benchmark regression gate: rerun the suite and compare against the
+# committed PR 2 numbers. The 0.5x default threshold in the Makefile
+# only trips on gross slowdowns, so cross-machine noise passes.
+# Set CHECK_SKIP_BENCH=1 to skip on very slow machines.
+if [[ -z "${CHECK_SKIP_BENCH:-}" ]]; then
+    echo "== make bench-compare BASELINE=BENCH_pr2.json"
+    make bench-compare BASELINE=BENCH_pr2.json
+fi
 
 if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
     echo "== fuzzing for ${CHECK_FUZZ_TIME} per target"
@@ -39,6 +51,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/trace FuzzReadONE"
         "./internal/knapsack FuzzSolve"
         "./internal/knapsack FuzzProbabilisticSelect"
+        "./internal/sim FuzzEventHeapOrdering"
     )
     for entry in "${targets[@]}"; do
         read -r pkg fn <<<"$entry"
