@@ -3,7 +3,7 @@
 # scripts/check.sh and DESIGN.md "Determinism contract").
 
 GO ?= go
-CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson
+CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson obsdump
 
 .PHONY: build test check smoke fuzz lint bench bench-compare clean
 

@@ -29,6 +29,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"dtncache/internal/obs"
 )
 
 // Result is one parsed benchmark line.
@@ -72,13 +74,17 @@ type Compared struct {
 	Speedup    float64 `json:"speedup"`
 }
 
-// Summary is the emitted JSON document.
+// Summary is the emitted JSON document. Env predates Manifest and is
+// kept so committed BENCH_*.json baselines stay loadable; Manifest adds
+// the git revision and config-digest provenance shared with recorded
+// run traces.
 type Summary struct {
-	Env        *EnvInfo   `json:"env,omitempty"`
-	Benchmarks []Result   `json:"benchmarks"`
-	Ratios     []Ratio    `json:"ratios,omitempty"`
-	Baseline   string     `json:"baseline,omitempty"`
-	VsBaseline []Compared `json:"vs_baseline,omitempty"`
+	Env        *EnvInfo      `json:"env,omitempty"`
+	Manifest   *obs.Manifest `json:"manifest,omitempty"`
+	Benchmarks []Result      `json:"benchmarks"`
+	Ratios     []Ratio       `json:"ratios,omitempty"`
+	Baseline   string        `json:"baseline,omitempty"`
+	VsBaseline []Compared    `json:"vs_baseline,omitempty"`
 }
 
 func main() {
@@ -128,6 +134,8 @@ func run(args []string) error {
 		return err
 	}
 	sum.Env = &EnvInfo{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	m := obs.NewManifest("", "", 0, nil)
+	sum.Manifest = &m
 	for _, r := range ratios {
 		ratio, err := computeRatio(r, sum.Benchmarks)
 		if err != nil {
@@ -141,6 +149,7 @@ func run(args []string) error {
 			return err
 		}
 		sum.Baseline = *baseline
+		warnEnvMismatch(os.Stderr, base, sum)
 		sum.VsBaseline = compareBaseline(base.Benchmarks, sum.Benchmarks)
 		if len(sum.VsBaseline) == 0 {
 			return fmt.Errorf("baseline %s shares no benchmarks with the input", *baseline)
@@ -160,6 +169,37 @@ func run(args []string) error {
 		return err
 	}
 	return checkRegressions(sum.VsBaseline, *regress)
+}
+
+// benchEnv extracts the toolchain/parallelism pins of a summary,
+// preferring the manifest over the legacy env block. ok is false when
+// the summary carries neither (hand-written or very old baselines).
+func benchEnv(s *Summary) (goVersion string, goMaxProcs int, ok bool) {
+	switch {
+	case s.Manifest != nil:
+		return s.Manifest.GoVersion, s.Manifest.GoMaxProcs, true
+	case s.Env != nil:
+		return s.Env.GoVersion, s.Env.GoMaxProcs, true
+	}
+	return "", 0, false
+}
+
+// warnEnvMismatch flags baseline comparisons made across different
+// toolchains or parallelism, which would otherwise be reported as
+// speedups/regressions without comment.
+func warnEnvMismatch(w io.Writer, base, cur *Summary) {
+	bv, bp, ok := benchEnv(base)
+	if !ok {
+		fmt.Fprintln(w, "benchjson: warning: baseline has no environment info; speedups may compare across toolchains")
+		return
+	}
+	cv, cp, _ := benchEnv(cur)
+	if bv != cv {
+		fmt.Fprintf(w, "benchjson: warning: baseline was measured with %s, this run with %s; speedups are not like-for-like\n", bv, cv)
+	}
+	if bp != cp {
+		fmt.Fprintf(w, "benchjson: warning: baseline ran at GOMAXPROCS=%d, this run at %d; speedups are not like-for-like\n", bp, cp)
+	}
 }
 
 // loadSummary reads a previously emitted BENCH_*.json file.

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"dtncache/internal/obs"
 )
 
 const sample = `goos: linux
@@ -116,6 +118,41 @@ func TestCheckRegressions(t *testing.T) {
 	}
 }
 
+func TestWarnEnvMismatch(t *testing.T) {
+	mk := func(v string, p int) *Summary {
+		return &Summary{Env: &EnvInfo{GoVersion: v, GoMaxProcs: p}}
+	}
+	cases := []struct {
+		name      string
+		base, cur *Summary
+		want      []string
+	}{
+		{"identical", mk("go1.24.0", 4), mk("go1.24.0", 4), nil},
+		{"go-version", mk("go1.23.1", 4), mk("go1.24.0", 4), []string{"go1.23.1", "go1.24.0"}},
+		{"gomaxprocs", mk("go1.24.0", 2), mk("go1.24.0", 8), []string{"GOMAXPROCS=2", "at 8"}},
+		{"no-env", &Summary{}, mk("go1.24.0", 4), []string{"no environment info"}},
+		{"manifest-preferred", // manifest pins win over a stale env block
+			&Summary{Env: &EnvInfo{GoVersion: "go1.1", GoMaxProcs: 1},
+				Manifest: &obs.Manifest{GoVersion: "go1.24.0", GoMaxProcs: 4}},
+			mk("go1.24.0", 4), nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf strings.Builder
+			warnEnvMismatch(&buf, c.base, c.cur)
+			out := buf.String()
+			if len(c.want) == 0 && out != "" {
+				t.Errorf("unexpected warning: %q", out)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("warning %q missing %q", out, w)
+				}
+			}
+		})
+	}
+}
+
 func TestRunBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	basePath := dir + "/base.json"
@@ -146,6 +183,9 @@ func TestRunBaselineRoundTrip(t *testing.T) {
 	}
 	if sum.Env == nil || sum.Env.GoVersion == "" || sum.Env.GoMaxProcs < 1 {
 		t.Errorf("env block missing or incomplete: %+v", sum.Env)
+	}
+	if sum.Manifest == nil || sum.Manifest.GoVersion == "" || sum.Manifest.GoMaxProcs < 1 {
+		t.Errorf("manifest missing or incomplete: %+v", sum.Manifest)
 	}
 	if len(sum.VsBaseline) != 1 || sum.VsBaseline[0].Speedup != 4 {
 		t.Errorf("vs_baseline = %+v, want one 4x entry", sum.VsBaseline)

@@ -12,12 +12,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"dtncache/internal/experiment"
 	"dtncache/internal/metrics"
+	"dtncache/internal/obs"
 	"dtncache/internal/prof"
 	"dtncache/internal/scheme"
 	"dtncache/internal/trace"
@@ -54,6 +56,10 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
+		traceOut   = fs.String("trace-out", "", "record the NDJSON run-trace to this `file` ('-' for stdout)")
+		flightN    = fs.Int("flight-recorder", 0, "keep only the last `n` trace events in a ring (dumped to -trace-out at the end, or to stderr on error)")
+		sampleN    = fs.Int("trace-sample", 1, "record one of every `n` trace events")
+		obsSummary = fs.Bool("obs-summary", false, "print observability counters and phase timings to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +70,30 @@ func run(args []string) error {
 		return err
 	}
 
+	var (
+		rec  *obs.Recorder
+		ring *obs.RingSink
+	)
+	if *traceOut != "" || *flightN > 0 || *obsSummary {
+		var sink obs.Sink
+		switch {
+		case *flightN > 0:
+			ring = obs.NewRingSink(*flightN)
+			sink = ring
+		case *traceOut != "":
+			w, werr := openTraceOut(*traceOut)
+			if werr != nil {
+				return werr
+			}
+			sink = obs.NewStreamSink(w)
+		}
+		if sink != nil && *sampleN > 1 {
+			sink = obs.NewSampleSink(sink, *sampleN)
+		}
+		rec = obs.NewRecorder(sink, obs.WithPhases(obs.NewPhases(wallClock)))
+	}
+
+	doneLoad := rec.Phase("trace-load")
 	var tr *trace.Trace
 	if *traceFile != "" {
 		f, ferr := os.Open(*traceFile)
@@ -82,6 +112,7 @@ func run(args []string) error {
 	} else {
 		tr, err = trace.GeneratePreset(trace.Preset(*preset), *seed)
 	}
+	doneLoad()
 	if err != nil {
 		return err
 	}
@@ -101,6 +132,14 @@ func run(args []string) error {
 		BufferMaxBits: *bufMax * 1e6,
 		DropProb:      *dropProb,
 		Response:      mode,
+		Obs:           rec,
+	}
+	manifest := obs.NewManifest(tr.Name, *schemeName, *seed, digestable(setup))
+	if ring == nil {
+		// Stream sink: the manifest is the first recorded line. With a
+		// flight-recorder ring it is prepended at dump time instead, so
+		// it cannot be overwritten.
+		rec.Manifest(manifest)
 	}
 	start := time.Now()
 	rep, err := experiment.RunAveraged(setup, *schemeName, *repeats)
@@ -108,17 +147,49 @@ func run(args []string) error {
 		err = perr
 	}
 	if err != nil {
+		if ring != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: last %d of %d events\n",
+				ring.Len(), ring.Len()+int(ring.Dropped()))
+			os.Stderr.Write(append(manifest.AppendJSON(nil), '\n'))
+			_ = ring.Dump(os.Stderr)
+		}
+		_ = rec.Close()
 		return err
+	}
+	if ring != nil && *traceOut != "" {
+		w, werr := openTraceOut(*traceOut)
+		if werr != nil {
+			return werr
+		}
+		if _, werr = w.Write(append(manifest.AppendJSON(nil), '\n')); werr != nil {
+			return werr
+		}
+		if werr = ring.Dump(w); werr != nil {
+			return werr
+		}
+		if c, ok := w.(io.Closer); ok {
+			if werr = c.Close(); werr != nil {
+				return werr
+			}
+		}
+	}
+	if cerr := rec.Close(); cerr != nil {
+		return cerr
+	}
+	if *obsSummary {
+		_ = manifest.WriteSummary(os.Stderr)
+		_ = rec.WriteSummary(os.Stderr)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
-			Trace   string
-			Scheme  string
-			Repeats int
-			Report  metrics.Report
-		}{tr.Name, *schemeName, *repeats, rep})
+			Trace    string
+			Scheme   string
+			Repeats  int
+			Manifest obs.Manifest `json:"manifest"`
+			Report   metrics.Report
+		}{tr.Name, *schemeName, *repeats, manifest, rep})
 	}
 	fmt.Printf("trace:       %s (%d nodes, %.0f days, %d contacts)\n",
 		tr.Name, tr.Nodes, tr.Duration/86400, len(tr.Contacts))
@@ -131,6 +202,29 @@ func run(args []string) error {
 	fmt.Printf("traffic:     %.1f Gb data, %.2f Gb control\n", rep.DataBits/1e9, rep.ControlBits/1e9)
 	fmt.Printf("wall time:   %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// wallClock is the nanosecond clock injected into the phase timers
+// (internal/obs itself is determinism-linted and never reads the wall
+// clock).
+func wallClock() int64 { return time.Now().UnixNano() }
+
+// digestable strips the pointer fields off a Setup so its %+v rendering
+// — and therefore the manifest's config digest — is stable across runs.
+func digestable(s experiment.Setup) experiment.Setup {
+	s.Trace = nil
+	s.Knowledge = nil
+	s.Obs = nil
+	return s
+}
+
+// openTraceOut opens the run-trace destination; "-" selects stdout
+// (left open for the report that follows).
+func openTraceOut(path string) (io.Writer, error) {
+	if path == "-" {
+		return struct{ io.Writer }{os.Stdout}, nil
+	}
+	return os.Create(path)
 }
 
 func parseResponse(s string) (scheme.ResponseMode, error) {

@@ -18,9 +18,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"dtncache/internal/experiment"
+	"dtncache/internal/obs"
 	"dtncache/internal/prof"
 )
 
@@ -38,14 +40,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which artifact to regenerate: table1, 4, 7, 9, 10, 11, 12, 13, ablation, delay, robustness, routing, traces, rwp, all")
-		seed    = fs.Int64("seed", 1, "random seed")
-		repeats = fs.Int("repeats", 1, "repetitions to average per cell")
-		quick   = fs.Bool("quick", false, "reduced sweeps for a fast pass")
-		csvOut  = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir  = fs.String("outdir", "", "also write each table as CSV into this directory")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
-		memProf = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
+		fig        = fs.String("fig", "all", "which artifact to regenerate: table1, 4, 7, 9, 10, 11, 12, 13, ablation, delay, robustness, routing, traces, rwp, all")
+		seed       = fs.Int64("seed", 1, "random seed")
+		repeats    = fs.Int("repeats", 1, "repetitions to average per cell")
+		quick      = fs.Bool("quick", false, "reduced sweeps for a fast pass")
+		csvOut     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir     = fs.String("outdir", "", "also write each table as CSV into this directory")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
+		progress   = fs.Bool("progress", false, "print a completion line per sweep cell to stderr")
+		obsSummary = fs.Bool("obs-summary", false, "print per-scheme cell timings to stderr at the end")
+		traceOut   = fs.String("trace-out", "", "record sweep-cell NDJSON events to this `file` (wall-clock timings: not byte-stable across runs)")
+		flightN    = fs.Int("flight-recorder", 0, "keep only the last `n` cell events in a ring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +61,53 @@ func run(args []string) error {
 		return err
 	}
 	o := experiment.FigureOptions{Seed: *seed, Repeats: *repeats, Quick: *quick}
+
+	// Observability rides on the experiment cell hook: every completed
+	// sweep cell (one simulation run) reports its scheme and wall time.
+	// Cells run in parallel, so the hook serializes recorder access with
+	// a mutex.
+	var (
+		rec      *obs.Recorder
+		ring     *obs.RingSink
+		phases   *obs.Phases
+		manifest obs.Manifest
+	)
+	if *progress || *obsSummary || *traceOut != "" || *flightN > 0 {
+		phases = obs.NewPhases(func() int64 { return time.Now().UnixNano() })
+		var sink obs.Sink
+		switch {
+		case *flightN > 0:
+			ring = obs.NewRingSink(*flightN)
+			sink = ring
+		case *traceOut != "":
+			w, werr := os.Create(*traceOut)
+			if werr != nil {
+				return werr
+			}
+			sink = obs.NewStreamSink(w)
+		}
+		rec = obs.NewRecorder(sink, obs.WithPhases(phases))
+		manifest = obs.NewManifest("", *fig, *seed, o)
+		if ring == nil {
+			rec.Manifest(manifest)
+		}
+		var mu sync.Mutex
+		var cells int64
+		wallStart := time.Now()
+		experiment.SetCellHook(func(schemeName string, wallNs int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			cells++
+			phases.Add("cell:"+schemeName, wallNs)
+			rec.Cell(cells, float64(wallNs)/1e9, schemeName)
+			if *progress {
+				fmt.Fprintf(os.Stderr, "[progress] cell %d (%s) done in %s, elapsed %s\n",
+					cells, schemeName, time.Duration(wallNs).Round(time.Millisecond),
+					time.Since(wallStart).Round(time.Second))
+			}
+		})
+		defer experiment.SetCellHook(nil)
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
@@ -128,6 +181,13 @@ func run(args []string) error {
 		}
 		start := time.Now()
 		if err := j.run(); err != nil {
+			if ring != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder: last %d of %d cell events\n",
+					ring.Len(), ring.Len()+int(ring.Dropped()))
+				os.Stderr.Write(append(manifest.AppendJSON(nil), '\n'))
+				_ = ring.Dump(os.Stderr)
+			}
+			_ = rec.Close()
 			return fmt.Errorf("experiment %s: %w", j.key, err)
 		}
 		if !*csvOut {
@@ -138,5 +198,35 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
+	if ring != nil && *traceOut != "" {
+		if err := dumpRing(*traceOut, manifest, ring); err != nil {
+			return err
+		}
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	if *obsSummary {
+		_ = manifest.WriteSummary(os.Stderr)
+		_ = rec.WriteSummary(os.Stderr)
+	}
 	return stopProf()
+}
+
+// dumpRing writes the manifest line followed by the ring's retained
+// events to path.
+func dumpRing(path string, m obs.Manifest, ring *obs.RingSink) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(m.AppendJSON(nil), '\n')); err != nil {
+		w.Close()
+		return err
+	}
+	if err := ring.Dump(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }

@@ -1,0 +1,353 @@
+// Command obsdump renders a recorded NDJSON run-trace (dtnsim
+// -trace-out / experiments -trace-out) as human-readable tables: the
+// run manifest, a binned timeline of event counts, and the evolution
+// of cache occupancy and query hit ratio over virtual time.
+//
+// Usage:
+//
+//	dtnsim -trace Infocom05 -trace-out run.ndjson
+//	obsdump run.ndjson
+//	obsdump -bins 12 run.ndjson
+//	cat a.ndjson b.ndjson | obsdump     # one section per manifest
+//
+// Concatenating traces of several schemes gives a per-scheme section
+// each, so scheme behaviors can be compared side by side.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"dtncache/internal/obs"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed; --help is a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+// event is one decoded NDJSON trace line. Manifest lines reuse the
+// struct: their extra fields are simply empty on ordinary events.
+type event struct {
+	K  string  `json:"k"`
+	T  float64 `json:"t"`
+	A  int32   `json:"a"`
+	B  int32   `json:"b"`
+	ID int64   `json:"id"`
+	X  int64   `json:"x"`
+	V  float64 `json:"v"`
+	S  string  `json:"s"`
+
+	// Manifest header fields (k == "manifest").
+	Trace        string `json:"trace"`
+	Scheme       string `json:"scheme"`
+	Seed         int64  `json:"seed"`
+	ConfigDigest string `json:"config_digest"`
+	GoVersion    string `json:"go_version"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	GitDescribe  string `json:"git_describe"`
+}
+
+// runTrace is one manifest-delimited section of the input.
+type runTrace struct {
+	manifest *event // nil when the trace starts without a header
+	events   []event
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obsdump", flag.ContinueOnError)
+	bins := fs.Int("bins", 24, "number of virtual-time bins in the timeline tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bins < 1 {
+		return fmt.Errorf("-bins must be positive, got %d", *bins)
+	}
+
+	var in io.Reader = os.Stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	runs, err := parseRuns(in)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return errors.New("no trace events in input")
+	}
+	for i, rt := range runs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		render(w, i+1, rt, *bins)
+	}
+	return nil
+}
+
+// parseRuns splits the NDJSON stream into manifest-delimited runs.
+// Unknown kinds are kept (counted under their name); malformed lines
+// are an error with their line number.
+func parseRuns(r io.Reader) ([]runTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var runs []runTrace
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if ev.K == obs.KindManifest.String() {
+			runs = append(runs, runTrace{manifest: &ev})
+			continue
+		}
+		if len(runs) == 0 {
+			runs = append(runs, runTrace{})
+		}
+		cur := &runs[len(runs)-1]
+		cur.events = append(cur.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// render writes one run's manifest, timeline and evolution tables.
+func render(w io.Writer, n int, rt runTrace, bins int) {
+	fmt.Fprintf(w, "run %d:", n)
+	if m := rt.manifest; m != nil {
+		if m.Trace != "" {
+			fmt.Fprintf(w, " trace=%q", m.Trace)
+		}
+		if m.Scheme != "" {
+			fmt.Fprintf(w, " scheme=%s", m.Scheme)
+		}
+		fmt.Fprintf(w, " seed=%d", m.Seed)
+		if m.ConfigDigest != "" {
+			fmt.Fprintf(w, " digest=%s", m.ConfigDigest)
+		}
+		fmt.Fprintf(w, " %s gomaxprocs=%d", m.GoVersion, m.GoMaxProcs)
+		if m.GitDescribe != "" {
+			fmt.Fprintf(w, " git=%s", m.GitDescribe)
+		}
+	} else {
+		fmt.Fprint(w, " (no manifest header)")
+	}
+	fmt.Fprintln(w)
+	if len(rt.events) == 0 {
+		fmt.Fprintln(w, "  no events")
+		return
+	}
+
+	maxT := 0.0
+	for i := range rt.events {
+		if rt.events[i].T > maxT {
+			maxT = rt.events[i].T
+		}
+	}
+	fmt.Fprintf(w, "  %d events over [0, %.0fs] (%.1f days)\n",
+		len(rt.events), maxT, maxT/86400)
+
+	timeline(w, rt.events, bins, maxT)
+	evolution(w, rt.events, bins, maxT)
+	cellTable(w, rt.events)
+}
+
+// binOf maps a virtual time onto [0, bins).
+func binOf(t, maxT float64, bins int) int {
+	if maxT <= 0 {
+		return 0
+	}
+	i := int(t / maxT * float64(bins))
+	if i >= bins {
+		i = bins - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// timelineKinds is the column order of the timeline table; kinds with
+// no occurrences are dropped from the output.
+var timelineKinds = []obs.Kind{
+	obs.KindContactBegin, obs.KindContactEnd,
+	obs.KindQueryIssued, obs.KindQueryAnswered, obs.KindQueryExpired,
+	obs.KindCacheInsert, obs.KindCacheEvict,
+	obs.KindPush, obs.KindPull, obs.KindKnowledge,
+}
+
+// timeline prints per-bin event counts, one column per occurring kind.
+func timeline(w io.Writer, events []event, bins int, maxT float64) {
+	counts := make(map[string][]int64)
+	for i := range events {
+		ev := &events[i]
+		if ev.K == obs.KindCell.String() {
+			continue // wall-clock cell events get their own table
+		}
+		row := counts[ev.K]
+		if row == nil {
+			row = make([]int64, bins)
+			counts[ev.K] = row
+		}
+		row[binOf(ev.T, maxT, bins)]++
+	}
+	if len(counts) == 0 {
+		return
+	}
+	var cols []string
+	for _, k := range timelineKinds {
+		if counts[k.String()] != nil {
+			cols = append(cols, k.String())
+		}
+	}
+	// Kinds outside the known set (future trace versions) still show up,
+	// in sorted name order so the rendering is deterministic.
+	var unknown []string
+	for k := range counts {
+		if _, known := obs.KindByName(k); !known {
+			unknown = append(unknown, k)
+		}
+	}
+	sort.Strings(unknown)
+	cols = append(cols, unknown...)
+
+	fmt.Fprintf(w, "\n  timeline (%d bins of %s):\n", bins, fmtDur(maxT/float64(bins)))
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "\tt-start\t")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "%s\t", c)
+	}
+	fmt.Fprintln(tw)
+	for b := 0; b < bins; b++ {
+		fmt.Fprintf(tw, "\t%s\t", fmtDur(maxT*float64(b)/float64(bins)))
+		for _, c := range cols {
+			fmt.Fprintf(tw, "%d\t", counts[c][b])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// evolution prints the cumulative cache occupancy (inserts − evicts)
+// and query hit ratio (answered / issued) at the end of each bin.
+func evolution(w io.Writer, events []event, bins int, maxT float64) {
+	type acc struct{ insert, evict, issued, answered, expired int64 }
+	per := make([]acc, bins)
+	any := false
+	for i := range events {
+		ev := &events[i]
+		a := &per[binOf(ev.T, maxT, bins)]
+		switch ev.K {
+		case obs.KindCacheInsert.String():
+			a.insert++
+		case obs.KindCacheEvict.String():
+			a.evict++
+		case obs.KindQueryIssued.String():
+			a.issued++
+		case obs.KindQueryAnswered.String():
+			a.answered++
+		case obs.KindQueryExpired.String():
+			a.expired++
+		default:
+			continue
+		}
+		any = true
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\n  evolution (cumulative at bin end):\n")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "\tt-end\tcached\tissued\tanswered\texpired\thit-ratio\t")
+	var cum acc
+	for b := 0; b < bins; b++ {
+		cum.insert += per[b].insert
+		cum.evict += per[b].evict
+		cum.issued += per[b].issued
+		cum.answered += per[b].answered
+		cum.expired += per[b].expired
+		ratio := "-"
+		if cum.issued > 0 {
+			ratio = fmt.Sprintf("%.3f", float64(cum.answered)/float64(cum.issued))
+		}
+		fmt.Fprintf(tw, "\t%s\t%d\t%d\t%d\t%d\t%s\t\n",
+			fmtDur(maxT*float64(b+1)/float64(bins)),
+			cum.insert-cum.evict, cum.issued, cum.answered, cum.expired, ratio)
+	}
+	tw.Flush()
+}
+
+// cellTable summarizes experiment sweep-cell events per scheme label.
+func cellTable(w io.Writer, events []event) {
+	type agg struct {
+		cells int64
+		wall  float64
+	}
+	per := make(map[string]*agg)
+	var order []string
+	for i := range events {
+		ev := &events[i]
+		if ev.K != obs.KindCell.String() {
+			continue
+		}
+		a := per[ev.S]
+		if a == nil {
+			a = &agg{}
+			per[ev.S] = a
+			order = append(order, ev.S)
+		}
+		a.cells++
+		a.wall += ev.V
+	}
+	if len(per) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n  sweep cells per scheme:\n")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tscheme\tcells\twall-total\t")
+	for _, s := range order {
+		fmt.Fprintf(tw, "\t%s\t%d\t%.2fs\t\n", s, per[s].cells, per[s].wall)
+	}
+	tw.Flush()
+}
+
+// fmtDur renders a virtual-time duration in seconds compactly.
+func fmtDur(sec float64) string {
+	switch {
+	case sec >= 86400:
+		return fmt.Sprintf("%.1fd", sec/86400)
+	case sec >= 3600:
+		return fmt.Sprintf("%.1fh", sec/3600)
+	case sec >= 60:
+		return fmt.Sprintf("%.1fm", sec/60)
+	}
+	return fmt.Sprintf("%.0fs", sec)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// synthetic is a tiny hand-written trace: a manifest, two contacts, a
+// query answered, a query expired, cache churn and one sweep cell.
+const synthetic = `{"k":"manifest","trace":"Synthetic","scheme":"Intentional","seed":7,"config_digest":"00c0ffee00c0ffee","go_version":"go1.24.0","gomaxprocs":4,"git_describe":"abc1234"}
+{"k":"contact-begin","t":10,"a":1,"b":2}
+{"k":"query-issued","t":20,"a":3,"id":0,"x":5}
+{"k":"cache-insert","t":30,"a":2,"id":5,"v":0.25}
+{"k":"contact-end","t":40,"a":1,"b":2,"v":8000}
+{"k":"query-answered","t":50,"a":3,"id":0,"v":30}
+{"k":"query-issued","t":60,"a":4,"id":1,"x":6}
+{"k":"cache-evict","t":80,"a":2,"id":5,"v":0.01}
+{"k":"query-expired","t":100,"a":4,"id":1}
+{"k":"cell","t":0,"x":1,"v":1.5,"s":"Intentional"}
+`
+
+func dump(t *testing.T, input string, args ...string) string {
+	t.Helper()
+	path := t.TempDir() + "/trace.ndjson"
+	if err := writeFile(path, input); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(append(args, path), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestDumpSyntheticTrace(t *testing.T) {
+	out := dump(t, synthetic, "-bins", "2")
+	for _, want := range []string{
+		`trace="Synthetic"`, "scheme=Intentional", "seed=7",
+		"digest=00c0ffee00c0ffee", "go1.24.0", "gomaxprocs=4", "git=abc1234",
+		"9 events over [0, 100s]",
+		"timeline (2 bins",
+		"contact-begin", "query-issued", "cache-insert",
+		"evolution (cumulative at bin end)",
+		"hit-ratio",
+		"sweep cells per scheme",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpEvolutionNumbers(t *testing.T) {
+	out := dump(t, synthetic, "-bins", "1")
+	// Single bin: 1 insert − 1 evict = 0 cached, 2 issued, 1 answered,
+	// 1 expired, hit ratio 0.500.
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "0.500") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no evolution row with hit-ratio 0.500:\n%s", out)
+	}
+	for _, col := range []string{"0", "2", "1"} {
+		if !strings.Contains(line, col) {
+			t.Errorf("evolution row %q missing %q", line, col)
+		}
+	}
+}
+
+func TestDumpMultipleRuns(t *testing.T) {
+	second := strings.Replace(synthetic, `"scheme":"Intentional"`, `"scheme":"Epidemic"`, 1)
+	out := dump(t, synthetic+second)
+	if !strings.Contains(out, "run 1:") || !strings.Contains(out, "run 2:") {
+		t.Errorf("concatenated traces must render one section per manifest:\n%s", out)
+	}
+	if !strings.Contains(out, "scheme=Epidemic") {
+		t.Errorf("second manifest's scheme missing:\n%s", out)
+	}
+}
+
+func TestDumpHeaderlessTrace(t *testing.T) {
+	out := dump(t, `{"k":"contact-begin","t":1,"a":0,"b":1}`+"\n")
+	if !strings.Contains(out, "no manifest header") {
+		t.Errorf("headerless trace must be flagged:\n%s", out)
+	}
+}
+
+func TestDumpRejectsBadInput(t *testing.T) {
+	path := t.TempDir() + "/bad.ndjson"
+	if err := writeFile(path, "not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if err := run([]string{"-bins", "0", path}, &out); err == nil {
+		t.Error("-bins 0 accepted")
+	}
+	empty := t.TempDir() + "/empty.ndjson"
+	if err := writeFile(empty, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestDumpUnknownKindStillCounted(t *testing.T) {
+	out := dump(t, synthetic+`{"k":"future-kind","t":90}`+"\n")
+	if !strings.Contains(out, "future-kind") {
+		t.Errorf("unknown kinds must still appear as a timeline column:\n%s", out)
+	}
+}

@@ -22,6 +22,11 @@ var DeterministicPackages = []string{
 	"dtncache/internal/routing",
 	"dtncache/internal/workload",
 	"dtncache/internal/metrics",
+	// The observability layer records simulation events into traces that
+	// must stay byte-identical across runs: its encoder and sinks may
+	// not read the wall clock (phase timers use a clock injected by the
+	// CLI layer) or the global rand source.
+	"dtncache/internal/obs",
 }
 
 // Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in

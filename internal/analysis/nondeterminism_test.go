@@ -40,6 +40,12 @@ func TestNondeterminismScope(t *testing.T) {
 			t.Errorf("scope must cover the pooled-core package %s", pkg)
 		}
 	}
+	// The observability layer's trace encoder feeds byte-identity
+	// checked artifacts: dropping it from the scope would let a
+	// wall-clock read slip into recorded traces unnoticed.
+	if !a.AppliesTo("dtncache/internal/obs") {
+		t.Error("scope must cover dtncache/internal/obs")
+	}
 	for _, pkg := range []string{
 		"dtncache/internal/mathx", // the sanctioned math/rand wrapper
 		"dtncache/cmd/dtnsim",     // CLI wall-clock progress output

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 
+	"dtncache/internal/obs"
 	"dtncache/internal/workload"
 )
 
@@ -134,6 +135,13 @@ type Buffer struct {
 
 	evictions int
 	inserts   int
+
+	// Shared fleet-wide counters: every node buffer registered against
+	// the same recorder increments one buffer/inserts and one
+	// buffer/evictions (registration is idempotent). Nil when
+	// observability is off.
+	cInserts   *obs.Counter
+	cEvictions *obs.Counter
 }
 
 // New creates a buffer with the given capacity in bits.
@@ -147,6 +155,17 @@ var (
 	ErrNoSpace   = errors.New("buffer: not enough free space")
 	ErrDuplicate = errors.New("buffer: item already cached")
 )
+
+// SetRecorder attaches the shared buffer/inserts and buffer/evictions
+// counters; nil detaches them.
+func (b *Buffer) SetRecorder(r *obs.Recorder) {
+	if r == nil {
+		b.cInserts, b.cEvictions = nil, nil
+		return
+	}
+	b.cInserts = r.Counter("buffer", "inserts")
+	b.cEvictions = r.Counter("buffer", "evictions")
+}
 
 // Capacity returns the total capacity in bits.
 func (b *Buffer) Capacity() float64 { return b.capacity }
@@ -218,6 +237,7 @@ func (b *Buffer) Put(item workload.DataItem, now float64) (*Entry, error) {
 	b.entries[i] = e
 	b.used += item.SizeBits
 	b.inserts++
+	b.cInserts.Inc()
 	return e, nil
 }
 
@@ -234,6 +254,7 @@ func (b *Buffer) Remove(id workload.DataID) *Entry {
 	b.entries = b.entries[:n]
 	b.used -= e.Data.SizeBits
 	b.evictions++
+	b.cEvictions.Inc()
 	return e
 }
 
@@ -256,6 +277,7 @@ func (b *Buffer) DropExpired(now float64) []*Entry {
 		if e.Data.Expired(now) {
 			b.used -= e.Data.SizeBits
 			b.evictions++
+			b.cEvictions.Inc()
 			dropped = append(dropped, e)
 		} else {
 			kept = append(kept, e)

@@ -16,6 +16,7 @@ import (
 	"errors"
 
 	"dtncache/internal/buffer"
+	"dtncache/internal/obs"
 	"dtncache/internal/scheme"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
@@ -115,6 +116,10 @@ type Intentional struct {
 	respondedAt map[workload.QueryID]float64
 
 	stats PushStats
+
+	// obs counters, nil when observability is off.
+	cPushes       *obs.Counter
+	cReplaceDrops *obs.Counter
 }
 
 // pushTransfer identifies one outstanding push transfer.
@@ -171,6 +176,8 @@ func (s *Intentional) Init(e *scheme.Env) error {
 	s.inflightPush = make(map[pushTransfer]bool)
 	s.reachedNCL = make(map[workload.QueryID]float64)
 	s.respondedAt = make(map[workload.QueryID]float64)
+	s.cPushes = e.Obs.Counter("core", "pushes")
+	s.cReplaceDrops = e.Obs.Counter("core", "replacement_drops")
 	return nil
 }
 
@@ -373,6 +380,8 @@ func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 			return
 		}
 		s.inflightPush[tk] = true
+		s.cPushes.Inc()
+		s.env.Obs.Push(now, int32(from), int32(to), int64(key.Data), int64(key.NCL))
 		sess.Enqueue(sim.Transfer{
 			From: from, To: to, Bits: item.SizeBits, Label: "push",
 			OnDelivered: func(at float64) {
@@ -439,6 +448,8 @@ func (s *Intentional) pushFromRelay(sess *sim.Session, from trace.NodeID) {
 			continue
 		}
 		s.inflightPush[tk] = true
+		s.cPushes.Inc()
+		s.env.Obs.Push(now, int32(from), int32(to), int64(item.ID), int64(home))
 		sess.Enqueue(sim.Transfer{
 			From: from, To: to, Bits: item.SizeBits, Label: "push",
 			OnDelivered: func(at float64) {
@@ -512,6 +523,10 @@ func (s *Intentional) tryCache(n trace.NodeID, item workload.DataItem, k int, in
 	en.Home = k
 	en.InTransit = inTransit
 	en.Requests = s.base.Stats(n, item.ID)
+	if s.env.Obs != nil {
+		s.env.Obs.CacheInsert(now, int32(n), int64(item.ID),
+			s.env.Popularity(&en.Requests, item.Expires))
+	}
 	return true
 }
 

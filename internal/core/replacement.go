@@ -246,11 +246,13 @@ func (s *Intentional) selectFor(items []knapsack.Item, capacity int) []int {
 func (s *Intentional) applyPlan(sess *sim.Session, a, b trace.NodeID,
 	pool []poolItem, inA, inB map[int]bool) {
 	e := s.env
+	now := e.Sim.Now()
 	for i, p := range pool {
 		switch {
 		case inA[i]:
 			if p.atA && p.atB {
 				e.Buffers[b].Remove(p.item.ID) // collapse duplicate
+				e.Obs.CacheEvict(now, int32(b), int64(p.item.ID), p.utility)
 			}
 			if !p.atA && p.atB {
 				s.move(sess, b, a, p.item, p.homeB, p.transitB)
@@ -258,6 +260,7 @@ func (s *Intentional) applyPlan(sess *sim.Session, a, b trace.NodeID,
 		case inB[i]:
 			if p.atA && p.atB {
 				e.Buffers[a].Remove(p.item.ID)
+				e.Obs.CacheEvict(now, int32(a), int64(p.item.ID), p.utility)
 			}
 			if !p.atB && p.atA {
 				s.move(sess, a, b, p.item, p.homeA, p.transitA)
@@ -267,9 +270,13 @@ func (s *Intentional) applyPlan(sess *sim.Session, a, b trace.NodeID,
 			// nodes (Sec. V-D.2, the d6 case of Fig. 8).
 			if p.atA {
 				e.Buffers[a].Remove(p.item.ID)
+				s.cReplaceDrops.Inc()
+				e.Obs.CacheEvict(now, int32(a), int64(p.item.ID), p.utility)
 			}
 			if p.atB {
 				e.Buffers[b].Remove(p.item.ID)
+				s.cReplaceDrops.Inc()
+				e.Obs.CacheEvict(now, int32(b), int64(p.item.ID), p.utility)
 			}
 		}
 	}
@@ -312,6 +319,11 @@ func (s *Intentional) move(sess *sim.Session, src, dst trace.NodeID,
 			en.Requests = merged
 			e.Buffers[src].Remove(item.ID)
 			e.M.ReplacementMove(1)
+			if e.Obs != nil {
+				u := e.Popularity(&en.Requests, item.Expires)
+				e.Obs.CacheEvict(at, int32(src), int64(item.ID), u)
+				e.Obs.CacheInsert(at, int32(dst), int64(item.ID), u)
+			}
 		},
 		OnDropped: func(float64) { delete(s.inflightPush, tk) },
 	})

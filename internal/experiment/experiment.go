@@ -7,11 +7,14 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/core"
 	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
+	"dtncache/internal/obs"
 	"dtncache/internal/scheme"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
@@ -72,6 +75,15 @@ type Setup struct {
 	// scheme, so one provider serves every cell of a sweep over the
 	// same trace.
 	Knowledge *knowledge.Provider
+	// Obs is the observability recorder wired into the environment (nil
+	// = off). Metric updates are atomic, so one recorder may be shared
+	// across parallel cells (RunComparison, sweeps) — but only a
+	// sink-free recorder: trace encoding reuses one buffer, so a
+	// recorder with a trace sink must be confined to a single
+	// sequential run (where it records byte-identical traces at a fixed
+	// seed). cmd/experiments keeps sweep-cell trace events on a
+	// separate mutex-guarded recorder for this reason.
+	Obs *obs.Recorder
 }
 
 // normalized fills defaults.
@@ -133,6 +145,19 @@ func DefaultMetricT(name string) float64 {
 	}
 }
 
+// cellHookFn observes one completed simulation cell (see SetCellHook).
+type cellHookFn func(schemeName string, wallNs int64)
+
+var cellHook atomic.Value // cellHookFn
+
+// SetCellHook registers fn to be called after every completed Run cell
+// with the scheme name and the cell's wall-clock duration — the machinery
+// behind cmd/experiments' -progress output. Pass nil to unregister. fn
+// must be safe for concurrent calls: sweep cells run in parallel.
+func SetCellHook(fn func(schemeName string, wallNs int64)) {
+	cellHook.Store(cellHookFn(fn))
+}
+
 // Run executes one simulation of the named scheme and returns its
 // metric report.
 func Run(s Setup, schemeName string) (metrics.Report, error) {
@@ -140,7 +165,14 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	return env.Run(), nil
+	hook, _ := cellHook.Load().(cellHookFn)
+	if hook == nil {
+		return env.Run(), nil
+	}
+	start := time.Now()
+	rep := env.Run()
+	hook(schemeName, time.Since(start).Nanoseconds())
+	return rep, nil
 }
 
 // BuildEnv constructs the fully wired simulation environment Run
@@ -153,6 +185,8 @@ func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	doneBuild := s.Obs.Phase("build")
+	defer doneBuild()
 	factory, err := factoryForSetup(s, schemeName)
 	if err != nil {
 		return nil, err
@@ -182,6 +216,7 @@ func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
 	cfg.PopularityFromFirst = s.PopularityFromFirst
 	cfg.DropProb = s.DropProb
 	cfg.Seed = s.Seed
+	cfg.Obs = s.Obs
 	return scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)
 }
 

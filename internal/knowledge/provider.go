@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"dtncache/internal/obs"
 	"dtncache/internal/trace"
 )
 
@@ -37,6 +38,11 @@ type Provider struct {
 	times   []float64 // sorted build times of cached snapshots
 	version int
 	empty   *Snapshot
+
+	rec      *obs.Recorder
+	cBuilds  *obs.Counter
+	cHits    *obs.Counter
+	gaCached *obs.Gauge
 }
 
 // NewProvider creates a provider over the given sorted contact list
@@ -51,6 +57,25 @@ func NewProvider(p Params, contacts []trace.Contact) *Provider {
 // Params returns the normalized pipeline configuration, for
 // compatibility checks when a provider is shared.
 func (pr *Provider) Params() Params { return pr.builder.Params() }
+
+// SetRecorder attaches observability: knowledge/builds and
+// knowledge/cache_hits counters, a knowledge/cached_snapshots gauge and
+// a "knowledge-build" phase span per build. Only attach to a privately
+// owned provider — a provider shared across parallel sweep cells must
+// stay recorder-free so one cell's metrics do not absorb another's
+// builds.
+func (pr *Provider) SetRecorder(r *obs.Recorder) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.rec = r
+	if r == nil {
+		pr.cBuilds, pr.cHits, pr.gaCached = nil, nil, nil
+		return
+	}
+	pr.cBuilds = r.Counter("knowledge", "builds")
+	pr.cHits = r.Counter("knowledge", "cache_hits")
+	pr.gaCached = r.Gauge("knowledge", "cached_snapshots")
+}
 
 // Empty returns the version-0 snapshot of an empty graph: the knowledge
 // an Env holds before its first refresh.
@@ -70,6 +95,7 @@ func (pr *Provider) At(t float64) *Snapshot {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
 	if s, ok := pr.byTime[t]; ok {
+		pr.cHits.Inc()
 		return s
 	}
 	var base *Snapshot
@@ -78,7 +104,10 @@ func (pr *Provider) At(t float64) *Snapshot {
 		base = pr.byTime[pr.times[i-1]]
 	}
 	pr.version++
+	done := pr.rec.Phase("knowledge-build")
 	s := pr.builder.Build(t, base, pr.version)
+	done()
+	pr.cBuilds.Inc()
 	pr.byTime[t] = s
 	i := sort.SearchFloat64s(pr.times, t)
 	pr.times = append(pr.times, 0)
@@ -88,5 +117,6 @@ func (pr *Provider) At(t float64) *Snapshot {
 		delete(pr.byTime, pr.times[0])
 		pr.times = pr.times[1:]
 	}
+	pr.gaCached.Set(int64(len(pr.times)))
 	return s
 }

@@ -74,6 +74,18 @@ func (c *Collector) QueryDelivered(id workload.QueryID, at float64) bool {
 	return true
 }
 
+// Registered reports whether a query with this ID was issued (false
+// for padding slots and out-of-range IDs).
+func (c *Collector) Registered(id workload.QueryID) bool {
+	return int(id) < len(c.queries) && int(id) >= 0 && c.queries[id].registered
+}
+
+// Satisfied reports whether the query was answered before its deadline
+// (false for unknown IDs).
+func (c *Collector) Satisfied(id workload.QueryID) bool {
+	return c.Registered(id) && c.queries[id].satisfied
+}
+
 // DelayPhases records the Sec. V-E decomposition of one satisfied
 // query's access delay: queryToNCL is the time for the query to reach a
 // central node, broadcast the further time until a caching node decided

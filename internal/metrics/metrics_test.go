@@ -46,6 +46,80 @@ func TestQueryLifecycle(t *testing.T) {
 	}
 }
 
+// TestDenseRecordsPresetScale exercises the dense query store at
+// preset-scale ID ranges with sparse, duplicate and out-of-order IDs —
+// the shapes a real workload generator produces across a multi-day
+// trace.
+func TestDenseRecordsPresetScale(t *testing.T) {
+	c := NewCollector()
+	// Out-of-order and sparse: a high ID first grows the store with
+	// padding, lower IDs then land in pre-grown slots.
+	ids := []int{5000, 3, 4999, 0, 1287, 3} // 3 twice: duplicate issue
+	for _, id := range ids {
+		c.QueryIssued(q(id, float64(id), float64(id)+3600))
+	}
+	rep := c.Report()
+	if rep.QueriesIssued != 5 {
+		t.Fatalf("issued = %d, want 5 (duplicate must not double-count)", rep.QueriesIssued)
+	}
+	// Padding slots between real records are not registered.
+	for _, id := range []int{1, 2, 4, 4998, 2500} {
+		if c.Registered(workload.QueryID(id)) {
+			t.Errorf("padding slot %d reads as registered", id)
+		}
+		if c.QueryDelivered(workload.QueryID(id), 1) {
+			t.Errorf("delivery to padding slot %d satisfied a query", id)
+		}
+	}
+	// Out-of-range and negative IDs are rejected, not grown or panicked.
+	if c.Registered(999999) || c.Satisfied(999999) || c.Registered(-1) || c.Satisfied(-1) {
+		t.Error("out-of-range ID reads as registered/satisfied")
+	}
+	if c.QueryDelivered(999999, 1) {
+		t.Error("delivery to unknown high ID satisfied a query")
+	}
+
+	if !c.QueryDelivered(4999, 4999+600) {
+		t.Error("on-time delivery to sparse high ID not satisfied")
+	}
+	if !c.Satisfied(4999) {
+		t.Error("Satisfied(4999) = false after on-time delivery")
+	}
+	if c.Satisfied(5000) {
+		t.Error("Satisfied(5000) = true without any delivery")
+	}
+	if !c.Registered(5000) || !c.Registered(0) || !c.Registered(3) {
+		t.Error("issued IDs must read as registered")
+	}
+	rep = c.Report()
+	if rep.QueriesIssued != 5 || rep.QueriesSatisfied != 1 {
+		t.Errorf("issued=%d satisfied=%d, want 5/1", rep.QueriesIssued, rep.QueriesSatisfied)
+	}
+	if rep.MeanDelaySec != 600 {
+		t.Errorf("mean delay = %v, want 600", rep.MeanDelaySec)
+	}
+}
+
+// TestDuplicateIssueKeepsFirstRecord pins the duplicate-issue rule: the
+// first registration's timing wins, and a satisfy in between survives a
+// re-issue.
+func TestDuplicateIssueKeepsFirstRecord(t *testing.T) {
+	c := NewCollector()
+	c.QueryIssued(q(7, 100, 1000))
+	if !c.QueryDelivered(7, 400) {
+		t.Fatal("delivery not satisfied")
+	}
+	c.QueryIssued(q(7, 500, 2000)) // duplicate with different timing
+	if !c.Satisfied(7) {
+		t.Error("re-issue cleared the satisfied record")
+	}
+	rep := c.Report()
+	if rep.QueriesIssued != 1 || rep.MeanDelaySec != 300 {
+		t.Errorf("issued=%d delay=%v, want 1/300 (first registration wins)",
+			rep.QueriesIssued, rep.MeanDelaySec)
+	}
+}
+
 func TestSamplesAndCounters(t *testing.T) {
 	c := NewCollector()
 	c.SampleCopies(2)

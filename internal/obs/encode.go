@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// The trace encoding is hand-rolled NDJSON: every event is one JSON
+// object on one line with fixed key order and shortest-round-trip
+// float formatting, so a recorded trace is a pure function of the
+// event stream — byte-identical across runs at a fixed seed. Field
+// omission is value-driven (negative node/ID fields, zero aux/v, empty
+// label are left out) and therefore deterministic too.
+
+// appendFloat appends the shortest decimal that round-trips the value.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendQuoted appends s as a JSON string literal. Unlike
+// strconv.AppendQuote (whose \xNN escapes are not JSON), control
+// characters become \u00NN and invalid UTF-8 the replacement rune, so
+// any label encodes to valid JSON (asserted by FuzzEncodeEvent).
+func appendQuoted(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			b = append(b, '\\', '"')
+		case r == '\\':
+			b = append(b, '\\', '\\')
+		case r < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hex[r>>4], hex[r&0xf])
+		default:
+			b = utf8.AppendRune(b, r)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendEvent encodes one event as a JSON object (no trailing
+// newline).
+func appendEvent(b []byte, k Kind, t float64, a, bb int32, id, aux int64, v float64, label string) []byte {
+	b = append(b, `{"k":"`...)
+	b = append(b, k.String()...)
+	b = append(b, `","t":`...)
+	b = appendFloat(b, t)
+	if a >= 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, int64(a), 10)
+	}
+	if bb >= 0 {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, int64(bb), 10)
+	}
+	if id >= 0 {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendInt(b, id, 10)
+	}
+	if aux != 0 {
+		b = append(b, `,"x":`...)
+		b = strconv.AppendInt(b, aux, 10)
+	}
+	if v != 0 {
+		b = append(b, `,"v":`...)
+		b = appendFloat(b, v)
+	}
+	if label != "" {
+		b = append(b, `,"s":`...)
+		b = appendQuoted(b, label)
+	}
+	return append(b, '}')
+}
+
+// appendManifest encodes the run-manifest header line.
+func appendManifest(b []byte, m Manifest) []byte {
+	b = append(b, `{"k":"manifest"`...)
+	appendStr := func(key, val string) {
+		if val == "" {
+			return
+		}
+		b = append(b, `,"`...)
+		b = append(b, key...)
+		b = append(b, `":`...)
+		b = appendQuoted(b, val)
+	}
+	appendStr("trace", m.Trace)
+	appendStr("scheme", m.Scheme)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, m.Seed, 10)
+	appendStr("config_digest", m.ConfigDigest)
+	appendStr("go_version", m.GoVersion)
+	b = append(b, `,"gomaxprocs":`...)
+	b = strconv.AppendInt(b, int64(m.GoMaxProcs), 10)
+	appendStr("git_describe", m.GitDescribe)
+	return append(b, '}')
+}

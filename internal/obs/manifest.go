@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Manifest pins the provenance of one run: what was simulated (trace,
+// scheme, seed, a digest of the full configuration) and on what (go
+// version, GOMAXPROCS, git describe). It is stamped as the first line
+// of every recorded trace, onto dtnsim's JSON report and onto
+// benchjson output, so recorded artifacts stay comparable across PRs
+// and machines. Every field is stable across repeated runs on one
+// checkout, preserving trace byte-identity.
+type Manifest struct {
+	// Trace names the contact trace (preset name or file path).
+	Trace string `json:"trace,omitempty"`
+	// Scheme names the data access scheme under evaluation.
+	Scheme string `json:"scheme,omitempty"`
+	// Seed is the run's random seed.
+	Seed int64 `json:"seed"`
+	// ConfigDigest is the FNV-1a hash (hex) of the full scalar
+	// configuration, so two runs with the same digest really ran the
+	// same parameters.
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// GoVersion and GoMaxProcs pin the toolchain and parallelism.
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// GitDescribe pins the source revision (best effort; empty when git
+	// or the repository is unavailable).
+	GitDescribe string `json:"git_describe,omitempty"`
+}
+
+// NewManifest fills the environment fields and digests config —
+// any value whose fmt "%+v" rendering is pointer-free and
+// deterministic (flag structs of scalars, formatted strings). Pass nil
+// config for no digest.
+func NewManifest(traceName, schemeName string, seed int64, config any) Manifest {
+	m := Manifest{
+		Trace:       traceName,
+		Scheme:      schemeName,
+		Seed:        seed,
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GitDescribe: GitDescribe(),
+	}
+	if config != nil {
+		m.ConfigDigest = ConfigDigest(config)
+	}
+	return m
+}
+
+// ConfigDigest renders v with %+v and returns the FNV-1a 64-bit hash
+// as hex. Callers must pass pointer-free values (struct copies of
+// scalars), or the digest would embed addresses and lose run-to-run
+// stability.
+func ConfigDigest(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// working directory, or "" when unavailable. The subprocess result is
+// stable for a fixed checkout, so it cannot break trace byte-identity.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// AppendJSON appends the manifest's NDJSON header line (no trailing
+// newline) — the same bytes Recorder.Manifest writes to its sink,
+// exported so flight-recorder dumps can prepend the manifest without
+// routing it through the ring.
+func (m Manifest) AppendJSON(b []byte) []byte { return appendManifest(b, m) }
+
+// WriteSummary renders the manifest as aligned text lines (the
+// -obs-summary header).
+func (m Manifest) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "manifest:\n  trace=%s scheme=%s seed=%d digest=%s\n  %s gomaxprocs=%d git=%s\n",
+		m.Trace, m.Scheme, m.Seed, m.ConfigDigest, m.GoVersion, m.GoMaxProcs, m.GitDescribe)
+	return err
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is usable; all methods are nil-safe so call sites can cache the
+// (possibly nil) result of Recorder.Counter unconditionally and the
+// disabled path stays a single branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-latest integer metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the latest value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the latest value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket integer histogram: bounds are the upper
+// edges of the first len(bounds) buckets, and one overflow bucket
+// catches everything above the last bound. Counts are integers and
+// bucket selection is a pure comparison walk, so histogram contents
+// are deterministic at a fixed seed.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds. Invalid (empty or unsorted) bounds yield a single-bucket
+// histogram.
+func NewHistogram(bounds []float64) *Histogram {
+	ok := len(bounds) > 0
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		bounds = nil
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	return h
+}
+
+// Observe adds one sample: it lands in the first bucket whose upper
+// bound is >= v, or the overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+}
+
+// Buckets returns the bucket upper bounds and the current counts
+// (counts has one extra overflow slot).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// metricKey addresses one metric inside a registry.
+type metricKey struct {
+	subsystem, name string
+}
+
+// Registry holds the metrics of one run keyed by (subsystem, name).
+// Registration is idempotent — the first caller creates the metric,
+// later callers get the same pointer — so independent subsystems can
+// share counters (e.g. every node buffer increments one
+// buffer/inserts). Lookups go through a map, but every read-out walks
+// a sorted key slice, so summaries are deterministic.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[metricKey]*Counter
+	gauges     map[metricKey]*Gauge
+	histograms map[metricKey]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[metricKey]*Counter),
+		gauges:     make(map[metricKey]*Gauge),
+		histograms: make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(subsystem, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{subsystem, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(subsystem, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{subsystem, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on
+// first use (later bounds are ignored).
+func (r *Registry) Histogram(subsystem, name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{subsystem, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[k]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[k] = h
+	}
+	return h
+}
+
+// sortedKeys returns the keys of a metric map in (subsystem, name)
+// order, the deterministic read-out order of every summary.
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	keys := make([]metricKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].subsystem != keys[j].subsystem {
+			return keys[i].subsystem < keys[j].subsystem
+		}
+		return keys[i].name < keys[j].name
+	})
+	return keys
+}
+
+// WriteSummary renders every registered metric, grouped by type and
+// sorted by (subsystem, name). Nil-safe.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(r.counters) {
+			if _, err := fmt.Fprintf(w, "  %-32s %d\n", k.subsystem+"/"+k.name, r.counters[k].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(r.gauges) {
+			if _, err := fmt.Fprintf(w, "  %-32s %d\n", k.subsystem+"/"+k.name, r.gauges[k].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "histograms:"); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(r.histograms) {
+			bounds, counts := r.histograms[k].Buckets()
+			var sb strings.Builder
+			for i, c := range counts {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				if i < len(bounds) {
+					fmt.Fprintf(&sb, "<=%g:%d", bounds[i], c)
+				} else {
+					fmt.Fprintf(&sb, ">:%d", c)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "  %-32s %s\n", k.subsystem+"/"+k.name, sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilMetricHandlesAreSafe(t *testing.T) {
+	// The disabled-instrumentation contract: call sites cache possibly
+	// nil handles and use them unconditionally.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Error("nil gauge value != 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Total() != 0 {
+		t.Error("nil histogram total != 0")
+	}
+	if b, cts := h.Buckets(); b != nil || cts != nil {
+		t.Error("nil histogram buckets non-nil")
+	}
+	var rec *Recorder
+	if rec.Counter("a", "b") != nil || rec.Gauge("a", "b") != nil ||
+		rec.Histogram("a", "b", nil) != nil || rec.Registry() != nil {
+		t.Error("nil recorder must hand out nil handles")
+	}
+	rec.Event(KindPush, 1, 2, 3, 4, 5, 6, "x")
+	rec.Manifest(Manifest{})
+	rec.Phase("p")()
+	if err := rec.Close(); err != nil {
+		t.Errorf("nil recorder Close: %v", err)
+	}
+	if err := rec.WriteSummary(&strings.Builder{}); err != nil {
+		t.Errorf("nil recorder WriteSummary: %v", err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(9)
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Errorf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 99, 100.5, 1e9} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("bounds=%v counts=%v", bounds, counts)
+	}
+	// <=10: {1, 10}; <=100: {11, 99}; overflow: {100.5, 1e9}.
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("counts = %v, want [2 2 2]", counts)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d, want 6", h.Total())
+	}
+}
+
+func TestHistogramInvalidBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {5, 5}, {9, 1}} {
+		h := NewHistogram(bounds)
+		h.Observe(3)
+		if _, counts := h.Buckets(); len(counts) != 1 || counts[0] != 1 {
+			t.Errorf("bounds %v: counts = %v, want single bucket [1]", bounds, counts)
+		}
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("sim", "events")
+	c2 := r.Counter("sim", "events")
+	if c1 != c2 {
+		t.Error("same-name counters are distinct")
+	}
+	if r.Gauge("k", "cached") != r.Gauge("k", "cached") {
+		t.Error("same-name gauges are distinct")
+	}
+	h1 := r.Histogram("q", "delay", []float64{1, 2})
+	h2 := r.Histogram("q", "delay", []float64{99}) // later bounds ignored
+	if h1 != h2 {
+		t.Error("same-name histograms are distinct")
+	}
+	if b, _ := h1.Buckets(); len(b) != 2 {
+		t.Errorf("first-registration bounds lost: %v", b)
+	}
+	var nilReg *Registry
+	if nilReg.Counter("a", "b") != nil {
+		t.Error("nil registry must hand out nil handles")
+	}
+	if err := nilReg.WriteSummary(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WriteSummary: %v", err)
+	}
+}
+
+func TestRegistrySummarySorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta", "z").Inc()
+	r.Counter("alpha", "b").Add(2)
+	r.Counter("alpha", "a").Add(3)
+	r.Gauge("mid", "g").Set(4)
+	r.Histogram("h", "d", []float64{10}).Observe(3)
+	var sb strings.Builder
+	if err := r.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"alpha/a", "alpha/b", "zeta/z", "mid/g", "h/d", "<=10:1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "alpha/a") > strings.Index(out, "alpha/b") ||
+		strings.Index(out, "alpha/b") > strings.Index(out, "zeta/z") {
+		t.Errorf("counters not in (subsystem, name) order:\n%s", out)
+	}
+	// Determinism: a second read-out renders identical bytes.
+	var sb2 strings.Builder
+	if err := r.WriteSummary(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("summary not deterministic across read-outs")
+	}
+}

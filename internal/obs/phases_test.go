@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is a settable nanosecond clock for phase tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64 { return c.ns }
+
+func TestPhasesAccumulate(t *testing.T) {
+	clk := &fakeClock{}
+	p := NewPhases(clk.now)
+
+	done := p.Start("load")
+	clk.ns = 100
+	done()
+	done() // double close is a no-op
+
+	done = p.Start("load")
+	clk.ns = 250
+	done()
+
+	done = p.Start("replay")
+	clk.ns = 1250
+	done()
+
+	names, totals, counts := p.Totals()
+	if len(names) != 2 || names[0] != "load" || names[1] != "replay" {
+		t.Fatalf("names = %v, want [load replay] in first-start order", names)
+	}
+	if totals[0] != 250 || counts[0] != 2 {
+		t.Errorf("load = %dns over %d spans, want 250ns over 2", totals[0], counts[0])
+	}
+	if totals[1] != 1000 || counts[1] != 1 {
+		t.Errorf("replay = %dns over %d spans, want 1000ns over 1", totals[1], counts[1])
+	}
+}
+
+func TestPhasesAddDirect(t *testing.T) {
+	p := NewPhases(nil) // nil clock: usable, zero-duration Starts
+	p.Add("cell:Intentional", 5e6)
+	p.Add("cell:Intentional", 3e6)
+	names, totals, counts := p.Totals()
+	if len(names) != 1 || totals[0] != 8e6 || counts[0] != 2 {
+		t.Errorf("totals = %v/%v/%v, want one phase 8e6ns x2", names, totals, counts)
+	}
+	var sb strings.Builder
+	if err := p.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cell:Intentional") ||
+		!strings.Contains(sb.String(), "8.000ms") {
+		t.Errorf("summary = %q", sb.String())
+	}
+}
+
+func TestPhasesNilSafe(t *testing.T) {
+	var p *Phases
+	p.Start("x")()
+	p.Add("x", 1)
+	if n, _, _ := p.Totals(); n != nil {
+		t.Error("nil phases returned totals")
+	}
+	if err := p.WriteSummary(&strings.Builder{}); err != nil {
+		t.Errorf("nil phases WriteSummary: %v", err)
+	}
+	// Empty phase set renders nothing.
+	var sb strings.Builder
+	if err := NewPhases(nil).WriteSummary(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("empty phases wrote %q (err %v)", sb.String(), err)
+	}
+}
+
+func TestRecorderPhaseWiring(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(nil, WithPhases(NewPhases(clk.now)))
+	done := r.Phase("report")
+	clk.ns = 42
+	done()
+	if r.Phases() == nil {
+		t.Fatal("phases not attached")
+	}
+	_, totals, _ := r.Phases().Totals()
+	if len(totals) != 1 || totals[0] != 42 {
+		t.Errorf("totals = %v, want [42]", totals)
+	}
+	// A recorder without phases hands out working no-op closers.
+	NewRecorder(nil).Phase("x")()
+}

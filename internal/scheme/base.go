@@ -471,6 +471,11 @@ func (b *Base) ForwardReplies(s *sim.Session, from trace.NodeID, onDelivered Rep
 				b.DropReply(from, rc.Q.ID)
 				if to == req {
 					first := b.E.M.QueryDelivered(rc.Q.ID, at)
+					if first {
+						b.E.cQAnswered.Inc()
+						b.E.hQueryDelay.Observe(at - rc.Q.Issued)
+						b.E.Obs.QueryAnswered(at, int32(req), int64(rc.Q.ID), at-rc.Q.Issued)
+					}
 					if onDelivered != nil {
 						onDelivered(rc, first)
 					}
@@ -514,5 +519,6 @@ func (b *Base) Respond(n trace.NodeID, qc *QueryCarry, force bool) bool {
 		item = en.Data
 	}
 	b.CarryReply(n, &ReplyCarry{Q: qc.Q, Item: item})
+	e.Obs.Pull(now, int32(n), int32(qc.Q.Requester), int64(qc.Q.ID))
 	return true
 }

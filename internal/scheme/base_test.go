@@ -98,6 +98,56 @@ func TestBaseMarkResponded(t *testing.T) {
 	}
 }
 
+// TestBaseMarkRespondedBitsetScale drives the responded bitset across
+// word boundaries and at preset-scale query IDs: each bit is
+// independent, sparse growth pads with zero words, and neighbors stay
+// untouched.
+func TestBaseMarkRespondedBitsetScale(t *testing.T) {
+	b, _, _ := testBase(t)
+	// Word boundaries (64-bit words) plus a preset-scale ID; marking in
+	// descending-then-ascending order exercises grow-then-fill.
+	ids := []workload.QueryID{100000, 63, 64, 127, 128, 0, 65535, 65536}
+	for _, id := range ids {
+		if !b.MarkResponded(1, id) {
+			t.Errorf("first decision for id %d rejected", id)
+		}
+	}
+	for _, id := range ids {
+		if b.MarkResponded(1, id) {
+			t.Errorf("second decision for id %d allowed", id)
+		}
+	}
+	// Bits adjacent to every marked ID are still free.
+	for _, id := range []workload.QueryID{62, 66, 126, 129, 1, 99999, 100001} {
+		if !b.MarkResponded(1, id) {
+			t.Errorf("unmarked neighbor id %d reads as decided", id)
+		}
+	}
+	// Other nodes share no state.
+	if !b.MarkResponded(2, 100000) {
+		t.Error("per-node independence broken at scale")
+	}
+}
+
+// TestBaseSweepExpiredClearsOnlyExpiredBits pins the sweep's bit
+// clearing: bits of expired workload queries are released for reuse,
+// bits of live queries and of IDs outside the workload stay set.
+func TestBaseSweepExpiredClearsOnlyExpiredBits(t *testing.T) {
+	b, env, w := testBase(t)
+	env.Sim.RunUntil(22000)
+	expired := w.Queries[0] // deadline 38000 in testBase's manual workload
+	b.MarkResponded(1, expired.ID)
+	outside := workload.QueryID(len(w.Queries) + 70) // not in the workload
+	b.MarkResponded(1, outside)
+	b.SweepExpired(expired.Deadline + 1)
+	if !b.MarkResponded(1, expired.ID) {
+		t.Error("expired query's bit not cleared")
+	}
+	if b.MarkResponded(1, outside) {
+		t.Error("out-of-workload bit cleared by sweep")
+	}
+}
+
 func TestBaseSweepExpired(t *testing.T) {
 	b, env, w := testBase(t)
 	env.Sim.RunUntil(22000)

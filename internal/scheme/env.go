@@ -20,6 +20,7 @@ import (
 	"dtncache/internal/knowledge"
 	"dtncache/internal/mathx"
 	"dtncache/internal/metrics"
+	"dtncache/internal/obs"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
@@ -109,6 +110,12 @@ type Config struct {
 	KnowledgeEpsilon float64
 	// Seed drives all run randomness (coin flips, buffer sizes).
 	Seed int64
+	// Obs is the observability recorder wired through every layer of the
+	// environment (nil = instrumentation off, the default). It is
+	// read-only with respect to simulation behavior: attaching a
+	// recorder never changes results. Excluded from config digests —
+	// callers must zero it before hashing (see obs.ConfigDigest).
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper's default parameters for a trace of
@@ -201,9 +208,20 @@ type Env struct {
 	Est     *graph.RateEstimator
 	M       *metrics.Collector
 	Rng     *mathx.Rand
+	// Obs is the run's recorder (nil when observability is off); all
+	// obs methods are nil-safe, so schemes use it unconditionally.
+	Obs *obs.Recorder
 
 	scheme Scheme
 	sig    *mathx.ResponseSigmoid
+
+	// Cached obs metrics (nil when Obs is nil) and the per-query
+	// expiry-reported marks of the sweep scan.
+	cQIssued    *obs.Counter
+	cQAnswered  *obs.Counter
+	cQExpired   *obs.Counter
+	hQueryDelay *obs.Histogram
+	expiredSeen []bool
 
 	// knowledge: a provider (owned, or shared across schemes via
 	// NewEnvShared) and the immutable snapshot of the latest refresh.
@@ -266,13 +284,20 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 		Est:     graph.NewRateEstimator(tr.Nodes, 0),
 		M:       metrics.NewCollector(),
 		Rng:     mathx.NewRand(cfg.Seed),
+		Obs:     cfg.Obs,
 		scheme:  s,
 		ownData: make([]map[workload.DataID]workload.DataItem, tr.Nodes),
 	}
+	e.Sim.SetRecorder(cfg.Obs)
+	e.cQIssued = cfg.Obs.Counter("query", "issued")
+	e.cQAnswered = cfg.Obs.Counter("query", "answered")
+	e.cQExpired = cfg.Obs.Counter("query", "expired")
+	e.hQueryDelay = cfg.Obs.Histogram("query", "delay_seconds", QueryDelayBounds)
 	bufRng := e.Rng.Derive("buffers")
 	e.Buffers = make([]*buffer.Buffer, e.N)
 	for i := range e.Buffers {
 		e.Buffers[i] = buffer.New(bufRng.Uniform(cfg.BufferMinBits, cfg.BufferMaxBits))
+		e.Buffers[i].SetRecorder(cfg.Obs)
 		e.ownData[i] = make(map[workload.DataID]workload.DataItem)
 	}
 	opts := []sim.DriverOption{}
@@ -282,12 +307,19 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 	if cfg.DropProb > 0 {
 		opts = append(opts, sim.WithDropProb(cfg.DropProb, e.Rng.Derive("faults")))
 	}
+	if cfg.Obs != nil {
+		opts = append(opts, sim.WithRecorder(cfg.Obs))
+	}
 	e.Driver = sim.NewDriver(e.Sim, e, opts...)
 	if err := e.Driver.Load(tr); err != nil {
 		return nil, err
 	}
 	if kb == nil {
 		kb = knowledge.NewProvider(cfg.KnowledgeParams(e.N), sim.MergeOverlaps(tr.Contacts))
+		// The provider is private to this Env, so its metrics belong to
+		// this run; shared providers stay recorder-free (see
+		// Provider.SetRecorder).
+		kb.SetRecorder(cfg.Obs)
 	} else if kb.Params() != cfg.KnowledgeParams(e.N).Normalized() {
 		return nil, fmt.Errorf("scheme: shared knowledge provider params %+v do not match config %+v",
 			kb.Params(), cfg.KnowledgeParams(e.N).Normalized())
@@ -319,11 +351,21 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 	return e, nil
 }
 
+// QueryDelayBounds buckets query access delays (seconds), spanning the
+// minutes-to-days range DTN deliveries land in.
+var QueryDelayBounds = []float64{60, 300, 900, 3600, 4 * 3600, 12 * 3600, 86400, 3 * 86400}
+
 // Run executes the simulation to the end of the trace and returns the
-// metric report.
+// metric report. The replay and the report computation run under obs
+// phase spans.
 func (e *Env) Run() metrics.Report {
+	doneReplay := e.Obs.Phase("replay")
 	e.Sim.RunUntil(e.Trace.Duration)
-	return e.M.Report()
+	doneReplay()
+	doneReport := e.Obs.Phase("report")
+	rep := e.M.Report()
+	doneReport()
+	return rep
 }
 
 // --- sim.Handler ---
@@ -358,6 +400,8 @@ func (e *Env) scheduleWorkload() error {
 				return
 			}
 			e.M.QueryIssued(q)
+			e.cQIssued.Inc()
+			e.Obs.QueryIssued(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(q.Data))
 			e.scheme.OnQuery(q)
 		}); err != nil {
 			return err
@@ -381,6 +425,7 @@ func (e *Env) scheduleMaintenance() error {
 func (e *Env) refreshKnowledge() {
 	now := e.Sim.Now()
 	e.snap = e.kb.At(now)
+	e.Obs.Knowledge(now, int64(e.snap.Version()), float64(e.snap.ReusedSources()))
 	if e.ncls == nil && e.Cfg.NCLCount > 0 {
 		// One-time NCL selection at the end of warm-up; the paper keeps
 		// the selected NCLs fixed during data access (Sec. IV-A).
@@ -400,6 +445,39 @@ func (e *Env) sweep() {
 	}
 	e.scheme.OnSweep(now)
 	e.sampleCaching(now)
+	e.scanExpiredQueries(now)
+}
+
+// scanExpiredQueries emits a query-expired event for every registered,
+// unsatisfied query whose deadline has passed, once each. Purely
+// observational (and skipped entirely without a recorder): it reads the
+// collector, never writes it.
+func (e *Env) scanExpiredQueries(now float64) {
+	if e.Obs == nil {
+		return
+	}
+	if e.expiredSeen == nil {
+		e.expiredSeen = make([]bool, len(e.W.Queries))
+	}
+	for i := range e.W.Queries {
+		q := &e.W.Queries[i]
+		if e.expiredSeen[i] || q.Deadline > now {
+			continue
+		}
+		if e.M.Satisfied(q.ID) {
+			e.expiredSeen[i] = true
+			continue
+		}
+		if !e.M.Registered(q.ID) {
+			// Never issued (requester already held the data); nothing to
+			// expire, but mark it so later sweeps skip the slot.
+			e.expiredSeen[i] = true
+			continue
+		}
+		e.expiredSeen[i] = true
+		e.cQExpired.Inc()
+		e.Obs.QueryExpired(now, int32(q.Requester), int64(q.ID))
+	}
 }
 
 // sampleCaching records the caching overhead: average number of cached

@@ -98,7 +98,11 @@ func (s *Epidemic) floodReplies(sess *sim.Session, from trace.NodeID) {
 			OnDelivered: func(at float64) {
 				e.M.DataTransferred(rc.Item.SizeBits)
 				if to == rc.Q.Requester {
-					e.M.QueryDelivered(rc.Q.ID, at)
+					if e.M.QueryDelivered(rc.Q.ID, at) {
+						e.cQAnswered.Inc()
+						e.hQueryDelay.Observe(at - rc.Q.Issued)
+						e.Obs.QueryAnswered(at, int32(to), int64(rc.Q.ID), at-rc.Q.Issued)
+					}
 					return
 				}
 				s.base.CarryReply(to, rc)

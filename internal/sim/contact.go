@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dtncache/internal/mathx"
+	"dtncache/internal/obs"
 	"dtncache/internal/trace"
 )
 
@@ -129,12 +130,14 @@ func (s *Session) finishTransfer() {
 	}
 	if s.curDropped {
 		d.droppedTransfers++
+		d.cDropped.Inc()
 		if t.OnDropped != nil {
 			t.OnDropped(d.sim.Now())
 		}
 	} else {
 		s.sentBits += t.Bits
 		d.deliveredTransfers++
+		d.cDelivered.Inc()
 		d.deliveredByLabel[t.Label]++
 		d.bitsByLabel[t.Label] += t.Bits
 		if t.OnDelivered != nil {
@@ -187,6 +190,23 @@ func WithDropProb(p float64, rng *mathx.Rand) DriverOption {
 	return func(d *Driver) { d.dropProb = p; d.rng = rng }
 }
 
+// WithRecorder attaches observability to the contact layer: contact
+// begin/end trace events, delivered/dropped transfer counters and a
+// contact-duration histogram. A nil recorder leaves every site on its
+// branch-only disabled path.
+func WithRecorder(r *obs.Recorder) DriverOption {
+	return func(d *Driver) {
+		d.rec = r
+		d.cDelivered = r.Counter("contact", "transfers_delivered")
+		d.cDropped = r.Counter("contact", "transfers_dropped")
+		d.hDuration = r.Histogram("contact", "duration_seconds", ContactDurationBounds)
+	}
+}
+
+// ContactDurationBounds buckets contact durations (seconds): sub-minute
+// brushes through multi-hour pairings.
+var ContactDurationBounds = []float64{30, 60, 120, 300, 600, 1800, 3600, 7200, 14400}
+
 // DefaultBandwidth is 2.1 Mb/s in bits per second.
 const DefaultBandwidth = 2.1e6
 
@@ -206,6 +226,11 @@ type Driver struct {
 	mergedContacts     int
 	deliveredByLabel   map[string]int
 	bitsByLabel        map[string]float64
+
+	rec        *obs.Recorder
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
+	hDuration  *obs.Histogram
 }
 
 // NewDriver creates a driver bound to the simulator and handler.
@@ -286,6 +311,8 @@ func (d *Driver) beginContact(c trace.Contact) {
 	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
 	s.onDone = s.finishTransfer
 	d.active[key] = s
+	d.rec.ContactBegin(d.sim.Now(), int32(c.A), int32(c.B))
+	d.hDuration.Observe(c.End - c.Start)
 	// End event scheduled before the handler runs so an immediate Stop
 	// inside the handler still cleans up.
 	_ = d.sim.Schedule(c.End, func() {
@@ -293,6 +320,7 @@ func (d *Driver) beginContact(c trace.Contact) {
 		if d.active[key] == s {
 			delete(d.active, key)
 		}
+		d.rec.ContactEnd(d.sim.Now(), int32(s.A), int32(s.B), s.sentBits)
 		d.handler.ContactEnd(s)
 	})
 	d.handler.ContactStart(s)

@@ -27,13 +27,30 @@ go run ./cmd/dtnlint ./...
 # analyzer list cannot hide them.
 echo "== dtnlint -tests (determinism-sensitive packages)"
 go run ./cmd/dtnlint -tests ./internal/knowledge ./internal/sim \
-    ./internal/scheme ./internal/core ./internal/buffer ./internal/metrics
+    ./internal/scheme ./internal/core ./internal/buffer ./internal/metrics \
+    ./internal/obs
 
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== fuzz seed corpora (short mode)"
-go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim
+go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim \
+    ./internal/obs
+
+# Run-trace byte identity: record the same Infocom05 run twice and
+# require identical bytes — the determinism guarantee DESIGN.md's
+# "Observability" section documents. Set CHECK_SKIP_TRACE_ID=1 to skip.
+if [[ -z "${CHECK_SKIP_TRACE_ID:-}" ]]; then
+    echo "== run-trace byte identity (Infocom05 x2)"
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional \
+        -trace-out "$tmpdir/t1.ndjson" >/dev/null
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional \
+        -trace-out "$tmpdir/t2.ndjson" >/dev/null
+    cmp "$tmpdir/t1.ndjson" "$tmpdir/t2.ndjson"
+    echo "trace byte identity: OK ($(wc -l < "$tmpdir/t1.ndjson") lines)"
+fi
 
 # Benchmark regression gate: rerun the suite and compare against the
 # committed PR 2 numbers. The 0.5x default threshold in the Makefile
@@ -52,6 +69,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/knapsack FuzzSolve"
         "./internal/knapsack FuzzProbabilisticSelect"
         "./internal/sim FuzzEventHeapOrdering"
+        "./internal/obs FuzzEncodeEvent"
     )
     for entry in "${targets[@]}"; do
         read -r pkg fn <<<"$entry"
