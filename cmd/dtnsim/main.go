@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dtncache/internal/experiment"
+	"dtncache/internal/fault"
 	"dtncache/internal/metrics"
 	"dtncache/internal/obs"
 	"dtncache/internal/prof"
@@ -41,7 +42,7 @@ func run(args []string) error {
 	var (
 		preset     = fs.String("trace", "MIT Reality", "trace preset (Infocom05, Infocom06, 'MIT Reality', UCSD)")
 		traceFile  = fs.String("tracefile", "", "read the trace from this file instead of a preset")
-		traceFmt   = fs.String("format", "plain", "trace file format: plain ('a b start end') or one (ONE simulator CONN events)")
+		traceFmt   = fs.String("format", "plain", "trace file format: plain ('a b start end'), csv ('a,b,start,end') or one (ONE simulator CONN events)")
 		schemeName = fs.String("scheme", experiment.SchemeIntentional, "scheme: "+strings.Join(append(experiment.SchemeNames(), experiment.ReplacementNames()[1:]...), ", "))
 		tl         = fs.Duration("tl", 7*24*time.Hour, "average data lifetime T_L")
 		savg       = fs.Float64("savg", 100, "average data size in Mb")
@@ -53,6 +54,18 @@ func run(args []string) error {
 		bufMax     = fs.Float64("bufmax", 600, "maximum node buffer in Mb")
 		dropProb   = fs.Float64("drop", 0, "transfer failure-injection probability")
 		respMode   = fs.String("response", "sigmoid", "response mode: global, sigmoid, always")
+		faultChurn = fs.Float64("fault-churn", 0, "node churn: expected crashes per node per day (begins at the trace midpoint)")
+		faultDown  = fs.Duration("fault-downtime", 4*time.Hour, "mean downtime per crash")
+		faultWipe  = fs.Bool("fault-wipe", true, "wipe node buffers on crash")
+		faultTrunc = fs.Float64("fault-truncate", 0, "probability a contact is truncated to a random fraction of its duration")
+		blackoutK  = fs.Int("fault-blackout", 0, "number of top-ranked NCLs to black out for a window")
+		blackoutS  = fs.Duration("fault-blackout-start", 0, "blackout window start (0 with -fault-blackout = trace midpoint)")
+		blackoutE  = fs.Duration("fault-blackout-end", 0, "blackout window end (0 with -fault-blackout = 3/4 of the trace)")
+		retryAfter = fs.Duration("retry", 0, "re-issue unsatisfied queries after this timeout with exponential backoff (0 = off)")
+		retryMax   = fs.Int("retry-max", 0, "max query retry attempts (0 = default)")
+		failover   = fs.Bool("ncl-failover", false, "redirect pushes/queries from crashed NCLs to the next-ranked live node")
+		pushBudget = fs.Int("push-budget", 0, "abandon a pending push after this many attempts (0 = retry forever)")
+		invariants = fs.Bool("invariants", false, "check runtime invariants every sweep and fail on violations (single run)")
 		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
@@ -104,6 +117,8 @@ func run(args []string) error {
 		switch strings.ToLower(*traceFmt) {
 		case "plain":
 			tr, err = trace.Read(f)
+		case "csv":
+			tr, err = trace.ReadCSV(f)
 		case "one":
 			tr, err = trace.ReadONE(f)
 		default:
@@ -121,18 +136,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var fc fault.Config
+	if *faultChurn > 0 {
+		fc = experiment.FaultChurn(*faultChurn, faultDown.Seconds(), tr.Duration/2)
+		fc.WipeOnCrash = *faultWipe
+	}
+	fc.TruncateProb = *faultTrunc
+	if *blackoutK > 0 {
+		fc.BlackoutNCLs = *blackoutK
+		fc.BlackoutStartSec = blackoutS.Seconds()
+		fc.BlackoutEndSec = blackoutE.Seconds()
+		if fc.BlackoutEndSec == 0 {
+			fc.BlackoutStartSec = tr.Duration / 2
+			fc.BlackoutEndSec = 3 * tr.Duration / 4
+		}
+	}
 	setup := experiment.Setup{
-		Trace:         tr,
-		AvgLifetime:   tl.Seconds(),
-		AvgSizeBits:   *savg * 1e6,
-		ZipfExponent:  *zipf,
-		K:             *k,
-		Seed:          *seed,
-		BufferMinBits: *bufMin * 1e6,
-		BufferMaxBits: *bufMax * 1e6,
-		DropProb:      *dropProb,
-		Response:      mode,
-		Obs:           rec,
+		Trace:           tr,
+		AvgLifetime:     tl.Seconds(),
+		AvgSizeBits:     *savg * 1e6,
+		ZipfExponent:    *zipf,
+		K:               *k,
+		Seed:            *seed,
+		BufferMinBits:   *bufMin * 1e6,
+		BufferMaxBits:   *bufMax * 1e6,
+		DropProb:        *dropProb,
+		Fault:           fc,
+		QueryRetrySec:   retryAfter.Seconds(),
+		QueryRetryMax:   *retryMax,
+		NCLFailover:     *failover,
+		PushRetryBudget: *pushBudget,
+		CheckInvariants: *invariants,
+		Response:        mode,
+		Obs:             rec,
 	}
 	manifest := obs.NewManifest(tr.Name, *schemeName, *seed, digestable(setup))
 	if ring == nil {
@@ -142,7 +178,20 @@ func run(args []string) error {
 		rec.Manifest(manifest)
 	}
 	start := time.Now()
-	rep, err := experiment.RunAveraged(setup, *schemeName, *repeats)
+	var rep metrics.Report
+	if *invariants {
+		// The checker lives on the environment, so -invariants runs a
+		// single un-averaged simulation it can inspect afterwards.
+		var env *scheme.Env
+		if env, err = experiment.BuildEnv(setup, *schemeName); err == nil {
+			rep = env.Run()
+			if v := env.InvariantViolations(); len(v) > 0 {
+				err = fmt.Errorf("%d invariant violation(s), first: %s", len(v), v[0])
+			}
+		}
+	} else {
+		rep, err = experiment.RunAveraged(setup, *schemeName, *repeats)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

@@ -40,10 +40,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "which artifact to regenerate: table1, 4, 7, 9, 10, 11, 12, 13, ablation, delay, robustness, routing, traces, rwp, all")
+		fig        = fs.String("fig", "all", "which artifact to regenerate: table1, 4, 7, 9, 10, 11, 12, 13, ablation, delay, robustness, degradation, routing, traces, rwp, all")
 		seed       = fs.Int64("seed", 1, "random seed")
 		repeats    = fs.Int("repeats", 1, "repetitions to average per cell")
 		quick      = fs.Bool("quick", false, "reduced sweeps for a fast pass")
+		faultChurn = fs.Float64("fault-churn", 0, "degradation sweep: collapse the intensity axis to {0, this} crashes/node/day")
+		faultDown  = fs.Duration("fault-downtime", 0, "degradation sweep: mean downtime per crash (0 = default)")
 		csvOut     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		outDir     = fs.String("outdir", "", "also write each table as CSV into this directory")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
@@ -60,7 +62,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := experiment.FigureOptions{Seed: *seed, Repeats: *repeats, Quick: *quick}
+	o := experiment.FigureOptions{
+		Seed: *seed, Repeats: *repeats, Quick: *quick,
+		FaultChurnPerDay: *faultChurn, FaultDowntimeSec: faultDown.Seconds(),
+	}
 
 	// Observability rides on the experiment cell hook: every completed
 	// sweep cell (one simulation run) reports its scheme and wall time.
@@ -169,6 +174,7 @@ func run(args []string) error {
 		{"ablation", one(experiment.Ablations)},
 		{"delay", one(experiment.DelayBreakdown)},
 		{"robustness", one(experiment.Robustness)},
+		{"degradation", one(experiment.Degradation)},
 		{"routing", one(experiment.RoutingComparison)},
 		{"traces", one(experiment.CrossTrace)},
 		{"rwp", one(experiment.RWPComparison)},

@@ -61,6 +61,10 @@ type event struct {
 	GitDescribe  string `json:"git_describe"`
 }
 
+// maxBins bounds the timeline resolution; beyond this the tables are
+// unreadable anyway and the per-kind count rows get large.
+const maxBins = 1_000_000
+
 // runTrace is one manifest-delimited section of the input.
 type runTrace struct {
 	manifest *event // nil when the trace starts without a header
@@ -75,6 +79,11 @@ func run(args []string, w io.Writer) error {
 	}
 	if *bins < 1 {
 		return fmt.Errorf("-bins must be positive, got %d", *bins)
+	}
+	// Each occurring kind allocates a bins-long row; an absurd bin count
+	// would abort with an out-of-memory panic instead of an error.
+	if *bins > maxBins {
+		return fmt.Errorf("-bins must be at most %d, got %d", maxBins, *bins)
 	}
 
 	var in io.Reader = os.Stdin
@@ -134,7 +143,7 @@ func parseRuns(r io.Reader) ([]runTrace, error) {
 		cur.events = append(cur.events, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("line %d: %w", line+1, err)
 	}
 	return runs, nil
 }
@@ -202,6 +211,9 @@ var timelineKinds = []obs.Kind{
 	obs.KindQueryIssued, obs.KindQueryAnswered, obs.KindQueryExpired,
 	obs.KindCacheInsert, obs.KindCacheEvict,
 	obs.KindPush, obs.KindPull, obs.KindKnowledge,
+	obs.KindNodeDown, obs.KindNodeUp,
+	obs.KindContactTruncated, obs.KindTransferKilled,
+	obs.KindQueryRetry, obs.KindFailover, obs.KindReplicate,
 }
 
 // timeline prints per-bin event counts, one column per occurring kind.

@@ -114,6 +114,64 @@ func TestDumpRejectsBadInput(t *testing.T) {
 	}
 }
 
+// Truncated, binary and oversized inputs must come back as one-line
+// errors (nonzero exit via main), never as panics.
+func TestDumpRejectsCorruptInput(t *testing.T) {
+	cases := []struct {
+		name, input string
+		wantIn      string
+	}{
+		{"truncated json", synthetic[:len(synthetic)-20], "line"},
+		{"binary garbage", "\x00\x01\x02\xff\xfe\n", "line 1"},
+		{"mid-stream truncation", `{"k":"contact-begin","t":1,"a":0,"b":1}` + "\n" + `{"k":"query-iss`, "line 2"},
+		{"oversized line", `{"k":"x","s":"` + strings.Repeat("a", 2<<20) + `"}`, "token too long"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/corrupt.ndjson"
+			if err := writeFile(path, tc.input); err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			err := run([]string{path}, &out)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantIn) {
+				t.Errorf("error %q does not mention %q", err, tc.wantIn)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestDumpRejectsHugeBins(t *testing.T) {
+	path := t.TempDir() + "/trace.ndjson"
+	if err := writeFile(path, synthetic); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-bins", "1000000000000", path}, &out); err == nil {
+		t.Error("absurd -bins accepted")
+	}
+}
+
+func TestDumpFaultTimeline(t *testing.T) {
+	faulted := synthetic +
+		`{"k":"node-down","t":35,"a":2}` + "\n" +
+		`{"k":"node-up","t":55,"a":2}` + "\n" +
+		`{"k":"query-retry","t":62,"a":4,"id":1,"x":1}` + "\n" +
+		`{"k":"ncl-failover","t":36,"a":2,"b":5,"x":0}` + "\n"
+	out := dump(t, faulted, "-bins", "2")
+	for _, want := range []string{"node-down", "node-up", "query-retry", "ncl-failover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failure timeline missing %q column:\n%s", want, out)
+		}
+	}
+}
+
 func TestDumpUnknownKindStillCounted(t *testing.T) {
 	out := dump(t, synthetic+`{"k":"future-kind","t":90}`+"\n")
 	if !strings.Contains(out, "future-kind") {

@@ -27,6 +27,10 @@ var DeterministicPackages = []string{
 	// not read the wall clock (phase timers use a clock injected by the
 	// CLI layer) or the global rand source.
 	"dtncache/internal/obs",
+	// The fault-injection engine's crash/recover schedule is part of the
+	// replayed result: every fault draw must come from the seeded RNG
+	// tree, never the wall clock or global rand.
+	"dtncache/internal/fault",
 }
 
 // Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in

@@ -24,6 +24,12 @@ func TestNondeterminismScope(t *testing.T) {
 	if !a.AppliesTo("dtncache/internal/knowledge") {
 		t.Error("scope must cover dtncache/internal/knowledge")
 	}
+	// Fault injection feeds crash/recover times straight into the event
+	// heap; dropping it from the scope would let wall-clock or global
+	// rand draws silently break faulted-run byte identity.
+	if !a.AppliesTo("dtncache/internal/fault") {
+		t.Error("scope must cover dtncache/internal/fault")
+	}
 	// The zero-allocation core — the pooled event heap (sim), the
 	// slice-backed per-node stores (scheme, core), the sorted buffer
 	// index (buffer), and the dense query records (metrics) — replays

@@ -268,6 +268,26 @@ func (b *Buffer) Entries() []*Entry {
 	return b.entries
 }
 
+// Wipe removes every entry at once — a node crash losing its cached
+// copies — and returns them in ascending ID order. Each lost copy
+// counts as an eviction, so insert/eviction bookkeeping stays balanced
+// across a wipe/refill cycle.
+func (b *Buffer) Wipe() []*Entry {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	wiped := make([]*Entry, len(b.entries))
+	copy(wiped, b.entries)
+	for i := range b.entries {
+		b.entries[i] = nil
+	}
+	b.entries = b.entries[:0]
+	b.used = 0
+	b.evictions += len(wiped)
+	b.cEvictions.Add(uint64(len(wiped)))
+	return wiped
+}
+
 // DropExpired removes all entries expired at now and returns them, in
 // ascending ID order. The store is compacted in place.
 func (b *Buffer) DropExpired(now float64) []*Entry {

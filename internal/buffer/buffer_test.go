@@ -180,6 +180,58 @@ func TestBufferDropExpired(t *testing.T) {
 	}
 }
 
+// TestBufferWipeRefill pins the crash-wipe contract across wipe/refill
+// cycles: Wipe returns every entry (for re-replication bookkeeping),
+// zeroes occupancy, counts the losses as evictions, and leaves the
+// buffer fully reusable with the sorted-slice and expiry invariants
+// intact.
+func TestBufferWipeRefill(t *testing.T) {
+	b := New(1000)
+	if b.Wipe() != nil {
+		t.Error("wiping an empty buffer must return nil")
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		base := cycle * 10
+		for _, id := range []int{base + 5, base + 1, base + 3} {
+			if _, err := b.Put(item(id, 10, 0, 50), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wiped := b.Wipe()
+		if len(wiped) != 3 {
+			t.Fatalf("cycle %d: wiped %d entries, want 3", cycle, len(wiped))
+		}
+		// Wiped entries come back in the buffer's sorted-by-ID order.
+		for i, want := range []int{base + 1, base + 3, base + 5} {
+			if wiped[i].Data.ID != workload.DataID(want) {
+				t.Errorf("cycle %d: wiped[%d] = %d, want %d", cycle, i, wiped[i].Data.ID, want)
+			}
+		}
+		if b.Len() != 0 || b.Used() != 0 || b.Free() != b.Capacity() {
+			t.Fatalf("cycle %d: len=%d used=%g free=%g after wipe",
+				cycle, b.Len(), b.Used(), b.Free())
+		}
+		if b.Has(workload.DataID(base+1)) || b.Get(workload.DataID(base+3)) != nil {
+			t.Errorf("cycle %d: wiped entries still visible", cycle)
+		}
+	}
+	ins, evs := b.Stats()
+	if ins != 9 || evs != 9 {
+		t.Errorf("stats = %d inserts %d evictions, want 9, 9", ins, evs)
+	}
+	// The refilled buffer still honors the sorted-entries and expiry
+	// invariants.
+	b.Put(item(100, 10, 0, 50), 0)
+	b.Put(item(99, 10, 0, 150), 0)
+	es := b.Entries()
+	if len(es) != 2 || es[0].Data.ID != 99 || es[1].Data.ID != 100 {
+		t.Errorf("entries after refill: %v", es)
+	}
+	if dropped := b.DropExpired(100); len(dropped) != 1 || dropped[0].Data.ID != 100 {
+		t.Errorf("expiry after wipe/refill: %v", dropped)
+	}
+}
+
 func TestBufferCapacityInvariant(t *testing.T) {
 	// Property: random puts/removes never exceed capacity, and Used is
 	// always the sum of entry sizes.

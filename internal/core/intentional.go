@@ -72,6 +72,11 @@ type pushKey struct {
 type pendingPush struct {
 	key  pushKey
 	item workload.DataItem
+	// tries counts push transfer attempts for this copy; with a
+	// positive Config.PushRetryBudget the copy is abandoned once the
+	// budget is exhausted, so a permanently unreachable NCL cannot
+	// cause unbounded re-offers.
+	tries int
 }
 
 // searchPending returns the insertion index of key k in ps.
@@ -143,6 +148,12 @@ type PushStats struct {
 	// ExpiredPending counts pushes that expired before leaving the
 	// source.
 	ExpiredPending int
+	// AbandonedPushes counts pending copies dropped after exhausting
+	// the push retry budget.
+	AbandonedPushes int
+	// ReReplicated counts crash-lost cached copies re-queued for push
+	// from their sources (NCL failover recovery).
+	ReReplicated int
 }
 
 // Stats returns the push-path diagnostic counters.
@@ -229,7 +240,11 @@ func (s *Intentional) OnData(item workload.DataItem) {
 // to every central node (Sec. V-B).
 func (s *Intentional) OnQuery(q workload.Query) {
 	ncls := s.env.NCLs()
-	for k, center := range ncls {
+	for k := range ncls {
+		// Target the node currently acting as this NCL's central: with
+		// failover enabled a down center's stand-in, and on a retry the
+		// re-issued copy aims at whatever is reachable now.
+		center := s.env.EffectiveNCL(k)
 		qc := &scheme.QueryCarry{Q: q, Target: center, NCL: k, Copies: s.sprayCopies}
 		if q.Requester == center {
 			// The requester is itself a central node: process arrival
@@ -329,7 +344,7 @@ func (s *Intentional) broadcastQueries(sess *sim.Session, from trace.NodeID) {
 // k.
 func (s *Intentional) isCachingNode(n trace.NodeID, k int) bool {
 	ncls := s.env.NCLs()
-	if k >= 0 && k < len(ncls) && ncls[k] == n {
+	if k >= 0 && k < len(ncls) && (ncls[k] == n || s.env.EffectiveNCL(k) == n) {
 		return true
 	}
 	for _, en := range s.env.Buffers[n].Entries() {
@@ -344,14 +359,13 @@ func (s *Intentional) isCachingNode(n trace.NodeID, k int) bool {
 func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 	to := sess.Peer(from)
 	now := s.env.Sim.Now()
-	ncls := s.env.NCLs()
 	s.forEachPending(from, func(key pushKey, item workload.DataItem) {
 		if item.Expired(now) {
 			s.pendingDelete(from, key)
 			s.stats.ExpiredPending++
 			return
 		}
-		center := ncls[key.NCL]
+		center := s.env.EffectiveNCL(key.NCL)
 		if from == center {
 			// The source is the central node; cache locally if possible.
 			if s.tryCache(from, item, key.NCL, false) {
@@ -377,6 +391,11 @@ func (s *Intentional) pushFromSource(sess *sim.Session, from trace.NodeID) {
 		}
 		tk := pushTransfer{holder: from, data: key.Data, ncl: key.NCL}
 		if s.inflightPush[tk] {
+			return
+		}
+		if budget := s.env.Cfg.PushRetryBudget; budget > 0 && !s.pendingTryConsume(from, key, budget) {
+			s.pendingDelete(from, key)
+			s.stats.AbandonedPushes++
 			return
 		}
 		s.inflightPush[tk] = true
@@ -422,7 +441,7 @@ func (s *Intentional) pushFromRelay(sess *sim.Session, from trace.NodeID) {
 			en.InTransit = false
 			continue
 		}
-		center := ncls[en.Home]
+		center := s.env.EffectiveNCL(en.Home)
 		if from == center {
 			en.InTransit = false
 			continue
@@ -542,17 +561,32 @@ func (s *Intentional) touch(n trace.NodeID, id workload.DataID) {
 }
 
 // pendingSet inserts (or refreshes) a pending push copy at node n.
+// Refreshing resets the retry budget: the copy is a fresh placement
+// attempt.
 func (s *Intentional) pendingSet(n trace.NodeID, k pushKey, item workload.DataItem) {
 	ps := s.pending[n]
 	i := searchPending(ps, k)
 	if i < len(ps) && ps[i].key == k {
 		ps[i].item = item
+		ps[i].tries = 0
 		return
 	}
 	ps = append(ps, pendingPush{})
 	copy(ps[i+1:], ps[i:])
 	ps[i] = pendingPush{key: k, item: item}
 	s.pending[n] = ps
+}
+
+// pendingTryConsume charges one push attempt against the copy's retry
+// budget, reporting whether the attempt is still within budget.
+func (s *Intentional) pendingTryConsume(n trace.NodeID, k pushKey, budget int) bool {
+	ps := s.pending[n]
+	i := searchPending(ps, k)
+	if i >= len(ps) || ps[i].key != k {
+		return true
+	}
+	ps[i].tries++
+	return ps[i].tries <= budget
 }
 
 // pendingHas reports whether node n still holds this exact pending copy.
@@ -633,4 +667,38 @@ func (s *Intentional) OnSweep(now float64) {
 	}
 }
 
+// OnNodeDown implements scheme.FaultAware: the crashed node's volatile
+// protocol state (carried queries/replies, request history) is dropped;
+// under NCLFailover, cached copies it lost are re-queued as pending
+// pushes at their sources — the re-replication half of the failover
+// rule. Sources qualify only while they still hold the item as own
+// data (stable storage survives crashes).
+func (s *Intentional) OnNodeDown(n trace.NodeID, at float64, wiped []*buffer.Entry) {
+	s.base.DropNodeState(n)
+	if !s.env.Cfg.NCLFailover {
+		return
+	}
+	for _, en := range wiped {
+		if en.Home < 0 || en.Data.Expired(at) {
+			continue
+		}
+		src := en.Data.Source
+		if src == n {
+			continue
+		}
+		if _, ok := s.env.OwnData(src, en.Data.ID); !ok {
+			continue
+		}
+		s.pendingSet(src, pushKey{Data: en.Data.ID, NCL: en.Home}, en.Data)
+		s.stats.ReReplicated++
+		s.env.Obs.Replicate(at, int32(src), int64(en.Data.ID), int64(en.Home))
+	}
+}
+
+// OnNodeUp implements scheme.FaultAware. Recovery needs no immediate
+// action: the node re-enters the protocol at its next contact, and
+// re-replication was already queued at crash time.
+func (s *Intentional) OnNodeUp(trace.NodeID, float64) {}
+
 var _ scheme.Scheme = (*Intentional)(nil)
+var _ scheme.FaultAware = (*Intentional)(nil)

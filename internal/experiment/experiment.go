@@ -12,6 +12,7 @@ import (
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/core"
+	"dtncache/internal/fault"
 	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
 	"dtncache/internal/obs"
@@ -66,6 +67,24 @@ type Setup struct {
 	PerNodeInterests bool
 	// DropProb injects transfer failures.
 	DropProb float64
+	// Fault configures the deterministic fault-injection engine: node
+	// churn, contact truncation, transfer kills, NCL blackouts. The zero
+	// value installs no injector.
+	Fault fault.Config
+	// QueryRetrySec re-issues still-unsatisfied queries after this
+	// timeout with capped exponential backoff (0 = no retries).
+	QueryRetrySec float64
+	// QueryRetryMax caps retry attempts per query (0 = scheme default).
+	QueryRetryMax int
+	// NCLFailover lets the intentional scheme redirect pushes and query
+	// fan-out from crashed central nodes to the next-ranked live node.
+	NCLFailover bool
+	// PushRetryBudget abandons a pending push after this many attempts
+	// (0 = retry forever, the pre-fault behavior).
+	PushRetryBudget int
+	// CheckInvariants runs the runtime invariant checker every
+	// maintenance sweep (tests and dtnsim -invariants).
+	CheckInvariants bool
 	// Seed drives workload and protocol randomness (default 1).
 	Seed int64
 	// Knowledge optionally shares a prebuilt knowledge provider across
@@ -215,6 +234,12 @@ func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
 	cfg.ProbabilisticSelection = !s.DisableProbabilisticSelection
 	cfg.PopularityFromFirst = s.PopularityFromFirst
 	cfg.DropProb = s.DropProb
+	cfg.Fault = s.Fault
+	cfg.QueryRetrySec = s.QueryRetrySec
+	cfg.QueryRetryMax = s.QueryRetryMax
+	cfg.NCLFailover = s.NCLFailover
+	cfg.PushRetryBudget = s.PushRetryBudget
+	cfg.CheckInvariants = s.CheckInvariants
 	cfg.Seed = s.Seed
 	cfg.Obs = s.Obs
 	return scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)

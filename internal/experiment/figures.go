@@ -23,6 +23,13 @@ type FigureOptions struct {
 	// Quick reduces sweeps to three points per axis and two schemes
 	// where applicable (benchmark mode).
 	Quick bool
+	// FaultChurnPerDay collapses the Degradation sweep's fault-intensity
+	// axis to {0, this value}: expected crashes per node per day
+	// (0 keeps the full sweep).
+	FaultChurnPerDay float64
+	// FaultDowntimeSec overrides the Degradation sweep's mean downtime
+	// per crash (0 keeps the default).
+	FaultDowntimeSec float64
 }
 
 func (o FigureOptions) normalized() FigureOptions {

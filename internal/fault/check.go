@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"fmt"
+
+	"dtncache/internal/trace"
+)
+
+// World is the invariant checker's read-only view of a running
+// simulation. scheme.Env adapts itself to this interface; tests may
+// hand in fakes (including deliberately broken ones).
+type World interface {
+	// NumNodes returns the node count.
+	NumNodes() int
+	// NodeDown reports whether a node is currently crashed.
+	NodeDown(n trace.NodeID) bool
+	// BufferUsage returns a node's buffer occupancy and capacity.
+	BufferUsage(n trace.NodeID) (used, capacity float64)
+	// BusyTransfers returns the endpoint pairs with an in-flight
+	// transfer.
+	BusyTransfers() [][2]trace.NodeID
+	// DuplicateResponses returns how many (node, query) pairs decided
+	// to respond to the same query more than once.
+	DuplicateResponses() int
+}
+
+// Violation is one invariant breach observed at a check point.
+type Violation struct {
+	At     float64
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.1f %s: %s", v.At, v.Rule, v.Detail)
+}
+
+// Check evaluates the runtime invariants against w at virtual time now:
+//
+//   - no-transfer-to-down-node: an in-flight transfer never touches a
+//     crashed endpoint (crashes force-close sessions synchronously);
+//   - buffer-occupancy: every buffer satisfies 0 <= used <= capacity,
+//     across wipes and refills;
+//   - no-duplicate-response: a node never decides to answer the same
+//     query twice (the responded bitset survives reboots).
+//
+// It returns the violations found, nil when all invariants hold.
+func Check(w World, now float64) []Violation {
+	var out []Violation
+	for _, p := range w.BusyTransfers() {
+		for _, n := range p {
+			if w.NodeDown(n) {
+				out = append(out, Violation{
+					At:   now,
+					Rule: "no-transfer-to-down-node",
+					Detail: fmt.Sprintf("transfer in flight on pair (%d,%d) while node %d is down",
+						p[0], p[1], n),
+				})
+			}
+		}
+	}
+	// Occupancy is a running float sum of ~1e8-bit item sizes, so
+	// draining a buffer leaves rounding residue far above 1e-9. One bit
+	// of slack is still ~8 orders of magnitude below any real violation
+	// (the smallest possible over-/under-count is a whole item).
+	const eps = 1.0
+	for i := 0; i < w.NumNodes(); i++ {
+		used, capacity := w.BufferUsage(trace.NodeID(i))
+		if used < -eps || used > capacity+eps {
+			out = append(out, Violation{
+				At:   now,
+				Rule: "buffer-occupancy",
+				Detail: fmt.Sprintf("node %d buffer used=%.1f outside [0, capacity=%.1f]",
+					i, used, capacity),
+			})
+		}
+	}
+	if d := w.DuplicateResponses(); d > 0 {
+		out = append(out, Violation{
+			At:     now,
+			Rule:   "no-duplicate-response",
+			Detail: fmt.Sprintf("%d duplicate (node, query) response decisions", d),
+		})
+	}
+	return out
+}

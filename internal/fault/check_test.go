@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+// fakeWorld is a hand-built World for checker tests; the zero value is
+// a healthy two-node world.
+type fakeWorld struct {
+	nodes int
+	down  map[trace.NodeID]bool
+	used  map[trace.NodeID]float64
+	busy  [][2]trace.NodeID
+	dups  int
+}
+
+func (w *fakeWorld) NumNodes() int {
+	if w.nodes == 0 {
+		return 2
+	}
+	return w.nodes
+}
+func (w *fakeWorld) NodeDown(n trace.NodeID) bool { return w.down[n] }
+func (w *fakeWorld) BufferUsage(n trace.NodeID) (float64, float64) {
+	return w.used[n], 1000
+}
+func (w *fakeWorld) BusyTransfers() [][2]trace.NodeID { return w.busy }
+func (w *fakeWorld) DuplicateResponses() int          { return w.dups }
+
+func TestCheckHealthyWorld(t *testing.T) {
+	w := &fakeWorld{
+		used: map[trace.NodeID]float64{0: 500, 1: 1000},
+		busy: [][2]trace.NodeID{{0, 1}},
+	}
+	if v := Check(w, 10); len(v) != 0 {
+		t.Errorf("healthy world flagged: %v", v)
+	}
+}
+
+// The negative test the checker itself is verified by: each
+// deliberately broken world must be caught by exactly its rule.
+func TestCheckBrokenWorlds(t *testing.T) {
+	cases := []struct {
+		name     string
+		world    *fakeWorld
+		wantRule string
+	}{
+		{
+			"transfer to down node",
+			&fakeWorld{
+				down: map[trace.NodeID]bool{1: true},
+				busy: [][2]trace.NodeID{{0, 1}},
+			},
+			"no-transfer-to-down-node",
+		},
+		{
+			"negative occupancy",
+			&fakeWorld{used: map[trace.NodeID]float64{0: -5}},
+			"buffer-occupancy",
+		},
+		{
+			"occupancy over capacity",
+			&fakeWorld{used: map[trace.NodeID]float64{1: 1002}},
+			"buffer-occupancy",
+		},
+		{
+			"duplicate responses",
+			&fakeWorld{dups: 3},
+			"no-duplicate-response",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Check(tc.world, 42)
+			if len(v) != 1 {
+				t.Fatalf("got %d violations, want exactly 1: %v", len(v), v)
+			}
+			if v[0].Rule != tc.wantRule {
+				t.Errorf("rule %q, want %q", v[0].Rule, tc.wantRule)
+			}
+			if v[0].At != 42 {
+				t.Errorf("violation time %g, want 42", v[0].At)
+			}
+			if !strings.Contains(v[0].String(), tc.wantRule) {
+				t.Errorf("String() %q missing rule name", v[0])
+			}
+		})
+	}
+}
+
+// Float residue from draining a buffer of ~1e8-bit items must not trip
+// the occupancy rule; a whole missing item must.
+func TestCheckOccupancyTolerance(t *testing.T) {
+	w := &fakeWorld{used: map[trace.NodeID]float64{0: -1e-7, 1: 1000.5}}
+	if v := Check(w, 0); len(v) != 0 {
+		t.Errorf("rounding residue flagged: %v", v)
+	}
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfigZero(t *testing.T) {
+	if !(Config{}).Zero() {
+		t.Error("zero value must report Zero")
+	}
+	// WipeOnCrash and churn start alone arm nothing.
+	if !(Config{WipeOnCrash: true, ChurnStartSec: 10}).Zero() {
+		t.Error("wipe/start without an enabled model must still be Zero")
+	}
+	for _, c := range []Config{
+		{ChurnMeanUpSec: 100, ChurnMeanDownSec: 10},
+		{TruncateProb: 0.1},
+		{KillProb: 0.1},
+		{BlackoutNCLs: 1, BlackoutEndSec: 10},
+	} {
+		if c.Zero() {
+			t.Errorf("%+v must not be Zero", c)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		ChurnMeanUpSec: 86400, ChurnMeanDownSec: 3600, ChurnStartSec: 100,
+		WipeOnCrash: true, TruncateProb: 0.2, KillProb: 0.1,
+		BlackoutNCLs: 2, BlackoutStartSec: 50, BlackoutEndSec: 150,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		wantIn string
+	}{
+		{"nan churn up", func(c *Config) { c.ChurnMeanUpSec = math.NaN() }, "non-finite"},
+		{"inf blackout end", func(c *Config) { c.BlackoutEndSec = math.Inf(1) }, "non-finite"},
+		{"negative churn up", func(c *Config) { c.ChurnMeanUpSec = -1 }, "negative churn mean uptime"},
+		{"negative churn down", func(c *Config) { c.ChurnMeanDownSec = -1 }, "negative churn mean downtime"},
+		{"churn without downtime", func(c *Config) { c.ChurnMeanDownSec = 0 }, "without a mean downtime"},
+		{"negative churn start", func(c *Config) { c.ChurnStartSec = -1 }, "negative churn start"},
+		{"truncate prob > 1", func(c *Config) { c.TruncateProb = 1.5 }, "truncation probability"},
+		{"truncate prob < 0", func(c *Config) { c.TruncateProb = -0.1 }, "truncation probability"},
+		{"kill prob > 1", func(c *Config) { c.KillProb = 2 }, "kill probability"},
+		{"kill prob < 0", func(c *Config) { c.KillProb = -1 }, "kill probability"},
+		{"negative blackout count", func(c *Config) { c.BlackoutNCLs = -1 }, "negative blackout NCL count"},
+		{"negative blackout start", func(c *Config) { c.BlackoutStartSec = -1 }, "negative blackout start"},
+		{"blackout end before start", func(c *Config) { c.BlackoutEndSec = 50 }, "blackout end not after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := good
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("malformed config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantIn) {
+				t.Errorf("error %q does not mention %q", err, tc.wantIn)
+			}
+		})
+	}
+}

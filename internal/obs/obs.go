@@ -61,6 +61,27 @@ const (
 	// (aux = completion index, v = wall seconds; cmd/experiments only,
 	// not byte-stable under parallel sweeps).
 	KindCell
+	// KindNodeDown: fault injection crashed a node (a = node).
+	KindNodeDown
+	// KindNodeUp: a crashed node recovered (a = node).
+	KindNodeUp
+	// KindContactTruncated: fault injection shortened a contact
+	// (a, b = endpoints, v = the new, earlier end time).
+	KindContactTruncated
+	// KindTransferKilled: fault injection killed an in-flight transfer
+	// (a = sender, b = receiver, v = bits lost).
+	KindTransferKilled
+	// KindQueryRetry: a query was re-issued after its retry timeout
+	// (a = requester, id = query ID, aux = attempt number).
+	KindQueryRetry
+	// KindFailover: an NCL's traffic was re-targeted to a stand-in
+	// because the configured central is down (a = configured center,
+	// b = stand-in, aux = NCL index).
+	KindFailover
+	// KindReplicate: a cached item lost in a crash was queued for
+	// re-replication from its source (a = source, id = data ID,
+	// aux = NCL index).
+	KindReplicate
 
 	kindCount
 )
@@ -72,6 +93,9 @@ var kindNames = [kindCount]string{
 	"cache-insert", "cache-evict",
 	"push", "pull",
 	"knowledge", "cell",
+	"node-down", "node-up",
+	"contact-truncated", "transfer-killed",
+	"query-retry", "ncl-failover", "re-replicate",
 }
 
 // String returns the stable NDJSON name of the kind.
@@ -283,4 +307,42 @@ func (r *Recorder) Knowledge(t float64, version int64, reusedSources float64) {
 // seconds (cmd/experiments only; wall-clock, so not byte-stable).
 func (r *Recorder) Cell(index int64, wallSec float64, label string) {
 	r.Event(KindCell, 0, -1, -1, -1, index, wallSec, label)
+}
+
+// NodeDown records fault injection crashing a node.
+func (r *Recorder) NodeDown(t float64, node int32) {
+	r.Event(KindNodeDown, t, node, -1, -1, 0, 0, "")
+}
+
+// NodeUp records a crashed node recovering.
+func (r *Recorder) NodeUp(t float64, node int32) {
+	r.Event(KindNodeUp, t, node, -1, -1, 0, 0, "")
+}
+
+// ContactTruncated records fault injection shortening a contact to end
+// at newEnd instead of its traced end.
+func (r *Recorder) ContactTruncated(t float64, a, b int32, newEnd float64) {
+	r.Event(KindContactTruncated, t, a, b, -1, 0, newEnd, "")
+}
+
+// TransferKilled records fault injection killing an in-flight transfer.
+func (r *Recorder) TransferKilled(t float64, from, to int32, bits float64) {
+	r.Event(KindTransferKilled, t, from, to, -1, 0, bits, "")
+}
+
+// QueryRetry records a query being re-issued on its attempt'th try.
+func (r *Recorder) QueryRetry(t float64, requester int32, queryID int64, attempt int64) {
+	r.Event(KindQueryRetry, t, requester, -1, queryID, attempt, 0, "")
+}
+
+// Failover records NCL traffic re-targeting from a down center to a
+// stand-in node.
+func (r *Recorder) Failover(t float64, center, standIn int32, ncl int64) {
+	r.Event(KindFailover, t, center, standIn, -1, ncl, 0, "")
+}
+
+// Replicate records a crash-lost cached item being queued for
+// re-replication from its source toward its NCL.
+func (r *Recorder) Replicate(t float64, source int32, dataID int64, ncl int64) {
+	r.Event(KindReplicate, t, source, -1, dataID, ncl, 0, "")
 }

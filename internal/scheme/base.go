@@ -519,6 +519,29 @@ func (b *Base) Respond(n trace.NodeID, qc *QueryCarry, force bool) bool {
 		item = en.Data
 	}
 	b.CarryReply(n, &ReplyCarry{Q: qc.Q, Item: item})
+	e.noteResponse(n, qc.Q.ID)
 	e.Obs.Pull(now, int32(n), int32(qc.Q.Requester), int64(qc.Q.ID))
 	return true
+}
+
+// DropNodeState clears node n's volatile protocol state — carried
+// query and reply copies and the local request history — as a crash
+// would. The one-shot response bitset survives: whether a node has
+// decided about a query is an identity property, and keeping it is
+// what upholds the no-duplicate-response invariant across a reboot.
+func (b *Base) DropNodeState(n trace.NodeID) {
+	qs := b.queries[n]
+	for i := range qs {
+		qs[i] = nil
+	}
+	b.queries[n] = qs[:0]
+	rs := b.replies[n]
+	for i := range rs {
+		rs[i] = nil
+	}
+	b.replies[n] = rs[:0]
+	h := b.history[n]
+	for i := range h {
+		h[i] = buffer.RequestStats{}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"dtncache/internal/buffer"
+	"dtncache/internal/fault"
 	"dtncache/internal/graph"
 	"dtncache/internal/knowledge"
 	"dtncache/internal/mathx"
@@ -101,8 +102,35 @@ type Config struct {
 	PopularityFromFirst bool
 	// Bandwidth is the contact link bandwidth (sim.DefaultBandwidth if 0).
 	Bandwidth float64
-	// DropProb injects random transfer failures (0 = off).
+	// DropProb injects random transfer failures (0 = off). It is the
+	// legacy spelling of Fault.KillProb and routes through the same
+	// fault engine; setting both is a configuration error.
 	DropProb float64
+	// Fault configures the deterministic fault-injection engine
+	// (internal/fault). The zero value installs no engine at all,
+	// keeping the replay hot path on its fault-free fast path.
+	Fault fault.Config
+	// QueryRetrySec > 0 re-issues unsatisfied queries after this
+	// timeout with capped exponential backoff: attempt i+1 waits
+	// QueryRetryFactor times longer than attempt i (factor 2 when 0),
+	// capped at QueryRetryCapSec (uncapped when 0), for up to
+	// QueryRetryMax attempts (3 when 0). Retries never outlive the
+	// query deadline.
+	QueryRetrySec    float64
+	QueryRetryMax    int
+	QueryRetryFactor float64
+	QueryRetryCapSec float64
+	// NCLFailover re-targets the intentional scheme's push/pull traffic
+	// of a down central node to the next-ranked live node under current
+	// knowledge, and re-replicates crash-lost cached items.
+	NCLFailover bool
+	// PushRetryBudget bounds how many times one holder may re-offer the
+	// same pending (data, NCL) push; 0 means unlimited (the pre-fault
+	// behavior).
+	PushRetryBudget int
+	// CheckInvariants runs the internal/fault runtime invariant checker
+	// every SweepSec, collecting violations on the Env.
+	CheckInvariants bool
 	// KnowledgeEpsilon is the relative rate-change threshold of the
 	// incremental knowledge builder (knowledge.Params.Epsilon). The
 	// default 0 is exact mode: every snapshot is bit-identical to a
@@ -167,6 +195,21 @@ func (c Config) Validate() error {
 		return errors.New("scheme: KnowledgeEpsilon must be >= 0")
 	case c.DropProb < 0 || c.DropProb > 1:
 		return errors.New("scheme: DropProb must be in [0,1]")
+	case c.DropProb > 0 && c.Fault.KillProb > 0:
+		return errors.New("scheme: DropProb and Fault.KillProb are the same knob; set only one")
+	case c.QueryRetrySec < 0:
+		return errors.New("scheme: QueryRetrySec must be >= 0")
+	case c.QueryRetryMax < 0:
+		return errors.New("scheme: QueryRetryMax must be >= 0")
+	case c.QueryRetryFactor != 0 && c.QueryRetryFactor < 1:
+		return errors.New("scheme: QueryRetryFactor must be >= 1 (0 selects the default)")
+	case c.QueryRetryCapSec < 0:
+		return errors.New("scheme: QueryRetryCapSec must be >= 0")
+	case c.PushRetryBudget < 0:
+		return errors.New("scheme: PushRetryBudget must be >= 0")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	if c.Response == ResponseSigmoid {
 		if !(c.PMax > 0 && c.PMax <= 1) || !(c.PMin > c.PMax/2 && c.PMin < c.PMax) {
@@ -220,8 +263,22 @@ type Env struct {
 	cQIssued    *obs.Counter
 	cQAnswered  *obs.Counter
 	cQExpired   *obs.Counter
+	cQRetries   *obs.Counter
 	hQueryDelay *obs.Histogram
 	expiredSeen []bool
+
+	// faults is the installed fault engine (nil on the fault-free fast
+	// path); effNCLs caches the failover-adjusted NCL targets, keyed by
+	// engine version and knowledge snapshot.
+	faults     *fault.Engine
+	effNCLs    []trace.NodeID
+	effVersion uint64
+	effSnap    *knowledge.Snapshot
+
+	// Invariant-checker state (CheckInvariants only).
+	respSeen     map[uint64]bool
+	dupResponses int
+	violations   []fault.Violation
 
 	// knowledge: a provider (owned, or shared across schemes via
 	// NewEnvShared) and the immutable snapshot of the latest refresh.
@@ -292,6 +349,7 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 	e.cQIssued = cfg.Obs.Counter("query", "issued")
 	e.cQAnswered = cfg.Obs.Counter("query", "answered")
 	e.cQExpired = cfg.Obs.Counter("query", "expired")
+	e.cQRetries = cfg.Obs.Counter("query", "retries")
 	e.hQueryDelay = cfg.Obs.Histogram("query", "delay_seconds", QueryDelayBounds)
 	bufRng := e.Rng.Derive("buffers")
 	e.Buffers = make([]*buffer.Buffer, e.N)
@@ -304,13 +362,33 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 	if cfg.Bandwidth > 0 {
 		opts = append(opts, sim.WithBandwidth(cfg.Bandwidth))
 	}
+	fc := cfg.Fault
 	if cfg.DropProb > 0 {
-		opts = append(opts, sim.WithDropProb(cfg.DropProb, e.Rng.Derive("faults")))
+		// Legacy knob: route the scheme-level drop probability through
+		// the fault engine as its degenerate transfer-kill injector. The
+		// engine derives the same "faults" RNG stream at the same point
+		// the old sim.WithDropProb wiring did, so seeded results are
+		// unchanged.
+		fc.KillProb = cfg.DropProb
+	}
+	if !fc.Zero() {
+		eng, err := fault.NewEngine(e.Sim, e.N, fc, e.Rng.Derive)
+		if err != nil {
+			return nil, err
+		}
+		e.faults = eng
+		opts = append(opts, sim.WithFaults(eng))
 	}
 	if cfg.Obs != nil {
 		opts = append(opts, sim.WithRecorder(cfg.Obs))
 	}
 	e.Driver = sim.NewDriver(e.Sim, e, opts...)
+	if e.faults != nil {
+		e.faults.Bind(e.Driver, cfg.Obs)
+		e.faults.OnDown = e.nodeDown
+		e.faults.OnUp = e.nodeUp
+		e.faults.RankedNodes = e.rankedNodes
+	}
 	if err := e.Driver.Load(tr); err != nil {
 		return nil, err
 	}
@@ -403,6 +481,9 @@ func (e *Env) scheduleWorkload() error {
 			e.cQIssued.Inc()
 			e.Obs.QueryIssued(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(q.Data))
 			e.scheme.OnQuery(q)
+			if e.Cfg.QueryRetrySec > 0 {
+				e.scheduleQueryRetry(q, 1, e.Cfg.QueryRetrySec)
+			}
 		}); err != nil {
 			return err
 		}
@@ -418,6 +499,11 @@ func (e *Env) scheduleMaintenance() error {
 	}
 	if _, err := e.Sim.Every(e.Cfg.WarmupEnd+e.Cfg.SweepSec, e.Cfg.SweepSec, e.sweep); err != nil {
 		return err
+	}
+	if e.Cfg.CheckInvariants {
+		if _, err := e.Sim.Every(e.Cfg.SweepSec, e.Cfg.SweepSec, e.checkInvariants); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -110,6 +110,9 @@ func (s *Session) startNext() {
 		s.head = 0
 	}
 	s.curDropped = d.dropProb > 0 && d.rng.Bernoulli(d.dropProb)
+	if d.faults != nil && d.faults.KillTransfer(s.cur.From, s.cur.To, s.cur.Bits, s.cur.Label) {
+		s.curDropped = true
+	}
 	s.busy = true
 	// Scheduling relative to now never fails.
 	_ = d.sim.Schedule(done, s.onDone)
@@ -190,6 +193,28 @@ func WithDropProb(p float64, rng *mathx.Rand) DriverOption {
 	return func(d *Driver) { d.dropProb = p; d.rng = rng }
 }
 
+// FaultProbe is the driver's view of a fault-injection engine
+// (internal/fault). All methods are consulted on the contact hot path;
+// a nil probe keeps every site at a single branch.
+type FaultProbe interface {
+	// NodeDown reports whether the node is currently crashed. Contacts
+	// touching a down node are skipped entirely.
+	NodeDown(n trace.NodeID) bool
+	// TruncateContact may shorten a contact; it returns the effective
+	// end time (>= c.Start). Returning c.End or later leaves the
+	// contact untouched.
+	TruncateContact(c trace.Contact) Time
+	// KillTransfer reports whether an in-flight transfer should fail
+	// mid-flight despite fitting in the contact.
+	KillTransfer(from, to trace.NodeID, bits float64, label string) bool
+}
+
+// WithFaults installs a fault-injection probe on the driver. A nil
+// probe is the default: no fault checks on the hot path.
+func WithFaults(p FaultProbe) DriverOption {
+	return func(d *Driver) { d.faults = p }
+}
+
 // WithRecorder attaches observability to the contact layer: contact
 // begin/end trace events, delivered/dropped transfer counters and a
 // contact-duration histogram. A nil recorder leaves every site on its
@@ -218,12 +243,14 @@ type Driver struct {
 	bandwidth float64
 	dropProb  float64
 	rng       *mathx.Rand
+	faults    FaultProbe
 
 	active map[[2]trace.NodeID]*Session
 
 	deliveredTransfers int
 	droppedTransfers   int
 	mergedContacts     int
+	skippedContacts    int
 	deliveredByLabel   map[string]int
 	bitsByLabel        map[string]float64
 
@@ -307,6 +334,15 @@ func (d *Driver) Load(tr *trace.Trace) error {
 }
 
 func (d *Driver) beginContact(c trace.Contact) {
+	if d.faults != nil {
+		if d.faults.NodeDown(c.A) || d.faults.NodeDown(c.B) {
+			d.skippedContacts++
+			return
+		}
+		if end := d.faults.TruncateContact(c); end < c.End {
+			c.End = end
+		}
+	}
 	key := pairKey(c.A, c.B)
 	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
 	s.onDone = s.finishTransfer
@@ -315,16 +351,72 @@ func (d *Driver) beginContact(c trace.Contact) {
 	d.hDuration.Observe(c.End - c.Start)
 	// End event scheduled before the handler runs so an immediate Stop
 	// inside the handler still cleans up.
-	_ = d.sim.Schedule(c.End, func() {
-		s.close(d.sim.Now())
-		if d.active[key] == s {
-			delete(d.active, key)
-		}
-		d.rec.ContactEnd(d.sim.Now(), int32(s.A), int32(s.B), s.sentBits)
-		d.handler.ContactEnd(s)
-	})
+	_ = d.sim.Schedule(c.End, func() { d.endSession(key, s) })
 	d.handler.ContactStart(s)
 }
+
+// endSession tears down a session at its scheduled (or forced) end. A
+// session force-closed early by CloseNode has closed set, so the
+// originally scheduled end event becomes a no-op instead of firing
+// ContactEnd a second time.
+func (d *Driver) endSession(key [2]trace.NodeID, s *Session) {
+	if s.closed {
+		return
+	}
+	s.close(d.sim.Now())
+	if d.active[key] == s {
+		delete(d.active, key)
+	}
+	d.rec.ContactEnd(d.sim.Now(), int32(s.A), int32(s.B), s.sentBits)
+	d.handler.ContactEnd(s)
+}
+
+// CloseNode force-closes every active session touching n (a node
+// crash), firing the usual drop callbacks and ContactEnd handlers in
+// deterministic pair order. It returns the number of sessions closed.
+func (d *Driver) CloseNode(n trace.NodeID) int {
+	var keys [][2]trace.NodeID
+	for k, s := range d.active {
+		if s.closed {
+			continue
+		}
+		if k[0] == n || k[1] == n {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		d.endSession(k, d.active[k])
+	}
+	return len(keys)
+}
+
+// BusyPairs returns the endpoint pairs with a transfer currently in
+// flight, in deterministic order (invariant-checker support).
+func (d *Driver) BusyPairs() [][2]trace.NodeID {
+	var pairs [][2]trace.NodeID
+	for k, s := range d.active {
+		if s.busy && !s.closed {
+			pairs = append(pairs, k)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// SkippedContacts returns the number of traced contacts never opened
+// because an endpoint was down at contact start.
+func (d *Driver) SkippedContacts() int { return d.skippedContacts }
 
 func pairKey(a, b trace.NodeID) [2]trace.NodeID {
 	if a > b {

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a comma-separated contact list: one
+//
+//	nodeA,nodeB,start-seconds,end-seconds
+//
+// record per line. '#' comment lines carry the same optional metadata
+// keys as the plain format (name/nodes/duration/granularity), and a
+// leading column-name header record ("a,b,start,end") is skipped when
+// its first field is not a number. Missing metadata is inferred as in
+// Read. Malformed records — non-finite, negative or end-before-begin
+// timestamps, unknown node IDs — are rejected with line-numbered
+// errors.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	maxNode := -1
+	var maxEnd float64
+	first := true
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeader(t, line)
+			continue
+		}
+		fields := strings.Split(line, ",")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		if first {
+			first = false
+			if _, err := strconv.Atoi(fields[0]); err != nil {
+				continue // column-name header record
+			}
+		}
+		c, err := parseContact(t.Nodes, lineNo, fields)
+		if err != nil {
+			return nil, err
+		}
+		t.Contacts = append(t.Contacts, c)
+		if int(c.A) > maxNode {
+			maxNode = int(c.A)
+		}
+		if int(c.B) > maxNode {
+			maxNode = int(c.B)
+		}
+		if c.End > maxEnd {
+			maxEnd = c.End
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return finishTrace(t, maxNode, maxEnd)
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "# name: x\n# nodes: 3\na,b,start,end\n0, 1, 10, 20\n1,2,15,40\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Name != "x" || tr.Nodes != 3 || len(tr.Contacts) != 2 {
+		t.Fatalf("got name=%q nodes=%d contacts=%d", tr.Name, tr.Nodes, len(tr.Contacts))
+	}
+	if tr.Contacts[0] != (Contact{A: 0, B: 1, Start: 10, End: 20}) {
+		t.Fatalf("first contact = %+v", tr.Contacts[0])
+	}
+	if tr.Duration != 40 {
+		t.Fatalf("inferred duration = %g, want 40", tr.Duration)
+	}
+}
+
+func TestReadCSVInfersMetadata(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,5,1,2\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Nodes != 6 || tr.Duration != 2 {
+		t.Fatalf("inferred nodes=%d duration=%g, want 6, 2", tr.Nodes, tr.Duration)
+	}
+}
+
+// Malformed records must be rejected with line-numbered errors rather
+// than slipping into the trace (NaN in particular used to pass every
+// Validate comparison).
+func TestReadersRejectMalformed(t *testing.T) {
+	cases := []struct {
+		name, csv string
+		wantIn    string // substring of the error
+	}{
+		{"nan start", "0,1,NaN,20\n", "line 1: non-finite"},
+		{"inf end", "0,1,10,+Inf\n", "line 1: non-finite"},
+		{"negative start", "0,1,-5,20\n", "line 1: negative start"},
+		{"end before begin", "0,1,20,10\n", "line 1: contact end"},
+		{"end equals begin", "0,1,10,10\n", "line 1: contact end"},
+		{"negative node", "-1,1,10,20\n", "line 1: negative node ID"},
+		{"self contact", "2,2,10,20\n", "line 1: node 2 in contact with itself"},
+		{"unknown node", "# nodes: 2\n0,5,10,20\n", "line 2: node ID outside declared range 0..1"},
+		{"field count", "0,1,10\n", "line 1: want 4 fields"},
+		{"garbage time", "0,1,ten,20\n", "line 1: start"},
+	}
+	for _, tc := range cases {
+		t.Run("csv/"+tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.csv))
+			if err == nil || !strings.Contains(err.Error(), tc.wantIn) {
+				t.Fatalf("ReadCSV error = %v, want containing %q", err, tc.wantIn)
+			}
+		})
+		// The plain-text reader shares parseContact; same rejections.
+		plain := strings.ReplaceAll(tc.csv, ",", " ")
+		t.Run("plain/"+tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(plain))
+			if err == nil || !strings.Contains(err.Error(), tc.wantIn) {
+				t.Fatalf("Read error = %v, want containing %q", err, tc.wantIn)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := 0.0
+	nan = nan / nan // quiet NaN without importing math in the test
+	tr := &Trace{Nodes: 2, Duration: 100, Contacts: []Contact{{A: 0, B: 1, Start: nan, End: 20}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN contact start")
+	}
+	tr = &Trace{Nodes: 2, Duration: nan}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN duration")
+	}
+}

@@ -40,6 +40,41 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadCSV exercises the CSV contact parser: no panics, accepted
+// traces validate and survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("0,1,10,20\n")
+	f.Add("a,b,start,end\n0,1,10,20\n1,2,15,40\n")
+	f.Add("# nodes: 3\n0, 1, 10, 20\n")
+	f.Add("")
+	f.Add("0,1,10\n")
+	f.Add("0,1,NaN,20\n")
+	f.Add("0,1,-5,20\n")
+	f.Add("0,1,20,10\n")
+	f.Add("0,0,10,20\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, tr); werr != nil {
+			t.Fatalf("write of accepted trace failed: %v", werr)
+		}
+		again, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(again.Contacts) != len(tr.Contacts) {
+			t.Fatalf("round trip changed contact count: %d vs %d",
+				len(again.Contacts), len(tr.Contacts))
+		}
+	})
+}
+
 // FuzzReadONE exercises the ONE event parser: no panics, and accepted
 // traces validate.
 func FuzzReadONE(f *testing.F) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -55,40 +56,74 @@ func Read(r io.Reader) (*Trace, error) {
 			parseHeader(t, line)
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
-		}
-		a, err := strconv.Atoi(fields[0])
+		c, err := parseContact(t.Nodes, lineNo, strings.Fields(line))
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: node A: %w", lineNo, err)
+			return nil, err
 		}
-		b, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: node B: %w", lineNo, err)
+		t.Contacts = append(t.Contacts, c)
+		if int(c.A) > maxNode {
+			maxNode = int(c.A)
 		}
-		start, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: start: %w", lineNo, err)
+		if int(c.B) > maxNode {
+			maxNode = int(c.B)
 		}
-		end, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: end: %w", lineNo, err)
-		}
-		t.Contacts = append(t.Contacts, Contact{A: NodeID(a), B: NodeID(b), Start: start, End: end})
-		if a > maxNode {
-			maxNode = a
-		}
-		if b > maxNode {
-			maxNode = b
-		}
-		if end > maxEnd {
-			maxEnd = end
+		if c.End > maxEnd {
+			maxEnd = c.End
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: read: %w", err)
 	}
+	return finishTrace(t, maxNode, maxEnd)
+}
+
+// parseContact parses one contact record's four fields, rejecting
+// malformed values — non-finite or negative timestamps, end-before-
+// begin intervals, negative/self/out-of-range node IDs — with
+// line-numbered errors instead of letting garbage events through to a
+// later, contact-indexed Validate failure (or, for NaN, through
+// entirely: every Validate comparison on NaN is false). nodes is the
+// declared node count, 0 when not (yet) known.
+func parseContact(nodes, lineNo int, fields []string) (Contact, error) {
+	if len(fields) != 4 {
+		return Contact{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+	}
+	a, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return Contact{}, fmt.Errorf("trace: line %d: node A: %w", lineNo, err)
+	}
+	b, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Contact{}, fmt.Errorf("trace: line %d: node B: %w", lineNo, err)
+	}
+	start, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Contact{}, fmt.Errorf("trace: line %d: start: %w", lineNo, err)
+	}
+	end, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Contact{}, fmt.Errorf("trace: line %d: end: %w", lineNo, err)
+	}
+	switch {
+	case math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0):
+		return Contact{}, fmt.Errorf("trace: line %d: non-finite contact time", lineNo)
+	case start < 0:
+		return Contact{}, fmt.Errorf("trace: line %d: negative start time %g", lineNo, start)
+	case end <= start:
+		return Contact{}, fmt.Errorf("trace: line %d: contact end %g not after start %g", lineNo, end, start)
+	case a < 0 || b < 0:
+		return Contact{}, fmt.Errorf("trace: line %d: negative node ID", lineNo)
+	case a == b:
+		return Contact{}, fmt.Errorf("trace: line %d: node %d in contact with itself", lineNo, a)
+	case nodes > 0 && (a >= nodes || b >= nodes):
+		return Contact{}, fmt.Errorf("trace: line %d: node ID outside declared range 0..%d", lineNo, nodes-1)
+	}
+	return Contact{A: NodeID(a), B: NodeID(b), Start: start, End: end}, nil
+}
+
+// finishTrace applies the shared reader tail: infer missing metadata,
+// normalize ordering, validate.
+func finishTrace(t *Trace, maxNode int, maxEnd float64) (*Trace, error) {
 	if t.Nodes == 0 {
 		t.Nodes = maxNode + 1
 	}

@@ -14,6 +14,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -74,6 +75,7 @@ var (
 	ErrSelfContact  = errors.New("trace: node in contact with itself")
 	ErrBadInterval  = errors.New("trace: contact end not after start")
 	ErrNegativeTime = errors.New("trace: negative contact start time")
+	ErrNonFinite    = errors.New("trace: non-finite time")
 )
 
 // Validate checks structural invariants: positive node count, sorted
@@ -83,8 +85,16 @@ func (t *Trace) Validate() error {
 	if t.Nodes <= 0 {
 		return ErrNoNodes
 	}
+	if math.IsNaN(t.Duration) || math.IsInf(t.Duration, 0) {
+		return ErrNonFinite
+	}
 	prev := -1.0
 	for i, c := range t.Contacts {
+		// Explicit, because NaN slips through every ordering comparison
+		// below.
+		if math.IsNaN(c.Start) || math.IsInf(c.Start, 0) || math.IsNaN(c.End) || math.IsInf(c.End, 0) {
+			return fmt.Errorf("contact %d: %w", i, ErrNonFinite)
+		}
 		if c.A == c.B {
 			return fmt.Errorf("contact %d: %w", i, ErrSelfContact)
 		}

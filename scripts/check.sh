@@ -28,10 +28,17 @@ go run ./cmd/dtnlint ./...
 echo "== dtnlint -tests (determinism-sensitive packages)"
 go run ./cmd/dtnlint -tests ./internal/knowledge ./internal/sim \
     ./internal/scheme ./internal/core ./internal/buffer ./internal/metrics \
-    ./internal/obs
+    ./internal/obs ./internal/fault
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# The fault engine runs churn goroutine-free on the event heap, but its
+# recovery paths (CloseNode, buffer wipe, re-replication) cut across
+# scheme and driver state; race-test the package explicitly so a later
+# parallelization cannot slip by.
+echo "== go test -race ./internal/fault/..."
+go test -race -count=1 ./internal/fault/...
 
 echo "== fuzz seed corpora (short mode)"
 go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim \
@@ -50,6 +57,18 @@ if [[ -z "${CHECK_SKIP_TRACE_ID:-}" ]]; then
         -trace-out "$tmpdir/t2.ndjson" >/dev/null
     cmp "$tmpdir/t1.ndjson" "$tmpdir/t2.ndjson"
     echo "trace byte identity: OK ($(wc -l < "$tmpdir/t1.ndjson") lines)"
+
+    # Same guarantee under fault injection: a seeded churn + failover run
+    # must replay its failure timeline byte-for-byte.
+    echo "== faulted run-trace byte identity (Infocom05 + churn x2)"
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional -tl 3h \
+        -fault-churn 2 -fault-downtime 2h -retry 20m -ncl-failover \
+        -invariants -trace-out "$tmpdir/f1.ndjson" >/dev/null
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional -tl 3h \
+        -fault-churn 2 -fault-downtime 2h -retry 20m -ncl-failover \
+        -invariants -trace-out "$tmpdir/f2.ndjson" >/dev/null
+    cmp "$tmpdir/f1.ndjson" "$tmpdir/f2.ndjson"
+    echo "faulted trace byte identity: OK ($(wc -l < "$tmpdir/f1.ndjson") lines)"
 fi
 
 # Benchmark regression gate: rerun the suite and compare against the
@@ -65,6 +84,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
     echo "== fuzzing for ${CHECK_FUZZ_TIME} per target"
     targets=(
         "./internal/trace FuzzRead"
+        "./internal/trace FuzzReadCSV"
         "./internal/trace FuzzReadONE"
         "./internal/knapsack FuzzSolve"
         "./internal/knapsack FuzzProbabilisticSelect"
