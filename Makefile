@@ -5,7 +5,7 @@
 GO ?= go
 CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson obsdump
 
-.PHONY: build test check smoke fuzz lint bench bench-compare clean
+.PHONY: build test check smoke fuzz lint lint-fix-check bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,12 @@ test:
 	$(GO) test ./...
 
 lint:
-	$(GO) run ./cmd/dtnlint ./...
+	$(GO) run ./cmd/dtnlint -tests ./...
+
+# Stale-suppression sweep: fail when a //lint:allow directive no longer
+# suppresses anything, so fixed violations shed their annotations.
+lint-fix-check:
+	$(GO) run ./cmd/dtnlint -tests -stale-allows ./...
 
 check:
 	./scripts/check.sh

@@ -1,20 +1,30 @@
 // Command dtnlint is the determinism-lint multichecker for this
 // repository. It runs the internal/analysis suite — nondeterminism,
-// maporder, and seedflow — over the requested packages and reports
-// every violation of the determinism contract (see DESIGN.md): all
-// randomness must flow through internal/mathx.Rand seeded streams, no
-// wall-clock time may leak into simulation logic, and no result may
-// depend on Go map-iteration order.
+// maporder, seedflow, and the concurrency-readiness analyzers
+// immutable, rngshare, allocfree, and goguard — over the requested
+// packages and reports every violation of the determinism contract
+// (see DESIGN.md): all randomness must flow through
+// internal/mathx.Rand seeded streams, no wall-clock time may leak into
+// simulation logic, no result may depend on Go map-iteration order,
+// //dtn:immutable values are never mutated after construction, RNG
+// streams are never aliased across goroutines or sweep cells,
+// //dtn:allocfree hot paths contain no allocation-forcing constructs,
+// and goroutines appear only in joined //dtn:workerpool sites.
 //
 // Usage:
 //
 //	dtnlint ./...                 # lint the whole repository
 //	dtnlint ./internal/sim        # lint one package
 //	dtnlint -tests ./internal/... # include in-package _test.go files
+//	dtnlint -stale-allows ./...   # also flag //lint:allow directives that no longer fire
 //	dtnlint -list                 # show the analyzers and their docs
 //
+// Scoped analyzers run on their package list plus any package whose doc
+// comment carries the //dtn:determinism marker, so new packages opt in
+// with one line instead of editing the analyzer.
+//
 // A false positive is silenced with an inline directive on the flagged
-// line or the line above:
+// line or the line above (covering that statement's full span):
 //
 //	//lint:allow maporder reason why the order cannot matter here
 //
@@ -57,6 +67,7 @@ func run(args []string, out io.Writer) (int, error) {
 		tests    = fs.Bool("tests", false, "also lint in-package _test.go files")
 		noScope  = fs.Bool("all-packages", false, "ignore analyzer package scopes (lint everything everywhere)")
 		analyzer = fs.String("analyzer", "", "run only the named analyzer")
+		stale    = fs.Bool("stale-allows", false, "flag //lint:allow directives whose analyzer ran but no longer fires on that line")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: dtnlint [flags] [packages]\n\n"+
@@ -106,11 +117,15 @@ func run(args []string, out io.Writer) (int, error) {
 		if err != nil {
 			return 2, err
 		}
+		runner := analysis.NewRunner(pkg)
 		for _, a := range analyzers {
-			if !*noScope && !a.AppliesTo(pkg.Path) {
+			// A //dtn:determinism package-doc marker opts the package into
+			// every scoped analyzer, so a new package cannot silently fall
+			// out of lint scope.
+			if !*noScope && !a.AppliesTo(pkg.Path) && !pkg.Marked(analysis.MarkerDeterminism) {
 				continue
 			}
-			diags, err := analysis.RunPackage(pkg, a)
+			diags, err := runner.Run(a)
 			if err != nil {
 				return 2, err
 			}
@@ -119,6 +134,13 @@ func run(args []string, out io.Writer) (int, error) {
 				fmt.Fprintf(out, "%s:%d:%d: %s: %s\n",
 					relPath(loader.ModuleRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column,
 					d.Analyzer, d.Message)
+			}
+		}
+		if *stale {
+			for _, d := range runner.Stale() {
+				count++
+				fmt.Fprintf(out, "%s:%d:%d: stale //lint:allow %s: the analyzer ran and no longer flags this line; delete the directive\n",
+					relPath(loader.ModuleRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer)
 			}
 		}
 	}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree rejects allocation-forcing constructs inside functions
+// annotated //dtn:allocfree — the pooled heap dispatch, slice-backed
+// store lookups, and armed-idle fault probe path whose `0 allocs/op`
+// benchmark pins this turns into a compile-time property with precise
+// per-construct diagnostics.
+//
+// Flagged constructs: map/slice composite literals and &T{}, the
+// make/new/append builtins, fmt calls, variadic calls with a filled
+// variadic slot, interface-boxing arguments and conversions (a
+// non-pointer-shaped concrete value handed to an interface), capturing
+// closures, string concatenation, string<->[]byte/[]rune conversions,
+// and method values.
+//
+// Calls to unannotated functions are trusted, not traversed — the
+// annotation marks each frame of a hot path individually and the
+// benchmarks still pin the cross-function total. In test functions the
+// check narrows to the measured regions: if the body calls
+// testing.AllocsPerRun, only the function literals passed to it are
+// analyzed, so setup code may allocate freely.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "flags allocation-forcing constructs in //dtn:allocfree functions",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasMarker(fd.Doc, MarkerAllocFree) {
+				continue
+			}
+			for _, region := range allocRegions(pass, fd) {
+				checkAllocRegion(pass, region)
+			}
+		}
+	}
+	return nil
+}
+
+// allocRegions returns the function bodies to check: the whole body
+// normally, or the measured closures when the function benchmarks via
+// testing.AllocsPerRun.
+func allocRegions(pass *Pass, fd *ast.FuncDecl) []*ast.BlockStmt {
+	var measured []*ast.BlockStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := pkgFunc(pass.TypesInfo, call.Fun); !ok || path != "testing" || name != "AllocsPerRun" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				measured = append(measured, lit.Body)
+			}
+		}
+		return true
+	})
+	if len(measured) > 0 {
+		return measured
+	}
+	return []*ast.BlockStmt{fd.Body}
+}
+
+// checkAllocRegion reports every allocation-forcing construct in body.
+func checkAllocRegion(pass *Pass, body *ast.BlockStmt) {
+	WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(v); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(v.Pos(), "map literal allocates")
+				case *types.Slice:
+					pass.Reportf(v.Pos(), "slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := v.X.(*ast.CompositeLit); ok {
+					pass.Reportf(v.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkAllocCall(pass, v)
+		case *ast.FuncLit:
+			if obj := capturedObject(pass, v, body); obj != nil {
+				pass.Reportf(v.Pos(), "closure captures %s and allocates; hoist the closure or pass state explicitly", obj.Name())
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(pass.TypeOf(v)) {
+				pass.Reportf(v.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isStringType(pass.TypeOf(v.Lhs[0])) {
+				pass.Reportf(v.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			checkMethodValue(pass, v, stack)
+		case *ast.GoStmt:
+			pass.Reportf(v.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// checkAllocCall classifies one call expression: allocating builtins,
+// type conversions, fmt, filled variadic slots, and interface-boxing
+// arguments.
+func checkAllocCall(pass *Pass, call *ast.CallExpr) {
+	// Conversions: T(x) where T is a type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkAllocConversion(pass, call, tv.Type)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow and allocate")
+			}
+			return
+		}
+	}
+	if path, _, ok := pkgFunc(pass.TypesInfo, call.Fun); ok && path == "fmt" {
+		pass.Reportf(call.Pos(), "fmt call allocates (formatting and interface boxing)")
+		return
+	}
+	sig, _ := pass.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		pass.Reportf(call.Pos(), "variadic call with %d argument(s) in the variadic slot allocates the argument slice",
+			len(call.Args)-sig.Params().Len()+1)
+	}
+	// Interface boxing: a non-pointer-shaped concrete argument passed
+	// for an interface parameter forces a heap copy.
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || !sig.Variadic():
+			if i >= sig.Params().Len() {
+				continue
+			}
+			param = sig.Params().At(i).Type()
+		case call.Ellipsis.IsValid():
+			continue // x... passes the slice through, no boxing here
+		default:
+			param = sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := param.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		}
+		if types.IsInterface(param) && boxesOnConversion(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s and allocates", param.String())
+		}
+	}
+}
+
+// checkAllocConversion flags conversions that copy: string<->[]byte,
+// string<->[]rune, and concrete-to-interface.
+func checkAllocConversion(pass *Pass, call *ast.CallExpr, to types.Type) {
+	from := pass.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	switch {
+	case isStringType(to) && isByteOrRuneSlice(from),
+		isByteOrRuneSlice(to) && isStringType(from):
+		pass.Reportf(call.Pos(), "conversion between string and byte/rune slice copies and allocates")
+	case types.IsInterface(to) && boxesOnConversion(from):
+		pass.Reportf(call.Pos(), "conversion to interface %s boxes and allocates", to.String())
+	}
+}
+
+// checkMethodValue flags x.M used as a value (not immediately called):
+// a method value allocates its receiver-binding closure.
+func checkMethodValue(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if len(stack) > 0 {
+		if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == sel {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "method value %s allocates its bound-receiver closure", sel.Sel.Name)
+}
+
+// capturedObject returns a variable the literal captures from the
+// enclosing function (declared outside the literal but not at package
+// scope), or nil. Capturing closures allocate; closures over package
+// globals compile to static functions and do not.
+func capturedObject(pass *Pass, lit *ast.FuncLit, region *ast.BlockStmt) types.Object {
+	var captured types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Parent() == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if obj.Parent() == types.Universe || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level variable: no capture allocation
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		captured = obj
+		return false
+	})
+	return captured
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// boxesOnConversion reports whether converting a value of concrete type
+// t to an interface forces an allocation. Pointer-shaped types (
+// pointers, channels, maps, funcs, unsafe.Pointer) fit in the interface
+// data word directly; interfaces and untyped nil never box.
+func boxesOnConversion(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}

@@ -48,6 +48,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Annot is the module-wide //dtn: annotation registry (nil when a
+	// test constructs a Pass by hand; all lookups are nil-safe and the
+	// annotation-driven analyzers fall back to scanning p.Files).
+	Annot *Annotations
+
 	diags []Diagnostic
 }
 
@@ -94,33 +99,18 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 
 // All returns the dtnlint analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, SeedFlow}
+	return []*Analyzer{
+		Nondeterminism, MapOrder, SeedFlow,
+		Immutable, RNGShare, AllocFree, GoGuard,
+	}
 }
 
 // RunPackage runs one analyzer over a loaded package and returns its
 // diagnostics with //lint:allow suppressions already applied, sorted by
-// position.
+// position. Callers that need stale-suppression detection across a
+// batch of analyzers should use NewRunner instead.
 func RunPackage(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
-	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-	}
-	allowed := allowedLines(pkg)
-	var kept []Diagnostic
-	for _, d := range pass.diags {
-		if allowed[suppressKey{d.Pos.Filename, d.Pos.Line, a.Name}] {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	sortDiagnostics(kept)
-	return kept, nil
+	return NewRunner(pkg).Run(a)
 }
 
 func sortDiagnostics(ds []Diagnostic) {

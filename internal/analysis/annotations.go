@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The //dtn: annotation vocabulary. Markers are directive comments
+// (no space after //, so godoc hides them) that make concurrency
+// contracts machine-checkable:
+//
+//   - //dtn:immutable on a type: fields and reachable slice/map
+//     elements may only be written inside the declaring package's
+//     constructors (functions whose results include the type). Checked
+//     by the immutable analyzer; the static guarantee that makes
+//     sharing values across worker goroutines safe.
+//   - //dtn:shared on a type: instances are shared across sweep cells
+//     or goroutines, so storing an aliased *mathx.Rand in one is a
+//     determinism bug. Checked by the rngshare analyzer.
+//   - //dtn:rngboundary on a function: every *mathx.Rand argument at a
+//     call site must be a freshly derived stream (mathx.NewRand or
+//     .Derive result), never an alias the caller keeps drawing from.
+//     Checked by the rngshare analyzer.
+//   - //dtn:allocfree on a function: the body (or, in a test containing
+//     testing.AllocsPerRun, the measured closures) may not contain
+//     allocation-forcing constructs. Checked by the allocfree analyzer.
+//   - //dtn:workerpool on a function: sanctions `go` statements inside
+//     it, provided the function joins its goroutines. Checked by the
+//     goguard analyzer.
+//   - //dtn:determinism in a package doc comment: opts the package into
+//     the determinism-scoped analyzer suite (and scripts/check.sh's
+//     auto-discovered -tests lint list).
+const (
+	MarkerImmutable   = "immutable"
+	MarkerShared      = "shared"
+	MarkerRNGBoundary = "rngboundary"
+	MarkerAllocFree   = "allocfree"
+	MarkerWorkerPool  = "workerpool"
+	MarkerDeterminism = "determinism"
+)
+
+// ParseMarker parses one comment line as a //dtn: annotation. It
+// returns the marker name, the free-text note after it, and whether the
+// line is an annotation at all. The directive form is strict — "//dtn:"
+// with no interior spaces and a nonempty lowercase name — so prose that
+// merely mentions the vocabulary never registers.
+func ParseMarker(comment string) (name, note string, ok bool) {
+	rest, found := strings.CutPrefix(comment, "//dtn:")
+	if !found {
+		return "", "", false
+	}
+	name, note, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	for _, r := range name {
+		if r < 'a' || r > 'z' {
+			return "", "", false
+		}
+	}
+	return name, strings.TrimSpace(note), true
+}
+
+// docMarkers extracts the annotation names of a doc comment group.
+func docMarkers(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, c := range doc.List {
+		if name, _, ok := ParseMarker(c.Text); ok {
+			if out == nil {
+				out = make(map[string]bool)
+			}
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// docHasMarker reports whether a doc comment carries the named
+// annotation.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	return docMarkers(doc)[marker]
+}
+
+// Annotations is a module-wide registry of //dtn: markers, filled by
+// the Loader as it parses packages (the package under analysis and
+// every module-local import), so analyzers can ask about types and
+// functions declared in other packages — the immutable annotation on
+// knowledge.Snapshot must be visible while linting internal/scheme.
+type Annotations struct {
+	types map[string]map[string]bool // "pkgpath.Type" -> marker set
+	funcs map[string]map[string]bool // "pkgpath.Func" or "pkgpath.Recv.Func"
+	pkgs  map[string]map[string]bool // package path -> marker set
+}
+
+// NewAnnotations returns an empty registry.
+func NewAnnotations() *Annotations {
+	return &Annotations{
+		types: make(map[string]map[string]bool),
+		funcs: make(map[string]map[string]bool),
+		pkgs:  make(map[string]map[string]bool),
+	}
+}
+
+// ScanPackage records the //dtn: annotations of a package's parsed
+// files under the given import path. Scanning the same path twice is
+// harmless (the second scan overwrites identical entries).
+func (an *Annotations) ScanPackage(pkgPath string, files []*ast.File) {
+	if an == nil {
+		return
+	}
+	for _, f := range files {
+		if m := docMarkers(f.Doc); m != nil {
+			merged := an.pkgs[pkgPath]
+			if merged == nil {
+				merged = make(map[string]bool)
+				an.pkgs[pkgPath] = merged
+			}
+			for k := range m {
+				merged[k] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if m := docMarkers(d.Doc); m != nil {
+					an.funcs[funcDeclKey(pkgPath, d)] = m
+				}
+			case *ast.GenDecl:
+				declMarkers := docMarkers(d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					m := docMarkers(ts.Doc)
+					if m == nil {
+						m = declMarkers
+					}
+					if m != nil {
+						an.types[pkgPath+"."+ts.Name.Name] = m
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcDeclKey builds the registry key of a declared function:
+// "pkg.F" for plain functions, "pkg.T.M" for methods on T or *T.
+func funcDeclKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	recv := d.Recv.List[0].Type
+	for {
+		switch v := recv.(type) {
+		case *ast.StarExpr:
+			recv = v.X
+		case *ast.ParenExpr:
+			recv = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			recv = v.X
+		default:
+			if id, ok := recv.(*ast.Ident); ok {
+				return pkgPath + "." + id.Name + "." + d.Name.Name
+			}
+			return pkgPath + "." + d.Name.Name
+		}
+	}
+}
+
+// TypeMarked reports whether the named type carries the marker.
+func (an *Annotations) TypeMarked(tn *types.TypeName, marker string) bool {
+	if an == nil || tn == nil || tn.Pkg() == nil {
+		return false
+	}
+	return an.types[tn.Pkg().Path()+"."+tn.Name()][marker]
+}
+
+// FuncMarked reports whether the declared function or method carries
+// the marker.
+func (an *Annotations) FuncMarked(fn *types.Func, marker string) bool {
+	if an == nil || fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := namedTypeName(sig.Recv().Type()); tn != nil {
+			key += tn.Name() + "."
+		}
+	}
+	return an.funcs[key+fn.Name()][marker]
+}
+
+// PackageMarked reports whether the package doc carries the marker.
+func (an *Annotations) PackageMarked(pkgPath, marker string) bool {
+	if an == nil {
+		return false
+	}
+	return an.pkgs[pkgPath][marker]
+}
+
+// annotations returns the pass's registry, building one from the
+// pass's own files when the pass was constructed by hand (tests) rather
+// than through the Loader.
+func (p *Pass) annotations() *Annotations {
+	if p.Annot == nil {
+		p.Annot = NewAnnotations()
+		path := ""
+		if p.Pkg != nil {
+			path = p.Pkg.Path()
+		}
+		p.Annot.ScanPackage(path, p.Files)
+	}
+	return p.Annot
+}
+
+// namedTypeName unwraps pointers and returns the defining TypeName of
+// a named type, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

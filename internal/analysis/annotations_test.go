@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseTestFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseMarker(t *testing.T) {
+	cases := []struct {
+		in         string
+		name, note string
+		ok         bool
+	}{
+		{"//dtn:immutable", "immutable", "", true},
+		{"//dtn:allocfree amortized pool note", "allocfree", "amortized pool note", true},
+		{"//dtn:workerpool", "workerpool", "", true},
+		{"// dtn:immutable", "", "", false}, // spaced comment is prose, not a directive
+		{"//dtn:", "", "", false},
+		{"//dtn: immutable", "", "", false},
+		{"//dtn:Immutable", "", "", false}, // names are lowercase only
+		{"//dtn:alloc-free", "", "", false},
+		{"//lint:allow maporder x", "", "", false},
+		{"plain text", "", "", false},
+	}
+	for _, c := range cases {
+		name, note, ok := ParseMarker(c.in)
+		if name != c.name || note != c.note || ok != c.ok {
+			t.Errorf("ParseMarker(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, name, note, ok, c.name, c.note, c.ok)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in             string
+		analyzer, note string
+		ok             bool
+	}{
+		{"//lint:allow maporder order cannot matter", "maporder", "order cannot matter", true},
+		{"// lint:allow allocfree pool-backed", "allocfree", "pool-backed", true},
+		{"//lint:allow goguard", "goguard", "", true},
+		{"//lint:allow", "", "", false},
+		{"//lint:allowmaporder x", "", "", false},
+		{"//lint:deny maporder", "", "", false},
+		{"//dtn:immutable", "", "", false},
+	}
+	for _, c := range cases {
+		analyzer, note, ok := ParseAllow(c.in)
+		if analyzer != c.analyzer || note != c.note || ok != c.ok {
+			t.Errorf("ParseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, analyzer, note, ok, c.analyzer, c.note, c.ok)
+		}
+	}
+}
+
+func TestScanPackageRegistry(t *testing.T) {
+	_, f := parseTestFile(t, `
+// Package demo is deterministic.
+//
+//dtn:determinism
+package demo
+
+// Frozen is shared.
+//
+//dtn:immutable
+//dtn:shared
+type Frozen struct{ n int }
+
+// Loose has no markers.
+type Loose struct{}
+
+//dtn:allocfree
+func Fast() {}
+
+//dtn:workerpool
+func (Frozen) Pool() {}
+
+func plain() {}
+`)
+	an := NewAnnotations()
+	an.ScanPackage("demo", []*ast.File{f})
+
+	if !an.PackageMarked("demo", MarkerDeterminism) {
+		t.Error("package marker not registered")
+	}
+	if an.PackageMarked("demo", MarkerImmutable) {
+		t.Error("type marker leaked to package")
+	}
+	if !an.types["demo.Frozen"][MarkerImmutable] || !an.types["demo.Frozen"][MarkerShared] {
+		t.Errorf("Frozen markers = %v", an.types["demo.Frozen"])
+	}
+	if an.types["demo.Loose"] != nil {
+		t.Errorf("Loose should be unmarked, got %v", an.types["demo.Loose"])
+	}
+	if !an.funcs["demo.Fast"][MarkerAllocFree] {
+		t.Error("Fast marker not registered")
+	}
+	if !an.funcs["demo.Frozen.Pool"][MarkerWorkerPool] {
+		t.Errorf("method key not registered, funcs = %v", an.funcs)
+	}
+	if an.funcs["demo.plain"] != nil {
+		t.Error("plain should be unmarked")
+	}
+}
+
+func FuzzParseMarker(f *testing.F) {
+	for _, seed := range []string{
+		"//dtn:immutable", "//dtn:allocfree note here", "//dtn:",
+		"//dtn: x", "// dtn:shared", "//dtn:UPPER", "//lint:allow maporder x",
+		"", "//", "//dtn:determinism\x00", "//dtn:a b c d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name, note, ok := ParseMarker(s)
+		if !ok {
+			if name != "" || note != "" {
+				t.Fatalf("ParseMarker(%q): non-ok result leaked (%q, %q)", s, name, note)
+			}
+			return
+		}
+		if !strings.HasPrefix(s, "//dtn:") {
+			t.Fatalf("ParseMarker(%q) accepted a non-directive", s)
+		}
+		if name == "" {
+			t.Fatalf("ParseMarker(%q) returned ok with empty name", s)
+		}
+		for _, r := range name {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("ParseMarker(%q) returned non-lowercase name %q", s, name)
+			}
+		}
+	})
+}
+
+func FuzzParseAllow(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:allow maporder order free", "// lint:allow allocfree x",
+		"//lint:allow", "//lint:allowx", "//lint:allow  spaced   note",
+		"", "//", "//lint:allow \tname\tnote", "//lint:allow name\x00note",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		analyzer, note, ok := ParseAllow(s)
+		if !ok {
+			if analyzer != "" || note != "" {
+				t.Fatalf("ParseAllow(%q): non-ok result leaked (%q, %q)", s, analyzer, note)
+			}
+			return
+		}
+		if analyzer == "" {
+			t.Fatalf("ParseAllow(%q) returned ok with empty analyzer", s)
+		}
+		if strings.ContainsAny(analyzer, " \t\n") {
+			t.Fatalf("ParseAllow(%q) returned analyzer with whitespace: %q", s, analyzer)
+		}
+		if !strings.Contains(s, "lint:allow") {
+			t.Fatalf("ParseAllow(%q) accepted a non-directive", s)
+		}
+		_ = note
+	})
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtncache/internal/analysis"
+)
+
+// TestDeterminismMarkerMatchesScope pins the //dtn:determinism package
+// markers to the DeterministicPackages scope list in both directions:
+// every listed package must carry the marker (scripts/check.sh
+// auto-discovers the -tests lint set from it), and every marked package
+// under internal/ must be in the list — so neither the list nor the
+// markers can drift without this test failing.
+func TestDeterminismMarkerMatchesScope(t *testing.T) {
+	listed := make(map[string]bool)
+	for _, p := range analysis.DeterministicPackages {
+		rel, ok := strings.CutPrefix(p, "dtncache/")
+		if !ok {
+			t.Fatalf("unexpected package path %q", p)
+		}
+		listed[filepath.FromSlash(rel)] = true
+	}
+
+	marked := make(map[string]bool)
+	fset := token.NewFileSet()
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		if strings.Contains(path, string(filepath.Separator)+"testdata"+string(filepath.Separator)) {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if f.Doc == nil {
+			return nil
+		}
+		for _, c := range f.Doc.List {
+			if name, _, ok := analysis.ParseMarker(c.Text); ok && name == analysis.MarkerDeterminism {
+				rel, err := filepath.Rel(root, filepath.Dir(path))
+				if err != nil {
+					return err
+				}
+				marked[rel] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pkg := range listed {
+		if !marked[pkg] {
+			t.Errorf("%s is in DeterministicPackages but its package doc lacks //dtn:determinism", pkg)
+		}
+	}
+	for pkg := range marked {
+		if !listed[pkg] {
+			t.Errorf("%s carries //dtn:determinism but is missing from DeterministicPackages", pkg)
+		}
+	}
+}

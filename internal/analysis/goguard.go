@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoGuard keeps ad-hoc goroutines out of the determinism-sensitive
+// packages until the parallel execution layer lands: every `go`
+// statement must sit inside a function annotated //dtn:workerpool, and
+// that function must join its goroutines before returning (a
+// sync.WaitGroup Wait, a channel receive, or a range over a channel).
+// Fire-and-forget concurrency has no place in a replayable simulator —
+// either the pool joins deterministically or the goroutine is a bug.
+var GoGuard = &Analyzer{
+	Name: "goguard",
+	Doc:  "flags go statements outside joined //dtn:workerpool functions",
+	// The experiment package hosts the parallel sweep driver on top of
+	// the deterministic set, so its goroutines are guarded too.
+	Scope: append(append([]string{}, DeterministicPackages...), "dtncache/internal/experiment"),
+	Run:   runGoGuard,
+}
+
+func runGoGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			st, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fd := enclosingFuncDecl(stack)
+			if fd == nil || !docHasMarker(fd.Doc, MarkerWorkerPool) {
+				pass.Reportf(st.Pos(), "go statement outside a //dtn:workerpool function")
+				return true
+			}
+			if !hasJoin(pass, fd) {
+				pass.Reportf(st.Pos(), "//dtn:workerpool function %s never joins its goroutines (no WaitGroup.Wait or channel receive)", fd.Name.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncDecl returns the nearest declared function on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// hasJoin reports whether the function contains a goroutine join point:
+// a sync.WaitGroup Wait call, a receive expression, or a range over a
+// channel.
+func hasJoin(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if tn := namedTypeName(pass.TypeOf(sel.X)); tn != nil &&
+					tn.Name() == "WaitGroup" && tn.Pkg() != nil && tn.Pkg().Path() == "sync" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

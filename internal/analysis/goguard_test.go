@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dtncache/internal/analysis"
+	"dtncache/internal/analysis/analysistest"
+)
+
+func TestGoGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoGuard, "goguard")
+}

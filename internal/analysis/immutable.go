@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Immutable enforces the //dtn:immutable annotation: a value of an
+// annotated type (knowledge.Snapshot, trace.Trace, obs.Manifest — the
+// values the parallel-replay work will share across worker goroutines)
+// may not have its fields, or slice/map elements reached through its
+// fields, written outside a constructor.
+//
+// A constructor is any function whose results include the type (T, *T,
+// or []T/[]*T) — knowledge.Builder.Build, the trace readers, and test
+// fixtures that build-and-return a value all qualify, including the
+// closures they spawn: a value under construction is not yet shared, so
+// whoever still holds the only reference may fill it in. Whole-value
+// rebinding of a variable (x = NewT()) is always fine; only writes that
+// reach *into* an annotated value are mutations.
+//
+// The check is syntactic over the write chain (selector, index, deref,
+// copy, ++/--). Mutation hidden behind a method call on a field (e.g. a
+// sync.Map) is out of reach and must be internally synchronized — the
+// annotation documents the contract, the analyzer enforces the part a
+// type-checker can see.
+var Immutable = &Analyzer{
+	Name: "immutable",
+	Doc:  "flags writes to fields or elements of //dtn:immutable types outside their constructors",
+	Run:  runImmutable,
+}
+
+func runImmutable(pass *Pass) error {
+	an := pass.annotations()
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkImmutableWrite(pass, an, lhs, stack, "write to")
+				}
+			case *ast.IncDecStmt:
+				checkImmutableWrite(pass, an, st.X, stack, "increment of")
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						checkImmutableWrite(pass, an, st.Args[0], stack, "copy into")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkImmutableWrite climbs the written expression's access chain
+// (x.f, x.f[i], *p, parens). If any base along the chain is a value of
+// an //dtn:immutable-annotated type, the write mutates that value and
+// is reported unless the enclosing function is a constructor.
+func checkImmutableWrite(pass *Pass, an *Annotations, lhs ast.Expr, stack []ast.Node, verb string) {
+	e := lhs
+	for {
+		var base ast.Expr
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.SelectorExpr:
+			base = v.X
+		case *ast.IndexExpr:
+			base = v.X
+		case *ast.StarExpr:
+			base = v.X
+		default:
+			return
+		}
+		if tn := immutableTypeName(pass, an, base); tn != nil {
+			if !inConstructorOf(pass, stack, tn) {
+				pass.Reportf(lhs.Pos(), "%s //dtn:immutable type %s.%s outside its constructor",
+					verb, tn.Pkg().Name(), tn.Name())
+			}
+			return
+		}
+		e = base
+	}
+}
+
+// immutableTypeName returns the defining TypeName when e's type (after
+// pointer unwrap) is a named type annotated //dtn:immutable.
+func immutableTypeName(pass *Pass, an *Annotations, e ast.Expr) *types.TypeName {
+	tn := namedTypeName(pass.TypeOf(e))
+	if tn != nil && an.TypeMarked(tn, MarkerImmutable) {
+		return tn
+	}
+	return nil
+}
+
+// inConstructorOf reports whether the write site sits inside a
+// constructor of tn: a function whose results include tn (possibly
+// behind a pointer or slice). Function literals inherit the verdict of
+// the nearest enclosing declared function, so a builder's worker
+// closures stay exempt.
+func inConstructorOf(pass *Pass, stack []ast.Node, tn *types.TypeName) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			return false
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil {
+			return false
+		}
+		res := sig.Results()
+		for j := 0; j < res.Len(); j++ {
+			t := res.At(j).Type()
+			if s, ok := t.(*types.Slice); ok {
+				t = s.Elem()
+			}
+			if namedTypeName(t) == tn {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

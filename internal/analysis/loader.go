@@ -21,6 +21,17 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Annot is the module-wide //dtn: annotation registry, covering this
+	// package and every module-local package the loader has parsed so
+	// far (all of this package's module imports in particular).
+	Annot *Annotations
+}
+
+// Marked reports whether this package's doc comment carries the given
+// //dtn: marker.
+func (p *Package) Marked(marker string) bool {
+	return p.Annot.PackageMarked(p.Path, marker)
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -40,6 +51,7 @@ type Loader struct {
 
 	std   types.ImporterFrom
 	cache map[string]*types.Package
+	annot *Annotations
 }
 
 // NewLoader creates a loader for the module containing dir.
@@ -59,6 +71,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModulePath: modPath,
 		std:        src,
 		cache:      make(map[string]*types.Package),
+		annot:      NewAnnotations(),
 	}, nil
 }
 
@@ -142,6 +155,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
+	l.annot.ScanPackage(path, files)
 	return &Package{
 		Path:  path,
 		Dir:   dir,
@@ -149,6 +163,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Files: files,
 		Types: tpkg,
 		Info:  info,
+		Annot: l.annot,
 	}, nil
 }
 
@@ -221,6 +236,7 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 		if err != nil {
 			return nil, fmt.Errorf("analysis: import %q: %w", path, err)
 		}
+		l.annot.ScanPackage(path, files)
 		l.cache[path] = pkg
 		return pkg, nil
 	}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGShare enforces RNG stream ownership: a *mathx.Rand (or stdlib
+// *rand.Rand) is a single-owner sequential stream, and aliasing one
+// across goroutines or sweep cells destroys both determinism and memory
+// safety. Where seedflow checks that per-cell streams derive their seed
+// correctly, rngshare checks that streams are never *shared*:
+//
+//   - a `go` statement may not capture a Rand variable from the
+//     enclosing scope, nor receive one as a call argument;
+//   - a Rand may not be stored into a field (or composite literal) of a
+//     type annotated //dtn:shared — those values cross cell boundaries;
+//   - a function annotated //dtn:rngboundary takes ownership of its
+//     Rand parameters, so call sites must hand over a freshly derived
+//     stream (mathx.NewRand, rand.New, or a .Derive call), never an
+//     alias the caller keeps drawing from.
+var RNGShare = &Analyzer{
+	Name: "rngshare",
+	Doc:  "flags *mathx.Rand streams aliased across goroutines, //dtn:shared structs, or //dtn:rngboundary calls",
+	Run:  runRNGShare,
+}
+
+func runRNGShare(pass *Pass) error {
+	an := pass.annotations()
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				checkGoRand(pass, st)
+			case *ast.AssignStmt:
+				checkSharedStoreAssign(pass, an, st)
+			case *ast.CompositeLit:
+				checkSharedStoreLit(pass, an, st)
+			case *ast.CallExpr:
+				checkBoundaryCall(pass, an, st)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandType reports whether t (after pointer unwrap) is mathx.Rand or
+// a stdlib rand.Rand.
+func isRandType(t types.Type) bool {
+	tn := namedTypeName(t)
+	if tn == nil || tn.Name() != "Rand" || tn.Pkg() == nil {
+		return false
+	}
+	path := tn.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2" || strings.HasSuffix(path, "internal/mathx")
+}
+
+// isFreshStream reports whether e is a call that mints a new RNG stream
+// at the handover point: mathx.NewRand, rand.New, or any .Derive method
+// call (the cell-index reseed idiom).
+func isFreshStream(pass *Pass, e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return isFreshStream(pass, p.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Derive" {
+		return true
+	}
+	if path, name, ok := pkgFunc(pass.TypesInfo, call.Fun); ok {
+		if name == "NewRand" && strings.HasSuffix(path, "internal/mathx") {
+			return true
+		}
+		if name == "New" && (path == "math/rand" || path == "math/rand/v2") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGoRand flags Rand streams that leak into a goroutine, either as
+// call arguments or captured by the goroutine's closure.
+func checkGoRand(pass *Pass, st *ast.GoStmt) {
+	for _, arg := range st.Call.Args {
+		if isRandType(pass.TypeOf(arg)) && !isFreshStream(pass, arg) {
+			pass.Reportf(arg.Pos(), "RNG stream passed to goroutine; derive a per-goroutine stream instead")
+		}
+	}
+	lit, ok := st.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !isRandType(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			pass.Reportf(id.Pos(), "goroutine captures RNG stream %s from enclosing scope; derive a per-goroutine stream instead", id.Name)
+		}
+		return true
+	})
+}
+
+// checkSharedStoreAssign flags x.field = rng where x's type carries
+// //dtn:shared and rng is an aliased (not freshly derived) stream.
+func checkSharedStoreAssign(pass *Pass, an *Annotations, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !isRandType(pass.TypeOf(sel)) {
+			continue
+		}
+		tn := namedTypeName(pass.TypeOf(sel.X))
+		if tn == nil || !an.TypeMarked(tn, MarkerShared) {
+			continue
+		}
+		if i < len(st.Rhs) && isFreshStream(pass, st.Rhs[i]) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "RNG stream stored in //dtn:shared type %s; shared values may not own live streams", tn.Name())
+	}
+}
+
+// checkSharedStoreLit flags SharedT{rng: r} composite literals that
+// smuggle an aliased stream into a //dtn:shared value.
+func checkSharedStoreLit(pass *Pass, an *Annotations, lit *ast.CompositeLit) {
+	tn := namedTypeName(pass.TypeOf(lit))
+	if tn == nil || !an.TypeMarked(tn, MarkerShared) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if isRandType(pass.TypeOf(val)) && !isFreshStream(pass, val) {
+			pass.Reportf(val.Pos(), "RNG stream stored in //dtn:shared type %s; shared values may not own live streams", tn.Name())
+		}
+	}
+}
+
+// checkBoundaryCall flags aliased Rand arguments handed to a function
+// annotated //dtn:rngboundary.
+func checkBoundaryCall(pass *Pass, an *Annotations, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !an.FuncMarked(fn, MarkerRNGBoundary) {
+		return
+	}
+	for _, arg := range call.Args {
+		if isRandType(pass.TypeOf(arg)) && !isFreshStream(pass, arg) {
+			pass.Reportf(arg.Pos(), "aliased RNG stream crosses //dtn:rngboundary %s; pass a freshly derived stream", fn.Name())
+		}
+	}
+}
+
+// calleeFunc resolves the declared function or method a call targets,
+// or nil for builtins, conversions, and indirect calls.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		inner := *call
+		inner.Fun = f.X
+		return calleeFunc(pass, &inner)
+	}
+	return nil
+}

@@ -1,6 +1,38 @@
 package analysis
 
-import "strings"
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos      token.Position // position of the comment itself
+	Analyzer string         // analyzer name the directive silences
+	Note     string         // free-text justification after the name
+}
+
+// ParseAllow parses one comment's text ("//lint:allow maporder why") as
+// a suppression directive. It accepts both the directive form
+// (//lint:allow, no space) and the spaced comment form.
+func ParseAllow(text string) (analyzer, note string, ok bool) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, found := strings.CutPrefix(text, "lint:allow")
+	if !found {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	return fields[0], strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])), true
+}
 
 // suppressKey identifies one (file, line, analyzer) suppression target.
 type suppressKey struct {
@@ -9,30 +41,186 @@ type suppressKey struct {
 	analyzer string
 }
 
-// allowedLines scans a package's comments for //lint:allow directives.
-// A directive suppresses the named analyzer on its own line (trailing
-// comment) and on the following line (comment above the statement).
-func allowedLines(pkg *Package) map[suppressKey]bool {
-	out := make(map[suppressKey]bool)
+// suppressions maps source lines to the //lint:allow directives covering
+// them and tracks which directives actually fired, so stale suppressions
+// (directives whose analyzer no longer flags the line) are detectable.
+type suppressions struct {
+	directives []Directive
+	lines      map[suppressKey][]int // covered line -> directive indices
+	used       []bool                // parallel to directives
+}
+
+// collectSuppressions scans a package's comments for //lint:allow
+// directives. A directive covers its own line (trailing comment), the
+// following line, and — when a statement, spec, or struct field starts
+// on either of those lines — that construct's full source span, so a
+// directive above a multi-line statement suppresses every line the
+// statement occupies, not just its first.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{lines: make(map[suppressKey][]int)}
+
+	type anchor struct {
+		file string
+		line int
+	}
+	anchors := make(map[anchor][]int) // candidate start lines -> directive indices
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, "lint:allow")
+				name, note, ok := ParseAllow(c.Text)
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				name := fields[0]
 				pos := pkg.Fset.Position(c.Pos())
-				out[suppressKey{pos.Filename, pos.Line, name}] = true
-				out[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+				idx := len(s.directives)
+				s.directives = append(s.directives, Directive{Pos: pos, Analyzer: name, Note: note})
+				s.used = append(s.used, false)
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := suppressKey{pos.Filename, line, name}
+					s.lines[k] = append(s.lines[k], idx)
+					anchors[anchor{pos.Filename, line}] = append(anchors[anchor{pos.Filename, line}], idx)
+				}
 			}
 		}
 	}
+	if len(anchors) == 0 {
+		return s
+	}
+
+	// For each anchored line, find the smallest statement/spec/field
+	// starting there (smallest so a directive above a loop covers the
+	// init statement, not the whole loop body) and extend coverage over
+	// its span.
+	best := make(map[anchor]ast.Node)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n.(type) {
+			case ast.Stmt, ast.Spec, *ast.Field:
+			default:
+				return true
+			}
+			start := pkg.Fset.Position(n.Pos())
+			k := anchor{start.Filename, start.Line}
+			if _, anchored := anchors[k]; !anchored {
+				return true
+			}
+			if cur, ok := best[k]; !ok || n.End() < cur.End() {
+				best[k] = n
+			}
+			return true
+		})
+	}
+	// Sorted order keeps s.lines deterministic when overlapping spans
+	// feed the same (file, line, analyzer) key — which directive is
+	// credited as "used" must not depend on map iteration order.
+	keys := make([]anchor, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		n := best[k]
+		endLine := pkg.Fset.Position(n.End()).Line
+		for _, idx := range anchors[k] {
+			name := s.directives[idx].Analyzer
+			for line := k.line; line <= endLine; line++ {
+				sk := suppressKey{k.file, line, name}
+				if !containsInt(s.lines[sk], idx) {
+					s.lines[sk] = append(s.lines[sk], idx)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// match reports whether a diagnostic is suppressed, marking every
+// directive that covers it as used.
+func (s *suppressions) match(d Diagnostic) bool {
+	idxs := s.lines[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	for _, idx := range idxs {
+		s.used[idx] = true
+	}
+	return len(idxs) > 0
+}
+
+// Runner runs analyzers over one package with shared suppression state,
+// so after a batch of Run calls it can report which //lint:allow
+// directives never fired.
+type Runner struct {
+	pkg *Package
+	sup *suppressions
+	ran map[string]bool
+}
+
+// NewRunner prepares a runner for the package.
+func NewRunner(pkg *Package) *Runner {
+	return &Runner{
+		pkg: pkg,
+		sup: collectSuppressions(pkg),
+		ran: make(map[string]bool),
+	}
+}
+
+// Run executes one analyzer and returns its unsuppressed diagnostics
+// sorted by position.
+func (r *Runner) Run(a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      r.pkg.Fset,
+		Files:     r.pkg.Files,
+		Pkg:       r.pkg.Types,
+		TypesInfo: r.pkg.Info,
+		Annot:     r.pkg.Annot,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, r.pkg.Path, err)
+	}
+	r.ran[a.Name] = true
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		if r.sup.match(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+// Stale returns the //lint:allow directives that name an analyzer this
+// runner has executed yet never suppressed any of its diagnostics —
+// i.e. the flagged code was fixed (or the directive is misspelled
+// within the executed set) and the suppression should be deleted.
+// Directives naming analyzers that did not run are not judged.
+func (r *Runner) Stale() []Directive {
+	var out []Directive
+	for i, d := range r.sup.directives {
+		if r.ran[d.Analyzer] && !r.sup.used[i] {
+			out = append(out, d)
+		}
+	}
 	return out
+}
+
+// Directives returns every //lint:allow directive found in the package.
+func (r *Runner) Directives() []Directive {
+	return append([]Directive(nil), r.sup.directives...)
 }

@@ -1,0 +1,90 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dtncache/internal/analysis"
+)
+
+// loadTestdataPkg loads one golden package from testdata/src.
+func loadTestdataPkg(t *testing.T, name string) *analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader("testdata")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return pkg
+}
+
+// TestSuppressDirectivesFire runs the whole analyzer suite over the
+// suppress golden package: every violation there is covered by a
+// //lint:allow directive, so the suite must report nothing, and every
+// directive must have fired (none stale). This is the shared
+// suppress-path coverage for old and new analyzers alike.
+func TestSuppressDirectivesFire(t *testing.T) {
+	pkg := loadTestdataPkg(t, "suppress")
+	runner := analysis.NewRunner(pkg)
+	for _, a := range analysis.All() {
+		diags, err := runner.Run(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unsuppressed diagnostic: %s", a.Name, d)
+		}
+	}
+	if got := len(runner.Directives()); got != 7 {
+		t.Errorf("expected 7 //lint:allow directives in the package, found %d", got)
+	}
+	for _, d := range runner.Stale() {
+		t.Errorf("directive at %s for %s never fired", d.Pos, d.Analyzer)
+	}
+}
+
+// TestAllowCoversMultilineStatement is the regression test for the
+// suppression-span bug: a //lint:allow above a statement used to cover
+// only the statement's first line, so a diagnostic on a later line of
+// the same statement (here: time.Now() on the second line of a
+// multi-line return) escaped suppression.
+func TestAllowCoversMultilineStatement(t *testing.T) {
+	pkg := loadTestdataPkg(t, "suppress")
+	diags, err := analysis.RunPackage(pkg, analysis.Nondeterminism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic escaped the statement-span suppression: %s", d)
+	}
+}
+
+// TestStaleDirectives checks the other side: directives whose analyzer
+// runs clean are reported as stale so dead suppressions get deleted.
+func TestStaleDirectives(t *testing.T) {
+	pkg := loadTestdataPkg(t, "stale")
+	runner := analysis.NewRunner(pkg)
+	for _, a := range analysis.All() {
+		diags, err := runner.Run(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("stale package should be diagnostic-free, got %s", d)
+		}
+	}
+	stale := runner.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("expected 2 stale directives, got %d: %v", len(stale), stale)
+	}
+	names := map[string]bool{}
+	for _, d := range stale {
+		names[d.Analyzer] = true
+	}
+	if !names["nondeterminism"] || !names["maporder"] {
+		t.Errorf("stale directives should name nondeterminism and maporder, got %v", names)
+	}
+}

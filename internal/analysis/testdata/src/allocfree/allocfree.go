@@ -1,0 +1,141 @@
+// Package allocfree exercises the allocfree analyzer.
+package allocfree
+
+import (
+	"fmt"
+	"testing"
+)
+
+type store struct {
+	keys []uint64
+	vals []float64
+}
+
+// lookup is the annotated-OK case: a hand-rolled binary search with no
+// allocation anywhere, mirroring the repo's slice-backed store lookups.
+//
+//dtn:allocfree
+func lookup(s *store, key uint64) float64 {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.keys) && s.keys[lo] == key {
+		return s.vals[lo]
+	}
+	return 0
+}
+
+// positive cases
+
+//dtn:allocfree
+func badMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//dtn:allocfree
+func badAppend(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow and allocate`
+}
+
+//dtn:allocfree
+func badLits() {
+	_ = map[string]int{"a": 1} // want `map literal allocates`
+	_ = []int{1, 2, 3}         // want `slice literal allocates`
+	_ = &store{}               // want `&composite literal allocates`
+}
+
+//dtn:allocfree
+func badFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt call allocates`
+}
+
+//dtn:allocfree
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+func variadicSink(xs ...int) int { return len(xs) }
+
+//dtn:allocfree
+func badVariadic() int {
+	return variadicSink(1, 2) // want `variadic call with 2 argument\(s\) in the variadic slot`
+}
+
+func sink(v any) {}
+
+//dtn:allocfree
+func badBoxArg(x int) {
+	sink(x) // want `argument boxes a concrete value into interface`
+}
+
+//dtn:allocfree
+func badBoxConv(x int) any {
+	return any(x) // want `conversion to interface`
+}
+
+//dtn:allocfree
+func badStringConv(b []byte) string {
+	return string(b) // want `conversion between string and byte/rune slice`
+}
+
+//dtn:allocfree
+func badClosure(n int) func() int {
+	return func() int { return n } // want `closure captures n`
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//dtn:allocfree
+func badMethodValue(c *counter) func() {
+	return c.inc // want `method value inc allocates`
+}
+
+// test-mode narrowing: only the measured closures are checked.
+
+//dtn:allocfree
+func testModeSetupMayAllocate(t *testing.T, s *store) {
+	setup := make([]uint64, 8) // setup outside the measured region is fine
+	s.keys = setup
+	s.vals = make([]float64, 8)
+	avg := testing.AllocsPerRun(100, func() {
+		_ = lookup(s, 3)
+	})
+	if avg != 0 {
+		t.Errorf("allocs: %v", avg)
+	}
+}
+
+//dtn:allocfree
+func testModeMeasuredRegionChecked(t *testing.T) {
+	avg := testing.AllocsPerRun(100, func() {
+		_ = make([]int, 1) // want `make allocates`
+	})
+	_ = avg
+	_ = t
+}
+
+// negative cases
+
+func unannotatedAllocatesFreely(n int) []int {
+	xs := make([]int, 0, n)
+	return append(xs, n)
+}
+
+//dtn:allocfree
+func pointerArgsDoNotBox(s *store) {
+	sink(s) // pointers fit the interface word: no allocation
+}
+
+//dtn:allocfree
+func suppressedGrowth(xs []int, x int) []int {
+	//lint:allow allocfree amortized growth, the backing array is the pool
+	return append(xs, x)
+}

@@ -1,0 +1,64 @@
+// Package goguard exercises the goguard analyzer.
+package goguard
+
+import "sync"
+
+// positive cases
+
+func adHoc(out chan<- int) {
+	go func() { out <- 1 }() // want `go statement outside a //dtn:workerpool function`
+}
+
+// fireAndForget is annotated but never joins its goroutines.
+//
+//dtn:workerpool
+func fireAndForget(out chan<- int) {
+	go func() { out <- 1 }() // want `never joins its goroutines`
+}
+
+// negative cases
+
+// forEach is the sanctioned WaitGroup-joined worker pool: the
+// annotated-OK case.
+//
+//dtn:workerpool
+func forEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// channelJoined drains a done channel instead of a WaitGroup.
+//
+//dtn:workerpool
+func channelJoined(n int, fn func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func noGoroutinesAtAll(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func suppressed(out chan<- int) {
+	//lint:allow goguard detached diagnostic pump, lifetime == process
+	go func() { out <- 1 }()
+}

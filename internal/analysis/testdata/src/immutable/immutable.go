@@ -1,0 +1,70 @@
+// Package immutable exercises the immutable analyzer.
+package immutable
+
+// Snapshot is a frozen view shared across future worker goroutines.
+//
+//dtn:immutable
+type Snapshot struct {
+	version int
+	paths   [][]int32
+	weights []float64
+}
+
+// NewSnapshot is the constructor: its writes (including those of its
+// helper closures) are exempt. This is the annotated-OK case.
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{version: 1}
+	s.paths = make([][]int32, n)
+	for i := range s.paths {
+		s.paths[i] = []int32{int32(i)}
+	}
+	s.weights = make([]float64, n)
+	fill := func(i int) { s.weights[i] = 1 }
+	for i := range s.weights {
+		fill(i)
+	}
+	return s
+}
+
+// positive cases
+
+func mutateField(s *Snapshot) {
+	s.version = 2 // want `write to //dtn:immutable type immutable\.Snapshot outside its constructor`
+}
+
+func mutateElement(s *Snapshot) {
+	s.paths[0] = nil // want `write to //dtn:immutable type`
+	s.weights[0]++   // want `increment of //dtn:immutable type`
+}
+
+func mutateNestedElement(s *Snapshot) {
+	s.paths[0][1] = 9 // want `write to //dtn:immutable type`
+}
+
+func copyInto(s *Snapshot, src []float64) {
+	copy(s.weights, src) // want `copy into //dtn:immutable type`
+}
+
+// negative cases
+
+func rebindWholeValue() {
+	s := NewSnapshot(1)
+	s = NewSnapshot(2) // rebinding the variable is not a mutation
+	_ = s
+}
+
+type holder struct{ snap *Snapshot }
+
+func storePointer(h *holder, s *Snapshot) {
+	h.snap = s // writing a pointer into an unannotated holder is fine
+}
+
+// Mutable carries no annotation; writes are unconstrained.
+type Mutable struct{ n int }
+
+func mutateUnannotated(m *Mutable) { m.n = 7 }
+
+func suppressed(s *Snapshot) {
+	//lint:allow immutable sanctioned pre-publication normalizer
+	s.version = 3
+}

@@ -1,0 +1,93 @@
+// Package rngshare exercises the rngshare analyzer.
+package rngshare
+
+import (
+	"sync"
+
+	"dtncache/internal/mathx"
+)
+
+// Cell is shared across sweep cells.
+//
+//dtn:shared
+type Cell struct {
+	rng  *mathx.Rand
+	seed int64
+}
+
+// takeOwnership keeps drawing from its stream after returning.
+//
+//dtn:rngboundary
+func takeOwnership(r *mathx.Rand) float64 { return r.Float64() }
+
+// positive cases
+
+func capturedByGoroutine(rng *mathx.Rand, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rng.Float64() // want `goroutine captures RNG stream rng`
+	}()
+	wg.Wait()
+}
+
+func passedToGoroutine(rng *mathx.Rand, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func(r *mathx.Rand) {
+		defer wg.Done()
+		_ = r.Float64()
+	}(rng) // want `RNG stream passed to goroutine`
+	wg.Wait()
+}
+
+func storedInShared(c *Cell, rng *mathx.Rand) {
+	c.rng = rng // want `RNG stream stored in //dtn:shared type Cell`
+}
+
+func litShared(rng *mathx.Rand) *Cell {
+	return &Cell{rng: rng} // want `RNG stream stored in //dtn:shared type Cell`
+}
+
+func aliasAcrossBoundary(rng *mathx.Rand) {
+	_ = takeOwnership(rng) // want `aliased RNG stream crosses //dtn:rngboundary takeOwnership`
+}
+
+// negative cases: handing over a freshly derived stream is the
+// annotated-OK pattern everywhere an annotation is involved.
+
+func freshAcrossBoundary(rng *mathx.Rand) {
+	_ = takeOwnership(rng.Derive("cell-0"))
+	_ = takeOwnership(mathx.NewRand(42))
+}
+
+func freshInShared(seed int64) *Cell {
+	return &Cell{rng: mathx.NewRand(seed), seed: seed}
+}
+
+func freshAssignShared(c *Cell, seed int64) {
+	c.rng = mathx.NewRand(seed + 1)
+}
+
+func seedNotStream(c *Cell, seed int64) {
+	c.seed = seed // storing the seed, not the stream, is sanctioned
+}
+
+func goroutineGetsFreshStream(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func(r *mathx.Rand) {
+		defer wg.Done()
+		_ = r.Float64()
+	}(mathx.NewRand(7))
+	wg.Wait()
+}
+
+type unshared struct{ rng *mathx.Rand }
+
+func storedInUnshared(u *unshared, rng *mathx.Rand) {
+	u.rng = rng // per-cell private struct may own its stream
+}
+
+func suppressed(c *Cell, rng *mathx.Rand) {
+	//lint:allow rngshare single-threaded control experiment reuses the stream
+	c.rng = rng
+}

@@ -1,0 +1,89 @@
+// Package suppress exercises the //lint:allow path of every analyzer
+// in the suite, including directives above multi-line statements where
+// the diagnostic lands past the statement's first line (the span
+// regression: a directive must cover the whole statement, not just the
+// line below the comment).
+package suppress
+
+import (
+	"time"
+
+	"dtncache/internal/mathx"
+)
+
+// nondeterminism: the wall-clock read sits on the second line of the
+// return statement, two lines below the directive.
+func wallClock(f func(time.Time) int) int {
+	//lint:allow nondeterminism control experiment deliberately measures wall time
+	return f(
+		time.Now(),
+	)
+}
+
+// maporder: order-dependent append under a suppressed map range.
+func mapAppend(m map[int]int) []int {
+	var out []int
+	//lint:allow maporder diagnostic dump, output order genuinely free
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// seedflow: identical stream per iteration, sanctioned for a control.
+func cells(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		//lint:allow seedflow identical streams wanted for this control experiment
+		rng := mathx.NewRand(
+			seed,
+		)
+		_ = rng.Float64()
+		_ = i
+	}
+}
+
+// immutable: a two-line swap statement; the second write is on the line
+// after the directive's successor line.
+//
+//dtn:immutable
+type frozen struct {
+	a, b int
+}
+
+func newFrozen() *frozen { return &frozen{} }
+
+func normalize(f *frozen) {
+	//lint:allow immutable sanctioned normalizer runs before publication
+	f.a, f.b =
+		f.b,
+		f.a
+}
+
+// rngshare: a control experiment reusing one stream across cells.
+//
+//dtn:shared
+type cell struct{ rng *mathx.Rand }
+
+func reuse(c *cell, rng *mathx.Rand) {
+	//lint:allow rngshare single-threaded control reuses the stream
+	c.rng = rng
+}
+
+// allocfree: amortized growth inside a pinned function.
+//
+//dtn:allocfree
+func grow(xs []int, x int) []int {
+	//lint:allow allocfree amortized growth, the backing array is the pool
+	return append(
+		xs,
+		x,
+	)
+}
+
+// goguard: a sanctioned detached goroutine.
+func pump(out chan<- int) {
+	//lint:allow goguard detached diagnostic pump, lifetime == process
+	go func() {
+		out <- 1
+	}()
+}

@@ -3,6 +3,8 @@
 // the evaluation compares against (FIFO, LRU, Greedy-Dual-Size). The
 // paper's own utility/knapsack replacement lives in internal/core and
 // drives this package's primitive operations.
+//
+//dtn:determinism
 package buffer
 
 import (
@@ -180,6 +182,8 @@ func (b *Buffer) Free() float64 { return b.capacity - b.used }
 func (b *Buffer) Len() int { return len(b.entries) }
 
 // search returns the insertion index for id in the sorted entry slice.
+//
+//dtn:allocfree hand-rolled binary search, no sort.Search closure
 func (b *Buffer) search(id workload.DataID) int {
 	lo, hi := 0, len(b.entries)
 	for lo < hi {
@@ -194,11 +198,15 @@ func (b *Buffer) search(id workload.DataID) int {
 }
 
 // Has reports whether the item is cached.
+//
+//dtn:allocfree
 func (b *Buffer) Has(id workload.DataID) bool {
 	return b.Get(id) != nil
 }
 
 // Get returns the entry for id, or nil.
+//
+//dtn:allocfree slice-backed store lookup on the scheme hot path
 func (b *Buffer) Get(id workload.DataID) *Entry {
 	if i := b.search(id); i < len(b.entries) && b.entries[i].Data.ID == id {
 		return b.entries[i]

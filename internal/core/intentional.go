@@ -10,6 +10,8 @@
 // answer probabilistically (Sec. V-C). Whenever two caching nodes meet,
 // utility-based cache replacement (Sec. V-D, Eq. 7 + Algorithm 1)
 // migrates popular data toward the central nodes.
+//
+//dtn:determinism
 package core
 
 import (

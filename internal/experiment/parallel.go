@@ -14,6 +14,8 @@ import (
 // The dispatch fails fast: after the first error no new cells are
 // handed out, in-flight cells finish, and the already-recorded first
 // error is returned. Workers that error stop immediately.
+//
+//dtn:workerpool WaitGroup-joined sweep-cell fan-out with fail-fast done channel
 func forEachCell(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

@@ -131,10 +131,14 @@ func (e *Engine) Bind(d *sim.Driver, rec *obs.Recorder) {
 // --- sim.FaultProbe ---
 
 // NodeDown reports whether n is currently crashed.
+//
+//dtn:allocfree consulted per contact on the replay hot path
 func (e *Engine) NodeDown(n trace.NodeID) bool { return e.down[n] }
 
 // TruncateContact independently shortens the contact with probability
 // TruncateProb, returning the effective end time.
+//
+//dtn:allocfree consulted per contact on the replay hot path
 func (e *Engine) TruncateContact(c trace.Contact) sim.Time {
 	if e.truncRng == nil || !e.truncRng.Bernoulli(e.cfg.TruncateProb) {
 		return c.End
@@ -148,6 +152,8 @@ func (e *Engine) TruncateContact(c trace.Contact) sim.Time {
 
 // KillTransfer independently fails the transfer with probability
 // KillProb.
+//
+//dtn:allocfree consulted per transfer on the armed-idle probe path
 func (e *Engine) KillTransfer(from, to trace.NodeID, bits float64, label string) bool {
 	if e.killRng == nil || !e.killRng.Bernoulli(e.cfg.KillProb) {
 		return false

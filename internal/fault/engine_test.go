@@ -240,6 +240,8 @@ func TestNewEngineRejectsBadConfig(t *testing.T) {
 // TruncateProb 0, no churn due), the driver's transfer path must stay
 // at 0 allocs/op — the probe adds nil-checks and branches, never
 // allocation.
+//
+//dtn:allocfree the measured closure may not allocate
 func TestProbeArmedIdleZeroAlloc(t *testing.T) {
 	s := sim.New()
 	root := mathx.NewRand(1)

@@ -23,6 +23,8 @@
 // The Engine implements sim.FaultProbe; with no engine installed the
 // driver's hot path stays at one nil-check branch and 0 allocs/op
 // (mirroring the internal/obs nil-safe pattern).
+//
+//dtn:determinism
 package fault
 
 import (

@@ -3,6 +3,8 @@
 // rates, shortest opportunistic paths (Definition 1), hypoexponential
 // path weights (Eq. 2), and the probabilistic NCL selection metric C_i
 // (Eq. 3) with top-K central-node selection.
+//
+//dtn:determinism
 package graph
 
 import (

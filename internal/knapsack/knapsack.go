@@ -9,6 +9,8 @@
 // remainder. Algorithm 1 wraps the solver with per-item Bernoulli
 // acceptance so less-popular data keeps a non-negligible chance of
 // staying cached somewhere.
+//
+//dtn:determinism
 package knapsack
 
 import (

@@ -18,6 +18,8 @@ import (
 // counts merged contacts (one Handler.ContactStart per merged session),
 // while the offline Fig. 4 analysis counts raw contacts, exactly as the
 // seed code did.
+//
+//dtn:shared one Builder serves every scheme and sweep cell
 type Builder struct {
 	params   Params
 	contacts []trace.Contact

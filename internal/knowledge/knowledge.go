@@ -31,6 +31,8 @@
 // MetricWeight, Metrics — are safe for concurrent use and consumers
 // must never mutate a shared snapshot (see DESIGN.md "Knowledge
 // layer").
+//
+//dtn:determinism
 package knowledge
 
 import (

@@ -12,6 +12,8 @@ import (
 // writes only slots indexed by i, so worker scheduling cannot change
 // the built snapshot. Builds cannot fail, so unlike forEachCell there
 // is no error plumbing.
+//
+//dtn:workerpool WaitGroup-joined snapshot-build fan-out
 func forEachSource(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

@@ -30,6 +30,8 @@ const maxCached = 128
 // timing. With Epsilon > 0 a snapshot depends on its incremental base;
 // that approximate mode is deterministic only for a single consumer
 // requesting monotonically increasing times.
+//
+//dtn:shared the mutex-guarded snapshot cache crosses sweep cells
 type Provider struct {
 	builder *Builder
 

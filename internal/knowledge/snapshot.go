@@ -22,6 +22,8 @@ const memoLimit = 1 << 16
 // All methods are safe for concurrent use. Consumers must treat the
 // snapshot as read-only; in a comparison the same value is shared by
 // every scheme.
+//
+//dtn:immutable built once by Builder.Build, then shared read-only
 type Snapshot struct {
 	params  Params
 	version int
@@ -77,6 +79,8 @@ func (s *Snapshot) Metrics() []float64 {
 
 // MetricWeight returns the opportunistic path weight p_ab(T) at the
 // metric horizon, from the precomputed matrix.
+//
+//dtn:allocfree pure dense-matrix lookup on the scheme hot path
 func (s *Snapshot) MetricWeight(a, b trace.NodeID) float64 {
 	n := s.params.Nodes
 	if a < 0 || b < 0 || int(a) >= n || int(b) >= n {

@@ -2,6 +2,8 @@
 // successful ratio of queries, data access delay, and caching overhead
 // (average number of cached copies per data item) — plus the cache
 // replacement overhead used in Fig. 12(c) and transmission accounting.
+//
+//dtn:determinism
 package metrics
 
 import (

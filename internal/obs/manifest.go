@@ -16,6 +16,8 @@ import (
 // benchjson output, so recorded artifacts stay comparable across PRs
 // and machines. Every field is stable across repeated runs on one
 // checkout, preserving trace byte-identity.
+//
+//dtn:immutable stamped once by NewManifest, then serialized verbatim
 type Manifest struct {
 	// Trace names the contact trace (preset name or file path).
 	Trace string `json:"trace,omitempty"`

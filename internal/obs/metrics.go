@@ -18,6 +18,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//dtn:allocfree nil-safe increment on the per-event dispatch path
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -26,6 +28,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//dtn:allocfree
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -34,6 +38,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Value returns the current count (0 on nil).
+//
+//dtn:allocfree
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -47,6 +53,8 @@ type Gauge struct {
 }
 
 // Set stores the latest value.
+//
+//dtn:allocfree
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -55,6 +63,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Value returns the latest value (0 on nil).
+//
+//dtn:allocfree
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
@@ -93,6 +103,8 @@ func NewHistogram(bounds []float64) *Histogram {
 
 // Observe adds one sample: it lands in the first bucket whose upper
 // bound is >= v, or the overflow bucket.
+//
+//dtn:allocfree fixed-bucket walk, no per-sample allocation
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -14,6 +14,8 @@
 // across runs at a fixed seed; wall-clock readings are confined to the
 // phase timers, whose clock is injected by the CLI layer and whose
 // output never enters the trace.
+//
+//dtn:determinism
 package obs
 
 import "io"

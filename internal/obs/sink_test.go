@@ -117,6 +117,10 @@ func TestSampleSinkKeepsFirstLine(t *testing.T) {
 	pass.WriteLine([]byte("y"))
 }
 
+// TestSyncSinkSerializes hammers one SyncSink from eight goroutines to
+// prove the mutex keeps whole lines intact.
+//
+//dtn:workerpool WaitGroup-joined concurrency hammer
 func TestSyncSinkSerializes(t *testing.T) {
 	ring := NewRingSink(1000)
 	s := NewSyncSink(ring)

@@ -7,6 +7,8 @@
 // with an evaluation harness, both as a reusable substrate and as a
 // reference point for the delivery-ratio/overhead tradeoffs the caching
 // evaluation sits on.
+//
+//dtn:determinism
 package routing
 
 import (

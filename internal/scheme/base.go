@@ -117,6 +117,8 @@ func (b *Base) Stats(n trace.NodeID, id workload.DataID) buffer.RequestStats {
 }
 
 // searchQueryKey returns the insertion index of key k in qs.
+//
+//dtn:allocfree hand-rolled binary search, no sort.Search closure
 func searchQueryKey(qs []*QueryCarry, k queryKey) int {
 	lo, hi := 0, len(qs)
 	for lo < hi {
@@ -131,6 +133,8 @@ func searchQueryKey(qs []*QueryCarry, k queryKey) int {
 }
 
 // searchQueryID returns the index of the first copy with Q.ID >= id.
+//
+//dtn:allocfree
 func searchQueryID(qs []*QueryCarry, id workload.QueryID) int {
 	lo, hi := 0, len(qs)
 	for lo < hi {
@@ -145,6 +149,8 @@ func searchQueryID(qs []*QueryCarry, id workload.QueryID) int {
 }
 
 // searchReply returns the insertion index of query id in rs.
+//
+//dtn:allocfree
 func searchReply(rs []*ReplyCarry, id workload.QueryID) int {
 	lo, hi := 0, len(rs)
 	for lo < hi {
@@ -190,6 +196,8 @@ func (b *Base) DropQuery(n trace.NodeID, qc *QueryCarry) {
 
 // CarriesQueryKey reports whether node n carries this exact copy
 // (same query, same target).
+//
+//dtn:allocfree
 func (b *Base) CarriesQueryKey(n trace.NodeID, qc *QueryCarry) bool {
 	qs := b.queries[n]
 	i := searchQueryKey(qs, qc.key())
@@ -198,6 +206,8 @@ func (b *Base) CarriesQueryKey(n trace.NodeID, qc *QueryCarry) bool {
 
 // CarriesQueryID reports whether node n carries any copy of the query,
 // regardless of target.
+//
+//dtn:allocfree
 func (b *Base) CarriesQueryID(n trace.NodeID, id workload.QueryID) bool {
 	qs := b.queries[n]
 	i := searchQueryID(qs, id)
@@ -214,6 +224,8 @@ func (b *Base) Queries(n trace.NodeID) []*QueryCarry {
 // ForEachQuery visits node n's query copies in (query ID, target)
 // order without allocating. fn may drop the copy it is handed (and no
 // other) from n's store; additions to n must be deferred.
+//
+//dtn:allocfree
 func (b *Base) ForEachQuery(n trace.NodeID, fn func(qc *QueryCarry)) {
 	for i := 0; i < len(b.queries[n]); {
 		qc := b.queries[n][i]
@@ -255,6 +267,8 @@ func (b *Base) DropReply(n trace.NodeID, id workload.QueryID) {
 }
 
 // CarriesReply reports whether node n carries a reply for the query.
+//
+//dtn:allocfree
 func (b *Base) CarriesReply(n trace.NodeID, id workload.QueryID) bool {
 	rs := b.replies[n]
 	i := searchReply(rs, id)
@@ -270,6 +284,8 @@ func (b *Base) Replies(n trace.NodeID) []*ReplyCarry {
 
 // ForEachReply visits node n's reply copies in query-ID order without
 // allocating, under the same contract as ForEachQuery.
+//
+//dtn:allocfree
 func (b *Base) ForEachReply(n trace.NodeID, fn func(rc *ReplyCarry)) {
 	for i := 0; i < len(b.replies[n]); {
 		rc := b.replies[n][i]
@@ -282,10 +298,13 @@ func (b *Base) ForEachReply(n trace.NodeID, fn func(rc *ReplyCarry)) {
 
 // MarkResponded records that node n has made its one-shot response
 // decision for the query; it returns false if already decided.
+//
+//dtn:allocfree the bitset grows once per 64 query IDs, then stays flat
 func (b *Base) MarkResponded(n trace.NodeID, id workload.QueryID) bool {
 	w, bit := int(id)>>6, uint(id)&63
 	r := b.responded[n]
 	if w >= len(r) {
+		//lint:allow allocfree one-time bitset growth, amortized over 64 IDs
 		r = append(r, make([]uint64, w+1-len(r))...)
 		b.responded[n] = r
 	}

@@ -9,6 +9,8 @@
 // refreshed opportunistic-path knowledge, the workload schedule, and
 // metric collection. Schemes only implement reactions to data
 // generation, queries and contacts.
+//
+//dtn:determinism
 package scheme
 
 import (

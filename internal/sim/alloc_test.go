@@ -11,6 +11,8 @@ import (
 // steady-state Schedule+fire cycle must not allocate — the nil-counter
 // path is a single branch. This is the regression assertion behind
 // BenchmarkReplayDispatch's 0 allocs/op.
+//
+//dtn:allocfree the measured closures may not allocate
 func TestDispatchZeroAlloc(t *testing.T) {
 	s := New()
 	count := 0
@@ -30,6 +32,8 @@ func TestDispatchZeroAlloc(t *testing.T) {
 // TestDispatchZeroAllocWithRecorder asserts the enabled path stays
 // allocation-free too: counters are cached at SetRecorder time, so the
 // per-event cost is an atomic add, never a lookup or boxing.
+//
+//dtn:allocfree the measured closures may not allocate
 func TestDispatchZeroAllocWithRecorder(t *testing.T) {
 	s := New()
 	rec := obs.NewRecorder(nil)
@@ -55,6 +59,8 @@ func TestDispatchZeroAllocWithRecorder(t *testing.T) {
 // tick closure, with or without the tick counter attached, so advancing
 // through ticks allocates nothing. (RunUntil, not Run: the ticker
 // reschedules itself forever.)
+//
+//dtn:allocfree the measured closures may not allocate
 func TestEveryTickZeroAlloc(t *testing.T) {
 	for _, tc := range []struct {
 		name string

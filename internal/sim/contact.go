@@ -68,6 +68,8 @@ func (s *Session) SentBits() float64 { return s.sentBits }
 
 // Enqueue schedules a transfer on this contact. It returns false if the
 // session has already closed or the endpoints do not match the contact.
+//
+//dtn:allocfree steady state reuses the queue's backing array
 func (s *Session) Enqueue(t Transfer) bool {
 	if s.closed {
 		return false
@@ -78,6 +80,7 @@ func (s *Session) Enqueue(t Transfer) bool {
 	if t.Bits < 0 {
 		return false
 	}
+	//lint:allow allocfree amortized growth: the queue rewinds and reuses its array
 	s.queue = append(s.queue, t)
 	if !s.busy {
 		s.startNext()
@@ -89,6 +92,8 @@ func (s *Session) Enqueue(t Transfer) bool {
 // The fit check happens in place — an unfitting head stays queued (it
 // will be reported dropped when the contact closes, and everything
 // behind it in the FIFO cannot fit either), so no re-prepend copy.
+//
+//dtn:allocfree part of the armed-idle fault probe path
 func (s *Session) startNext() {
 	if s.head >= len(s.queue) {
 		return
@@ -120,6 +125,8 @@ func (s *Session) startNext() {
 
 // finishTransfer completes the in-flight transfer; scheduled as the
 // session's reusable onDone callback.
+//
+//dtn:allocfree per-transfer completion on the contact hot path
 func (s *Session) finishTransfer() {
 	d := s.driver
 	s.busy = false
@@ -188,7 +195,10 @@ func WithBandwidth(bitsPerSec float64) DriverOption {
 }
 
 // WithDropProb enables failure injection: each transfer independently
-// fails with probability p even if it fits in the contact.
+// fails with probability p even if it fits in the contact. The driver
+// takes ownership of the stream and draws from it on every transfer.
+//
+//dtn:rngboundary pass a freshly derived stream, never a shared alias
 func WithDropProb(p float64, rng *mathx.Rand) DriverOption {
 	return func(d *Driver) { d.dropProb = p; d.rng = rng }
 }

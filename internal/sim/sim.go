@@ -6,6 +6,8 @@
 //
 // The engine is single-goroutine and fully deterministic: events firing
 // at the same virtual time are processed in scheduling order.
+//
+//dtn:determinism
 package sim
 
 import (
@@ -37,6 +39,7 @@ type event struct {
 // copies within one cache-friendly array.
 type eventHeap []event
 
+//dtn:allocfree
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
@@ -44,7 +47,9 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//dtn:allocfree steady state reuses the pooled backing array
 func (h *eventHeap) push(e event) {
+	//lint:allow allocfree amortized growth: the backing array is the event pool
 	*h = append(*h, e)
 	q := *h
 	// Sift up.
@@ -58,6 +63,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//dtn:allocfree
 func (h *eventHeap) pop() event {
 	q := *h
 	n := len(q) - 1
@@ -133,11 +139,20 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // virtual time.
 var ErrPast = errors.New("sim: cannot schedule event in the past")
 
+// pastErr builds the ErrPast error for a rejected timestamp. Kept out
+// of Schedule so the scheduling fast path stays allocation-free — the
+// fmt.Errorf only runs (and allocates) on the failure path.
+func (s *Simulator) pastErr(at Time) error {
+	return fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now)
+}
+
 // Schedule runs fn at virtual time at. Events at equal times run in
 // scheduling order.
+//
+//dtn:allocfree the hot scheduling path; error construction is hoisted
 func (s *Simulator) Schedule(at Time, fn func()) error {
 	if at < s.now {
-		return fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now)
+		return s.pastErr(at)
 	}
 	s.seq++
 	s.queue.push(event{at: at, seq: s.seq, fn: fn})
@@ -145,6 +160,8 @@ func (s *Simulator) Schedule(at Time, fn func()) error {
 }
 
 // After runs fn d seconds from now; d must be non-negative.
+//
+//dtn:allocfree
 func (s *Simulator) After(d float64, fn func()) error {
 	return s.Schedule(s.now+d, fn)
 }
@@ -205,6 +222,8 @@ func (s *Simulator) RunUntil(t Time) int {
 // reset the stopped flag on entry — a Stop requested before the run
 // must not be lost — and consumes the flag on exit so one Stop stops
 // exactly one run.
+//
+//dtn:allocfree the per-event dispatch loop (TestDispatchZeroAlloc)
 func (s *Simulator) run(t Time, bounded bool) (n int, stopped bool) {
 	for len(s.queue) > 0 && !s.stopped {
 		if bounded && s.queue[0].at > t {

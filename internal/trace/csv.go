@@ -34,7 +34,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			parseHeader(t, line)
+			t = parseHeader(t, line)
 			continue
 		}
 		fields := strings.Split(line, ",")

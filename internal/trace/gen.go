@@ -181,7 +181,7 @@ func Generate(cfg GenConfig) (*Trace, [][]float64, error) {
 			if lambda <= 0 {
 				continue
 			}
-			appendPairContacts(tr, cfg, contactRng, NodeID(i), NodeID(j), lambda)
+			tr.Contacts = appendPairContacts(tr.Contacts, cfg, contactRng, NodeID(i), NodeID(j), lambda)
 		}
 	}
 	tr.SortContacts()
@@ -285,10 +285,12 @@ func pairWeight(cfg GenConfig, activity []float64, community []int, i, j int) fl
 }
 
 // appendPairContacts simulates the (possibly diurnally modulated)
-// Poisson contact process of one pair via thinning. Contact durations
-// are Granularity + Exp(mean 2*Granularity), truncated at the trace end;
-// a following contact never overlaps the previous one.
-func appendPairContacts(tr *Trace, cfg GenConfig, rng *mathx.Rand, a, b NodeID, lambda float64) {
+// Poisson contact process of one pair via thinning and appends the
+// resulting contacts, returning the grown slice like the append
+// builtin. Contact durations are Granularity + Exp(mean
+// 2*Granularity), truncated at the trace end; a following contact
+// never overlaps the previous one.
+func appendPairContacts(contacts []Contact, cfg GenConfig, rng *mathx.Rand, a, b NodeID, lambda float64) []Contact {
 	// Thinning: draw candidates at the peak rate and accept with the
 	// time-of-day intensity; scaling by the mean intensity keeps the
 	// expected total calibrated.
@@ -309,7 +311,7 @@ func appendPairContacts(tr *Trace, cfg GenConfig, rng *mathx.Rand, a, b NodeID, 
 			end = cfg.DurationSec
 		}
 		if end > t {
-			tr.Contacts = append(tr.Contacts, Contact{A: a, B: b, Start: t, End: end})
+			contacts = append(contacts, Contact{A: a, B: b, Start: t, End: end})
 		}
 		next := t + rng.Exp(peak)
 		if next <= end {
@@ -317,6 +319,7 @@ func appendPairContacts(tr *Trace, cfg GenConfig, rng *mathx.Rand, a, b NodeID, 
 		}
 		t = next
 	}
+	return contacts
 }
 
 // diurnalIntensity is the acceptance probability of a candidate contact

@@ -53,7 +53,7 @@ func Read(r io.Reader) (*Trace, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			parseHeader(t, line)
+			t = parseHeader(t, line)
 			continue
 		}
 		c, err := parseContact(t.Nodes, lineNo, strings.Fields(line))
@@ -137,11 +137,14 @@ func finishTrace(t *Trace, maxNode int, maxEnd float64) (*Trace, error) {
 	return t, nil
 }
 
-func parseHeader(t *Trace, line string) {
+// parseHeader folds one "# key: value" metadata comment into the trace
+// under construction and returns it — part of the reader constructors,
+// so it builds-and-returns the value like they do.
+func parseHeader(t *Trace, line string) *Trace {
 	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
 	key, val, ok := strings.Cut(body, ":")
 	if !ok {
-		return
+		return t
 	}
 	key = strings.TrimSpace(key)
 	val = strings.TrimSpace(val)
@@ -161,4 +164,5 @@ func parseHeader(t *Trace, line string) {
 			t.Granularity = g
 		}
 	}
+	return t
 }

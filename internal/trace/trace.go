@@ -9,6 +9,8 @@
 // graph, simulator, caching schemes) consumes only the Contact events
 // defined here, so a real trace file and a synthetic trace are fully
 // interchangeable.
+//
+//dtn:determinism
 package trace
 
 import (
@@ -50,7 +52,13 @@ func (c Contact) Peer(n NodeID) NodeID {
 	}
 }
 
-// Trace is a complete contact trace.
+// Trace is a complete contact trace. Once a reader or generator has
+// returned it, the contact set is frozen: the replay engine, the
+// knowledge pipeline, and every scheme share one Trace value across
+// sweep cells, so post-construction mutation would corrupt a whole
+// sweep.
+//
+//dtn:immutable built by the readers/generators, then shared read-only
 type Trace struct {
 	// Name labels the trace in reports ("Infocom06", "MIT Reality", ...).
 	Name string
@@ -123,6 +131,7 @@ func (t *Trace) Validate() error {
 func (t *Trace) SortContacts() {
 	for i := range t.Contacts {
 		if t.Contacts[i].A > t.Contacts[i].B {
+			//lint:allow immutable SortContacts is the normalization tail of every constructor
 			t.Contacts[i].A, t.Contacts[i].B = t.Contacts[i].B, t.Contacts[i].A
 		}
 	}

@@ -45,14 +45,14 @@ func TestValidateRejections(t *testing.T) {
 		mutate func(*Trace)
 		want   error
 	}{
-		{"no nodes", func(tr *Trace) { tr.Nodes = 0 }, ErrNoNodes},
-		{"self contact", func(tr *Trace) { tr.Contacts[0].B = 0 }, ErrSelfContact},
-		{"unknown node", func(tr *Trace) { tr.Contacts[0].B = 9 }, ErrUnknownNode},
-		{"negative node", func(tr *Trace) { tr.Contacts[0].A = -1 }, ErrUnknownNode},
-		{"negative time", func(tr *Trace) { tr.Contacts[0].Start = -5 }, ErrNegativeTime},
-		{"bad interval", func(tr *Trace) { tr.Contacts[0].End = tr.Contacts[0].Start }, ErrBadInterval},
-		{"out of bounds", func(tr *Trace) { tr.Contacts[2].End = 5000 }, ErrOutOfBounds},
-		{"unsorted", func(tr *Trace) { tr.Contacts[0].Start = 500; tr.Contacts[0].End = 600 }, ErrUnsorted},
+		{"no nodes", func(tr *Trace) { tr.Nodes = 0 }, ErrNoNodes},                                          //lint:allow immutable corrupt the node count to exercise Validate
+		{"self contact", func(tr *Trace) { tr.Contacts[0].B = 0 }, ErrSelfContact},                          //lint:allow immutable forge a self contact to exercise Validate
+		{"unknown node", func(tr *Trace) { tr.Contacts[0].B = 9 }, ErrUnknownNode},                          //lint:allow immutable point at a missing node to exercise Validate
+		{"negative node", func(tr *Trace) { tr.Contacts[0].A = -1 }, ErrUnknownNode},                        //lint:allow immutable negative endpoint to exercise Validate
+		{"negative time", func(tr *Trace) { tr.Contacts[0].Start = -5 }, ErrNegativeTime},                   //lint:allow immutable rewind before zero to exercise Validate
+		{"bad interval", func(tr *Trace) { tr.Contacts[0].End = tr.Contacts[0].Start }, ErrBadInterval},     //lint:allow immutable collapse the interval to exercise Validate
+		{"out of bounds", func(tr *Trace) { tr.Contacts[2].End = 5000 }, ErrOutOfBounds},                    //lint:allow immutable overrun the duration to exercise Validate
+		{"unsorted", func(tr *Trace) { tr.Contacts[0].Start = 500; tr.Contacts[0].End = 600 }, ErrUnsorted}, //lint:allow immutable break the sort order to exercise Validate
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -12,6 +12,8 @@
 // Because generation is independent of the protocols under test, the
 // whole workload is materialized up front, which makes runs over
 // different caching schemes use byte-identical inputs.
+//
+//dtn:determinism
 package workload
 
 import (

@@ -2,7 +2,9 @@
 # Tier-2 pre-merge gate: everything the determinism contract depends on.
 #
 #   go vet            — stock correctness vet
-#   dtnlint           — the determinism lint suite (see DESIGN.md)
+#   dtnlint           — the determinism + concurrency-readiness lint
+#                       suite (see DESIGN.md "Static analysis"),
+#                       including the stale //lint:allow sweep
 #   go test -race     — full test suite with the race detector, which
 #                       also exercises the parallel-sweep determinism
 #                       regression test under racing workers
@@ -20,15 +22,30 @@ go vet ./...
 echo "== dtnlint ./..."
 go run ./cmd/dtnlint ./...
 
-# The knowledge layer's parallel snapshot builder and the pooled
-# zero-allocation core (event heap, slice-backed node stores, dense
-# metrics records) are the determinism-sensitive code paths; lint them
-# explicitly (with in-package tests) so a scope regression in the
-# analyzer list cannot hide them.
-echo "== dtnlint -tests (determinism-sensitive packages)"
-go run ./cmd/dtnlint -tests ./internal/knowledge ./internal/sim \
-    ./internal/scheme ./internal/core ./internal/buffer ./internal/metrics \
-    ./internal/obs ./internal/fault
+# The determinism-sensitive packages declare themselves with a
+# //dtn:determinism package-doc marker; discover the set from the
+# markers instead of hand-maintaining a list here (the marker set is
+# itself pinned to analysis.DeterministicPackages by
+# TestDeterminismMarkerMatchesScope, so neither can drift silently).
+# Lint them explicitly with in-package tests so a scope regression in
+# the analyzer list cannot hide them.
+echo "== dtnlint -tests (determinism-sensitive packages, marker-discovered)"
+mapfile -t det_pkgs < <(grep -rl --include='*.go' --exclude='*_test.go' \
+    '^//dtn:determinism\( \|$\)' internal | xargs -r -n1 dirname | sort -u | sed 's|^|./|')
+if [[ ${#det_pkgs[@]} -eq 0 ]]; then
+    echo "check: no //dtn:determinism packages discovered" >&2
+    exit 1
+fi
+if ! printf '%s\n' "${det_pkgs[@]}" | grep -qx './internal/sim'; then
+    echo "check: marker discovery missed ./internal/sim" >&2
+    exit 1
+fi
+go run ./cmd/dtnlint -tests "${det_pkgs[@]}"
+
+# Stale-suppression sweep: a //lint:allow whose violation is gone must
+# be deleted, or dead directives accumulate and hide future findings.
+echo "== dtnlint -tests -stale-allows ./..."
+make --no-print-directory lint-fix-check
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -42,7 +59,7 @@ go test -race -count=1 ./internal/fault/...
 
 echo "== fuzz seed corpora (short mode)"
 go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim \
-    ./internal/obs
+    ./internal/obs ./internal/analysis
 
 # Run-trace byte identity: record the same Infocom05 run twice and
 # require identical bytes — the determinism guarantee DESIGN.md's
@@ -90,6 +107,8 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/knapsack FuzzProbabilisticSelect"
         "./internal/sim FuzzEventHeapOrdering"
         "./internal/obs FuzzEncodeEvent"
+        "./internal/analysis FuzzParseMarker"
+        "./internal/analysis FuzzParseAllow"
     )
     for entry in "${targets[@]}"; do
         read -r pkg fn <<<"$entry"
