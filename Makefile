@@ -3,9 +3,9 @@
 # scripts/check.sh and DESIGN.md "Determinism contract").
 
 GO ?= go
-CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson obsdump
+CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson obsdump dtnserved dtnload
 
-.PHONY: build test check smoke fuzz lint lint-fix-check bench bench-compare clean
+.PHONY: build test check smoke serve-smoke fuzz lint lint-fix-check bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ smoke:
 		./bin/$$c --help >/dev/null 2>&1 || { echo "smoke: $$c --help failed"; exit 1; }; \
 		echo "smoke: $$c ok"; \
 	done
+
+# End-to-end service gate: dtnserved on an ephemeral port driven by
+# dtnload — live publish/query with exact /metrics bookkeeping, then a
+# batch replay whose /report must byte-match dtnsim -report-json.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The full benchmark suite, shared by bench and bench-compare: the
 # pooled event-loop microbenchmarks (internal/sim), the end-to-end

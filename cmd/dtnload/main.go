@@ -1,0 +1,361 @@
+// Command dtnload drives a dtnserved instance: it publishes a batch of
+// data items, issues Zipf-distributed queries against them at a
+// configurable rate from concurrent workers, and then verifies the
+// server's books — the /metrics counter totals must match the
+// generator's own counts exactly and /healthz must be green.
+//
+// Usage:
+//
+//	dtnload -addr http://127.0.0.1:8080 -publish 16 -queries 10000 -qps 500
+//	dtnload -addr-file /tmp/dtnserved.addr -queries 0 -advance-end -report-out rep.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtncache/internal/mathx"
+)
+
+func main() {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed; --help is a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtnload", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "", "server base URL (e.g. http://127.0.0.1:8080)")
+		addrFile     = fs.String("addr-file", "", "read the server address from this `file` (written by dtnserved -addr-file)")
+		publishN     = fs.Int("publish", 16, "number of data items to publish before querying")
+		queriesN     = fs.Int("queries", 10000, "total number of queries to issue")
+		qps          = fs.Float64("qps", 0, "target queries per second (0 = as fast as possible)")
+		workers      = fs.Int("workers", 4, "concurrent query workers")
+		zipfS        = fs.Float64("zipf", 1, "Zipf exponent over the published items")
+		seed         = fs.Int64("seed", 1, "random seed for requester and rank draws")
+		lifetime     = fs.Duration("lifetime", 0, "published data lifetime (0 = server default T_L)")
+		constraint   = fs.Duration("constraint", 0, "query time constraint (0 = server default T_L/2)")
+		advanceBy    = fs.Float64("advance-by", 0, "advance virtual time by this many seconds after every -advance-every queries")
+		advanceEvery = fs.Int("advance-every", 100, "queries between -advance-by virtual-time advances")
+		advanceEnd   = fs.Bool("advance-end", false, "advance virtual time to the trace end after the load completes")
+		reportOut    = fs.String("report-out", "", "fetch /report after the run and write its bytes to this `file` ('-' for stdout)")
+		verify       = fs.Bool("verify", true, "fail unless /metrics totals match the generator counts and /healthz is green")
+		timeout      = fs.Duration("timeout", 5*time.Minute, "per-request timeout (advances serialize behind the engine and can be slow)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := resolveAddr(*addr, *addrFile)
+	if err != nil {
+		return err
+	}
+	c := &client{
+		base: base,
+		http: &http.Client{
+			Timeout:   *timeout,
+			Transport: &http.Transport{MaxIdleConnsPerHost: *workers + 2},
+		},
+	}
+
+	// The trace shape comes from the server: node count bounds the
+	// requester draws, duration bounds the advances.
+	var status struct {
+		Nodes       int     `json:"nodes"`
+		DurationSec float64 `json:"duration_sec"`
+		Trace       string  `json:"trace"`
+		Scheme      string  `json:"scheme"`
+	}
+	if err := c.getJSON("/v1/status", &status); err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "dtnload: %s on %s, %d nodes, %.0fs trace\n",
+		status.Scheme, status.Trace, status.Nodes, status.DurationSec)
+
+	// Publish phase: items come from round-robin sources so the NCL
+	// push load spreads; IDs are dense in publish order.
+	pubRng := mathx.NewRand(*seed).Derive("publish")
+	dataIDs := make([]int, 0, *publishN)
+	for i := 0; i < *publishN; i++ {
+		body := map[string]any{"source": pubRng.Intn(status.Nodes)}
+		if *lifetime > 0 {
+			body["lifetime_sec"] = lifetime.Seconds()
+		}
+		var resp struct {
+			DataID int `json:"data_id"`
+		}
+		if err := c.postJSON("/v1/publish", body, &resp); err != nil {
+			return fmt.Errorf("publish %d: %w", i, err)
+		}
+		dataIDs = append(dataIDs, resp.DataID)
+	}
+
+	// Query phase: a producer paces job tokens at -qps, workers draw a
+	// requester and a Zipf rank per token and post the query. issued
+	// counts only queries the server reports as entering the network
+	// (requesters already holding the data are served locally).
+	var issued, sent atomic.Int64
+	if *queriesN > 0 {
+		if len(dataIDs) == 0 {
+			return errors.New("cannot query: no data published (set -publish > 0)")
+		}
+		zipf, err := mathx.NewZipf(len(dataIDs), *zipfS)
+		if err != nil {
+			return err
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		errCh := make(chan error, *workers)
+		for wi := 0; wi < *workers; wi++ {
+			wg.Add(1)
+			//dtn:workerpool query workers, joined by wg.Wait below
+			go func(wi int) {
+				defer wg.Done()
+				rng := mathx.NewRand(*seed).Derive("worker-" + strconv.Itoa(wi))
+				for range jobs {
+					body := map[string]any{
+						"requester": rng.Intn(status.Nodes),
+						"data":      dataIDs[zipf.Sample(rng)-1],
+					}
+					if *constraint > 0 {
+						body["constraint_sec"] = constraint.Seconds()
+					}
+					var resp struct {
+						Issued bool `json:"issued"`
+					}
+					if err := c.postJSON("/v1/query", body, &resp); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+					if resp.Issued {
+						issued.Add(1)
+					}
+					n := sent.Add(1)
+					if *advanceBy > 0 && n%int64(*advanceEvery) == 0 {
+						if err := c.advance(0, *advanceBy); err != nil {
+							select {
+							case errCh <- err:
+							default:
+							}
+							return
+						}
+					}
+				}
+			}(wi)
+		}
+		// The producer must not block on jobs forever if every worker has
+		// died on an error — select against the pool's own completion.
+		poolDone := make(chan struct{})
+		//dtn:workerpool join watcher, joined via poolDone receive below
+		go func() {
+			wg.Wait()
+			close(poolDone)
+		}()
+		var interval time.Duration
+		if *qps > 0 {
+			interval = time.Duration(float64(time.Second) / *qps)
+		}
+		start := time.Now()
+	produce:
+		for i := 0; i < *queriesN; i++ {
+			if interval > 0 {
+				if sleep := start.Add(time.Duration(i) * interval).Sub(time.Now()); sleep > 0 {
+					time.Sleep(sleep)
+				}
+			}
+			select {
+			case jobs <- i:
+			case <-poolDone:
+				break produce
+			}
+		}
+		close(jobs)
+		<-poolDone
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return fmt.Errorf("query worker: %w", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "dtnload: %d queries (%d issued) in %s (%.0f q/s)\n",
+			sent.Load(), issued.Load(), elapsed.Round(time.Millisecond),
+			float64(sent.Load())/elapsed.Seconds())
+	}
+
+	if *advanceEnd {
+		if err := c.advance(status.DurationSec, 0); err != nil {
+			return fmt.Errorf("advance to end: %w", err)
+		}
+	}
+
+	if *reportOut != "" {
+		raw, err := c.getRaw("/report")
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		if *reportOut == "-" {
+			_, err = os.Stdout.Write(raw)
+		} else {
+			err = os.WriteFile(*reportOut, raw, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if *verify {
+		if err := c.verifyBooks(issued.Load()); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "dtnload: verification passed")
+	}
+	return nil
+}
+
+// resolveAddr picks the server base URL from -addr or -addr-file.
+func resolveAddr(addr, addrFile string) (string, error) {
+	if addr != "" {
+		return strings.TrimRight(addr, "/"), nil
+	}
+	if addrFile == "" {
+		return "", errors.New("one of -addr or -addr-file is required")
+	}
+	b, err := os.ReadFile(addrFile)
+	if err != nil {
+		return "", err
+	}
+	return "http://" + strings.TrimSpace(string(b)), nil
+}
+
+// client is a minimal JSON client for the dtnserved API.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) getRaw(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+func (c *client) getJSON(path string, out any) error {
+	b, err := c.getRaw(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+func (c *client) postJSON(path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+// advance moves virtual time: to an absolute timestamp (to > 0) or by a
+// relative delta.
+func (c *client) advance(to, by float64) error {
+	body := map[string]any{}
+	if to > 0 {
+		body["to_sec"] = to
+	} else {
+		body["by_sec"] = by
+	}
+	return c.postJSON("/v1/advance", body, nil)
+}
+
+// verifyBooks cross-checks the server against the generator: the
+// dtn_query_issued_total counter and the /report QueriesIssued field
+// must equal the number of queries the server acknowledged as issued,
+// and the invariant checker behind /healthz must be green.
+func (c *client) verifyBooks(wantIssued int64) error {
+	metrics, err := c.getRaw("/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	gotIssued, ok := promValue(metrics, "dtn_query_issued_total")
+	if !ok && wantIssued > 0 {
+		return errors.New("verify: dtn_query_issued_total missing from /metrics")
+	}
+	if ok && gotIssued != wantIssued {
+		return fmt.Errorf("verify: dtn_query_issued_total = %d, generator issued %d", gotIssued, wantIssued)
+	}
+	var rep struct {
+		QueriesIssued int64
+	}
+	if err := c.getJSON("/report", &rep); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if rep.QueriesIssued != wantIssued {
+		return fmt.Errorf("verify: report QueriesIssued = %d, generator issued %d", rep.QueriesIssued, wantIssued)
+	}
+	if _, err := c.getRaw("/healthz"); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	return nil
+}
+
+// promValue extracts the integer value of a Prometheus sample line
+// ("name value") from a text exposition body.
+func promValue(body []byte, name string) (int64, bool) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,182 @@
+// Command dtnserved serves one simulation engine over HTTP/JSON: the
+// contact trace is replayed in (rate-scalable) real time — or advanced
+// manually through the API — while clients publish data and issue
+// queries against the live cache network.
+//
+// Usage:
+//
+//	dtnserved -trace Infocom05 -rate 3600 &          # 1h virtual per wall second
+//	curl -s -X POST localhost:8080/v1/publish -d '{"source":3}'
+//	curl -s -X POST localhost:8080/v1/query -d '{"requester":7,"data":0}'
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /v1/publish, /v1/query, /v1/advance; GET /v1/status,
+// /v1/satisfied?id=N, /report (bare report JSON, the dtnsim -report-json
+// encoding), /metrics (Prometheus text, byte-deterministic), /healthz
+// (invariant-checker gate). SIGTERM/SIGINT shut the server down
+// gracefully and flush the run-trace sink.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dtncache/internal/cli"
+	"dtncache/internal/engine"
+	"dtncache/internal/obs"
+)
+
+func main() {
+	err := run(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return // usage already printed; --help is a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dtnserved", flag.ContinueOnError)
+	var (
+		tf         = cli.AddTraceFlags(fs)
+		schemeName = fs.String("scheme", engine.SchemeIntentional, "scheme: "+strings.Join(append(engine.SchemeNames(), engine.ReplacementNames()[1:]...), ", "))
+		ef         = cli.AddEngineFlags(fs)
+		ff         = cli.AddFaultFlags(fs)
+		of         = cli.AddObsFlags(fs)
+		listen     = fs.String("listen", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this `file` once listening")
+		rate       = fs.Float64("rate", 0, "real-time replay rate: virtual seconds advanced per wall second (0 = manual pacing via POST /v1/advance)")
+		live       = fs.Bool("live", true, "live workload: data and queries enter only through the API (false replays the generated batch workload)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rec, ring, err := of.NewRecorder()
+	if err != nil {
+		return err
+	}
+	if rec == nil {
+		// /metrics and /healthz always need the counter registry, even
+		// when no trace sink was requested.
+		rec = obs.NewRecorder(nil, obs.WithPhases(obs.NewPhases(cli.WallClock)))
+	}
+
+	doneLoad := rec.Phase("trace-load")
+	tr, err := tf.Load(*ef.Seed)
+	doneLoad()
+	if err != nil {
+		return err
+	}
+	cfg, err := ef.Config(tr, ff.Config(tr.Duration), rec)
+	if err != nil {
+		return err
+	}
+	cfg.Scheme = *schemeName
+	cfg.Live = *live
+	manifest := obs.NewManifest(tr.Name, *schemeName, *ef.Seed, cli.Digestable(cfg))
+	if ring == nil {
+		rec.Manifest(manifest)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(eng, rec.Registry())
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dtnserved: %s on %s, listening on %s (rate %g, live %v)\n",
+		*schemeName, tr.Name, ln.Addr(), *rate, *live)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	if *rate > 0 {
+		go pace(ctx, eng, *rate)
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	// Final flush: dump the flight-recorder ring if one was kept, close
+	// the engine (which closes the recorder's trace sink), and print the
+	// observability summary.
+	if ring != nil && *of.TraceOut != "" {
+		w, werr := cli.OpenTraceOut(*of.TraceOut)
+		if werr != nil {
+			return werr
+		}
+		if werr = cli.DumpRing(w, manifest, ring); werr != nil {
+			return werr
+		}
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	if *of.Summary {
+		_ = manifest.WriteSummary(os.Stderr)
+		_ = rec.WriteSummary(os.Stderr)
+	}
+	fmt.Fprintln(os.Stderr, "dtnserved: shut down cleanly")
+	return nil
+}
+
+// pace advances virtual time against the wall clock: rate virtual
+// seconds per elapsed wall second, capped at the trace end. The engine
+// serializes Advance against concurrent API calls, so the pacer is just
+// another client.
+func pace(ctx context.Context, eng *engine.Engine, rate float64) {
+	start := time.Now()
+	base := eng.Now()
+	end := eng.Duration()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			target := base + rate*time.Since(start).Seconds()
+			if target > end {
+				target = end
+			}
+			if _, err := eng.Advance(target); err != nil {
+				return // engine closed
+			}
+			if target >= end {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dtncache/internal/engine"
+	"dtncache/internal/metrics"
+	"dtncache/internal/obs"
+	"dtncache/internal/trace"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	tr, err := trace.GeneratePreset(trace.Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	eng, err := engine.New(engine.Config{Trace: tr, Live: true, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return newServer(eng, rec.Registry())
+}
+
+func do(s *server, method, target, body string) *httptest.ResponseRecorder {
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// TestHandlers drives every endpoint through one live server in
+// sequence — IDs are dense, the clock starts at 0 — and pins the exact
+// response bytes wherever they are deterministic, including the
+// malformed-body and wrong-method error paths.
+func TestHandlers(t *testing.T) {
+	s := newTestServer(t)
+	steps := []struct {
+		name       string
+		method     string
+		target     string
+		body       string
+		wantStatus int
+		wantBody   string // exact bytes when set
+	}{
+		{
+			name: "publish wrong method", method: "GET", target: "/v1/publish",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method GET not allowed\"\n}\n",
+		},
+		{
+			name: "publish malformed body", method: "POST", target: "/v1/publish",
+			body:       "{not json",
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"malformed JSON body\"\n}\n",
+		},
+		{
+			name: "publish unknown field", method: "POST", target: "/v1/publish",
+			body:       `{"sauce": 3}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"malformed JSON body\"\n}\n",
+		},
+		{
+			name: "publish trailing garbage", method: "POST", target: "/v1/publish",
+			body:       `{"source": 3} {"source": 4}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"trailing data after JSON body\"\n}\n",
+		},
+		{
+			name: "publish bad source", method: "POST", target: "/v1/publish",
+			body:       `{"source": -1}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"scheme: source node -1 outside [0,41)\"\n}\n",
+		},
+		{
+			name: "publish ok", method: "POST", target: "/v1/publish",
+			body:       `{"source": 3}`,
+			wantStatus: 200,
+			wantBody: "{\n  \"data_id\": 0,\n  \"source\": 3,\n  \"size_bits\": 100000000,\n" +
+				"  \"created_sec\": 0,\n  \"expires_sec\": 604800\n}\n",
+		},
+		{
+			name: "query wrong method", method: "GET", target: "/v1/query",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method GET not allowed\"\n}\n",
+		},
+		{
+			name: "query malformed body", method: "POST", target: "/v1/query",
+			body:       `[1,2]`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"malformed JSON body\"\n}\n",
+		},
+		{
+			name: "query unknown data", method: "POST", target: "/v1/query",
+			body:       `{"requester": 1, "data": 7}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"scheme: unknown data ID 7\"\n}\n",
+		},
+		{
+			name: "query ok", method: "POST", target: "/v1/query",
+			body:       `{"requester": 2, "data": 0}`,
+			wantStatus: 200,
+			wantBody: "{\n  \"query_id\": 0,\n  \"requester\": 2,\n  \"data\": 0,\n" +
+				"  \"issued\": true,\n  \"issued_sec\": 0,\n  \"deadline_sec\": 302400\n}\n",
+		},
+		{
+			name: "advance wrong method", method: "GET", target: "/v1/advance",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method GET not allowed\"\n}\n",
+		},
+		{
+			name: "advance malformed body", method: "POST", target: "/v1/advance",
+			body:       `nope`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"malformed JSON body\"\n}\n",
+		},
+		{
+			name: "advance no target", method: "POST", target: "/v1/advance",
+			body:       `{}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"exactly one of to_sec or by_sec must be positive\"\n}\n",
+		},
+		{
+			name: "advance both targets", method: "POST", target: "/v1/advance",
+			body:       `{"to_sec": 10, "by_sec": 10}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"exactly one of to_sec or by_sec must be positive\"\n}\n",
+		},
+		{
+			name: "satisfied missing id", method: "GET", target: "/v1/satisfied",
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"missing or non-integer id parameter\"\n}\n",
+		},
+		{
+			name: "satisfied ok", method: "GET", target: "/v1/satisfied?id=0",
+			wantStatus: 200,
+			wantBody:   "{\n  \"query_id\": 0,\n  \"satisfied\": false\n}\n",
+		},
+		{
+			name: "satisfied wrong method", method: "POST", target: "/v1/satisfied?id=0",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method POST not allowed\"\n}\n",
+		},
+		{
+			name: "status ok", method: "GET", target: "/v1/status",
+			wantStatus: 200,
+			wantBody: "{\n  \"trace\": \"Infocom05\",\n  \"scheme\": \"Intentional\",\n" +
+				"  \"nodes\": 41,\n  \"live\": true,\n  \"now_sec\": 0,\n" +
+				"  \"duration_sec\": 259200,\n  \"pending\": 19880,\n  \"processed\": 0\n}\n",
+		},
+		{
+			name: "status wrong method", method: "DELETE", target: "/v1/status",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method DELETE not allowed\"\n}\n",
+		},
+		{
+			name: "healthz ok", method: "GET", target: "/healthz",
+			wantStatus: 200,
+			wantBody:   "{\n  \"status\": \"ok\",\n  \"now_sec\": 0\n}\n",
+		},
+		{
+			name: "metrics wrong method", method: "POST", target: "/metrics",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method POST not allowed\"\n}\n",
+		},
+		{
+			name: "report wrong method", method: "PUT", target: "/report",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method PUT not allowed\"\n}\n",
+		},
+		{
+			name: "unknown path", method: "GET", target: "/nope",
+			wantStatus: 404,
+		},
+	}
+	for _, st := range steps {
+		w := do(s, st.method, st.target, st.body)
+		if w.Code != st.wantStatus {
+			t.Errorf("%s: status %d, want %d (body %q)", st.name, w.Code, st.wantStatus, w.Body.String())
+			continue
+		}
+		if st.wantBody != "" && w.Body.String() != st.wantBody {
+			t.Errorf("%s: body mismatch\ngot:  %q\nwant: %q", st.name, w.Body.String(), st.wantBody)
+		}
+	}
+}
+
+// The status golden above pins pending/processed counts for the fresh
+// Infocom05 engine; if the trace generator or scheduling changes those
+// legitimately, TestHandlers will point here.
+
+func TestReportEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.eng.Publish(engine.PublishSpec{Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Query(engine.QuerySpec{Requester: 4, Data: 0}); err != nil {
+		t.Fatal(err)
+	}
+	w := do(s, "GET", "/report", "")
+	if w.Code != 200 {
+		t.Fatalf("report status %d", w.Code)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueriesIssued != 1 {
+		t.Errorf("report QueriesIssued = %d, want 1", rep.QueriesIssued)
+	}
+	// The endpoint is byte-deterministic for a fixed engine state.
+	if w2 := do(s, "GET", "/report", ""); w2.Body.String() != w.Body.String() {
+		t.Error("two /report reads differ")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.eng.Publish(engine.PublishSpec{Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Query(engine.QuerySpec{Requester: 4, Data: 0}); err != nil {
+		t.Fatal(err)
+	}
+	w := do(s, "GET", "/metrics", "")
+	if w.Code != 200 {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "dtn_query_issued_total 1\n") {
+		t.Errorf("metrics missing issued counter:\n%s", body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	// Byte-determinism regression for the scrape output.
+	if w2 := do(s, "GET", "/metrics", ""); w2.Body.String() != body {
+		t.Error("two /metrics reads differ")
+	}
+}
+
+func TestAdvanceEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	w := do(s, "POST", "/v1/advance", `{"by_sec": 60}`)
+	if w.Code != 200 {
+		t.Fatalf("advance status %d: %s", w.Code, w.Body.String())
+	}
+	var resp advanceResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NowSec != 60 {
+		t.Errorf("now = %v, want 60", resp.NowSec)
+	}
+	// Absolute target, clamped to the trace end.
+	w = do(s, "POST", "/v1/advance", `{"to_sec": 1e12}`)
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NowSec != s.eng.Duration() {
+		t.Errorf("clamped now = %v, want %v", resp.NowSec, s.eng.Duration())
+	}
+	// healthz stays green after a full replay.
+	if w := do(s, "GET", "/healthz", ""); w.Code != 200 {
+		t.Errorf("healthz after replay: %d %s", w.Code, w.Body.String())
+	}
+}

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dtncache/internal/cli"
+	"dtncache/internal/engine"
+	"dtncache/internal/obs"
+	"dtncache/internal/workload"
+)
+
+// server routes the HTTP API onto one engine. Handlers hold no state of
+// their own: every request is answered from the engine (lock-serialized
+// inside) or the metric registry (atomic), so the handler pool needs no
+// additional synchronization.
+type server struct {
+	eng *engine.Engine
+	reg *obs.Registry
+	mux *http.ServeMux
+}
+
+func newServer(eng *engine.Engine, reg *obs.Registry) *server {
+	s := &server{eng: eng, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/publish", s.handlePublish)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/advance", s.handleAdvance)
+	s.mux.HandleFunc("/v1/satisfied", s.handleSatisfied)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/report", s.handleReport)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v as indented JSON — the same encoder settings for
+// every endpoint, so responses are byte-stable and golden-testable.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// engineError maps an engine failure to a status code: a closed engine
+// is 503 (the server is shutting down), anything else is a caller
+// mistake (bad node ID, unknown data).
+func engineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, engine.ErrClosed) {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// decodeBody strictly parses one JSON object into v: unknown fields and
+// trailing data are rejected so malformed clients fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON body")
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+type publishRequest struct {
+	Source      int     `json:"source"`
+	SizeBits    float64 `json:"size_bits"`
+	LifetimeSec float64 `json:"lifetime_sec"`
+}
+
+type publishResponse struct {
+	DataID     int     `json:"data_id"`
+	Source     int     `json:"source"`
+	SizeBits   float64 `json:"size_bits"`
+	CreatedSec float64 `json:"created_sec"`
+	ExpiresSec float64 `json:"expires_sec"`
+}
+
+func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req publishRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	item, err := s.eng.Publish(engine.PublishSpec{
+		Source:      req.Source,
+		SizeBits:    req.SizeBits,
+		LifetimeSec: req.LifetimeSec,
+	})
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, publishResponse{
+		DataID:     int(item.ID),
+		Source:     int(item.Source),
+		SizeBits:   item.SizeBits,
+		CreatedSec: item.Created,
+		ExpiresSec: item.Expires,
+	})
+}
+
+type queryRequest struct {
+	Requester     int     `json:"requester"`
+	Data          int     `json:"data"`
+	ConstraintSec float64 `json:"constraint_sec"`
+}
+
+type queryResponse struct {
+	QueryID     int     `json:"query_id"`
+	Requester   int     `json:"requester"`
+	Data        int     `json:"data"`
+	Issued      bool    `json:"issued"`
+	IssuedSec   float64 `json:"issued_sec"`
+	DeadlineSec float64 `json:"deadline_sec"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.eng.Query(engine.QuerySpec{
+		Requester:     req.Requester,
+		Data:          workload.DataID(req.Data),
+		ConstraintSec: req.ConstraintSec,
+	})
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		QueryID:     int(res.Query.ID),
+		Requester:   int(res.Query.Requester),
+		Data:        int(res.Query.Data),
+		Issued:      res.Issued,
+		IssuedSec:   res.Query.Issued,
+		DeadlineSec: res.Query.Deadline,
+	})
+}
+
+type advanceRequest struct {
+	// ToSec advances to an absolute virtual time; BySec advances
+	// relative to now. Exactly one must be positive.
+	ToSec float64 `json:"to_sec"`
+	BySec float64 `json:"by_sec"`
+}
+
+type advanceResponse struct {
+	NowSec float64 `json:"now_sec"`
+	Events int     `json:"events"`
+}
+
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req advanceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.ToSec <= 0) == (req.BySec <= 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of to_sec or by_sec must be positive")
+		return
+	}
+	target := req.ToSec
+	if req.BySec > 0 {
+		target = s.eng.Now() + req.BySec
+	}
+	if end := s.eng.Duration(); target > end {
+		target = end
+	}
+	n, err := s.eng.Advance(target)
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, advanceResponse{NowSec: s.eng.Now(), Events: n})
+}
+
+type satisfiedResponse struct {
+	QueryID   int  `json:"query_id"`
+	Satisfied bool `json:"satisfied"`
+}
+
+func (s *server) handleSatisfied(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "missing or non-integer id parameter")
+		return
+	}
+	writeJSON(w, http.StatusOK, satisfiedResponse{
+		QueryID:   id,
+		Satisfied: s.eng.Satisfied(workload.QueryID(id)),
+	})
+}
+
+type statusResponse struct {
+	Trace       string  `json:"trace"`
+	Scheme      string  `json:"scheme"`
+	Nodes       int     `json:"nodes"`
+	Live        bool    `json:"live"`
+	NowSec      float64 `json:"now_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	Pending     int     `json:"pending"`
+	Processed   uint64  `json:"processed"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	cfg := s.eng.Config()
+	writeJSON(w, http.StatusOK, statusResponse{
+		Trace:       cfg.Trace.Name,
+		Scheme:      cfg.Scheme,
+		Nodes:       cfg.Trace.Nodes,
+		Live:        cfg.Live,
+		NowSec:      s.eng.Now(),
+		DurationSec: s.eng.Duration(),
+		Pending:     s.eng.Pending(),
+		Processed:   s.eng.Processed(),
+	})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = cli.WriteReportJSON(w, s.eng.Report())
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WriteProm(w)
+}
+
+type healthResponse struct {
+	Status     string   `json:"status"`
+	NowSec     float64  `json:"now_sec"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// handleHealthz runs the fault-injection subsystem's invariant checker
+// against the live simulation state: any violation (buffer accounting
+// drift, phantom copies, expired residue) turns the endpoint red.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	violations := s.eng.CheckInvariants()
+	if len(violations) == 0 {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", NowSec: s.eng.Now()})
+		return
+	}
+	msgs := make([]string, len(violations))
+	for i, v := range violations {
+		msgs[i] = v.String()
+	}
+	writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+		Status: "failing", NowSec: s.eng.Now(), Violations: msgs,
+	})
+}

@@ -12,18 +12,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 	"time"
 
+	"dtncache/internal/cli"
+	"dtncache/internal/engine"
 	"dtncache/internal/experiment"
-	"dtncache/internal/fault"
 	"dtncache/internal/metrics"
 	"dtncache/internal/obs"
 	"dtncache/internal/prof"
-	"dtncache/internal/scheme"
-	"dtncache/internal/trace"
 )
 
 func main() {
@@ -40,39 +38,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dtnsim", flag.ContinueOnError)
 	var (
-		preset     = fs.String("trace", "MIT Reality", "trace preset (Infocom05, Infocom06, 'MIT Reality', UCSD)")
-		traceFile  = fs.String("tracefile", "", "read the trace from this file instead of a preset")
-		traceFmt   = fs.String("format", "plain", "trace file format: plain ('a b start end'), csv ('a,b,start,end') or one (ONE simulator CONN events)")
+		tf         = cli.AddTraceFlags(fs)
 		schemeName = fs.String("scheme", experiment.SchemeIntentional, "scheme: "+strings.Join(append(experiment.SchemeNames(), experiment.ReplacementNames()[1:]...), ", "))
-		tl         = fs.Duration("tl", 7*24*time.Hour, "average data lifetime T_L")
-		savg       = fs.Float64("savg", 100, "average data size in Mb")
-		zipf       = fs.Float64("zipf", 1, "Zipf query exponent s")
-		k          = fs.Int("k", 8, "number of NCLs (K)")
-		seed       = fs.Int64("seed", 1, "random seed")
+		ef         = cli.AddEngineFlags(fs)
+		ff         = cli.AddFaultFlags(fs)
+		of         = cli.AddObsFlags(fs)
 		repeats    = fs.Int("repeats", 1, "number of repetitions to average")
-		bufMin     = fs.Float64("bufmin", 200, "minimum node buffer in Mb")
-		bufMax     = fs.Float64("bufmax", 600, "maximum node buffer in Mb")
-		dropProb   = fs.Float64("drop", 0, "transfer failure-injection probability")
-		respMode   = fs.String("response", "sigmoid", "response mode: global, sigmoid, always")
-		faultChurn = fs.Float64("fault-churn", 0, "node churn: expected crashes per node per day (begins at the trace midpoint)")
-		faultDown  = fs.Duration("fault-downtime", 4*time.Hour, "mean downtime per crash")
-		faultWipe  = fs.Bool("fault-wipe", true, "wipe node buffers on crash")
-		faultTrunc = fs.Float64("fault-truncate", 0, "probability a contact is truncated to a random fraction of its duration")
-		blackoutK  = fs.Int("fault-blackout", 0, "number of top-ranked NCLs to black out for a window")
-		blackoutS  = fs.Duration("fault-blackout-start", 0, "blackout window start (0 with -fault-blackout = trace midpoint)")
-		blackoutE  = fs.Duration("fault-blackout-end", 0, "blackout window end (0 with -fault-blackout = 3/4 of the trace)")
-		retryAfter = fs.Duration("retry", 0, "re-issue unsatisfied queries after this timeout with exponential backoff (0 = off)")
-		retryMax   = fs.Int("retry-max", 0, "max query retry attempts (0 = default)")
-		failover   = fs.Bool("ncl-failover", false, "redirect pushes/queries from crashed NCLs to the next-ranked live node")
-		pushBudget = fs.Int("push-budget", 0, "abandon a pending push after this many attempts (0 = retry forever)")
-		invariants = fs.Bool("invariants", false, "check runtime invariants every sweep and fail on violations (single run)")
 		jsonOut    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		reportJSON = fs.Bool("report-json", false, "emit only the bare single-run report as JSON (the dtnserved /report encoding; forces a single un-averaged run)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
-		traceOut   = fs.String("trace-out", "", "record the NDJSON run-trace to this `file` ('-' for stdout)")
-		flightN    = fs.Int("flight-recorder", 0, "keep only the last `n` trace events in a ring (dumped to -trace-out at the end, or to stderr on error)")
-		sampleN    = fs.Int("trace-sample", 1, "record one of every `n` trace events")
-		obsSummary = fs.Bool("obs-summary", false, "print observability counters and phase timings to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,94 +58,23 @@ func run(args []string) error {
 		return err
 	}
 
-	var (
-		rec  *obs.Recorder
-		ring *obs.RingSink
-	)
-	if *traceOut != "" || *flightN > 0 || *obsSummary {
-		var sink obs.Sink
-		switch {
-		case *flightN > 0:
-			ring = obs.NewRingSink(*flightN)
-			sink = ring
-		case *traceOut != "":
-			w, werr := openTraceOut(*traceOut)
-			if werr != nil {
-				return werr
-			}
-			sink = obs.NewStreamSink(w)
-		}
-		if sink != nil && *sampleN > 1 {
-			sink = obs.NewSampleSink(sink, *sampleN)
-		}
-		rec = obs.NewRecorder(sink, obs.WithPhases(obs.NewPhases(wallClock)))
+	rec, ring, err := of.NewRecorder()
+	if err != nil {
+		return err
 	}
 
 	doneLoad := rec.Phase("trace-load")
-	var tr *trace.Trace
-	if *traceFile != "" {
-		f, ferr := os.Open(*traceFile)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		switch strings.ToLower(*traceFmt) {
-		case "plain":
-			tr, err = trace.Read(f)
-		case "csv":
-			tr, err = trace.ReadCSV(f)
-		case "one":
-			tr, err = trace.ReadONE(f)
-		default:
-			return fmt.Errorf("unknown trace format %q", *traceFmt)
-		}
-	} else {
-		tr, err = trace.GeneratePreset(trace.Preset(*preset), *seed)
-	}
+	tr, err := tf.Load(*ef.Seed)
 	doneLoad()
 	if err != nil {
 		return err
 	}
 
-	mode, err := parseResponse(*respMode)
+	setup, err := ef.Config(tr, ff.Config(tr.Duration), rec)
 	if err != nil {
 		return err
 	}
-	var fc fault.Config
-	if *faultChurn > 0 {
-		fc = experiment.FaultChurn(*faultChurn, faultDown.Seconds(), tr.Duration/2)
-		fc.WipeOnCrash = *faultWipe
-	}
-	fc.TruncateProb = *faultTrunc
-	if *blackoutK > 0 {
-		fc.BlackoutNCLs = *blackoutK
-		fc.BlackoutStartSec = blackoutS.Seconds()
-		fc.BlackoutEndSec = blackoutE.Seconds()
-		if fc.BlackoutEndSec == 0 {
-			fc.BlackoutStartSec = tr.Duration / 2
-			fc.BlackoutEndSec = 3 * tr.Duration / 4
-		}
-	}
-	setup := experiment.Setup{
-		Trace:           tr,
-		AvgLifetime:     tl.Seconds(),
-		AvgSizeBits:     *savg * 1e6,
-		ZipfExponent:    *zipf,
-		K:               *k,
-		Seed:            *seed,
-		BufferMinBits:   *bufMin * 1e6,
-		BufferMaxBits:   *bufMax * 1e6,
-		DropProb:        *dropProb,
-		Fault:           fc,
-		QueryRetrySec:   retryAfter.Seconds(),
-		QueryRetryMax:   *retryMax,
-		NCLFailover:     *failover,
-		PushRetryBudget: *pushBudget,
-		CheckInvariants: *invariants,
-		Response:        mode,
-		Obs:             rec,
-	}
-	manifest := obs.NewManifest(tr.Name, *schemeName, *seed, digestable(setup))
+	manifest := obs.NewManifest(tr.Name, *schemeName, *ef.Seed, cli.Digestable(setup))
 	if ring == nil {
 		// Stream sink: the manifest is the first recorded line. With a
 		// flight-recorder ring it is prepended at dump time instead, so
@@ -179,14 +83,18 @@ func run(args []string) error {
 	}
 	start := time.Now()
 	var rep metrics.Report
-	if *invariants {
-		// The checker lives on the environment, so -invariants runs a
-		// single un-averaged simulation it can inspect afterwards.
-		var env *scheme.Env
-		if env, err = experiment.BuildEnv(setup, *schemeName); err == nil {
-			rep = env.Run()
-			if v := env.InvariantViolations(); len(v) > 0 {
-				err = fmt.Errorf("%d invariant violation(s), first: %s", len(v), v[0])
+	if *ef.Invariants || *reportJSON {
+		// The invariant checker lives on the environment and the bare
+		// report must come from the one engine replay dtnserved executes,
+		// so both modes run a single un-averaged engine they can inspect.
+		setup.Scheme = *schemeName
+		var eng *engine.Engine
+		if eng, err = engine.New(setup); err == nil {
+			rep, err = eng.Run()
+			if err == nil && *ef.Invariants {
+				if v := eng.InvariantViolations(); len(v) > 0 {
+					err = fmt.Errorf("%d invariant violation(s), first: %s", len(v), v[0])
+				}
 			}
 		}
 	} else {
@@ -197,37 +105,29 @@ func run(args []string) error {
 	}
 	if err != nil {
 		if ring != nil {
-			fmt.Fprintf(os.Stderr, "flight recorder: last %d of %d events\n",
-				ring.Len(), ring.Len()+int(ring.Dropped()))
-			os.Stderr.Write(append(manifest.AppendJSON(nil), '\n'))
-			_ = ring.Dump(os.Stderr)
+			cli.DumpRingErr(manifest, ring)
 		}
 		_ = rec.Close()
 		return err
 	}
-	if ring != nil && *traceOut != "" {
-		w, werr := openTraceOut(*traceOut)
+	if ring != nil && *of.TraceOut != "" {
+		w, werr := cli.OpenTraceOut(*of.TraceOut)
 		if werr != nil {
 			return werr
 		}
-		if _, werr = w.Write(append(manifest.AppendJSON(nil), '\n')); werr != nil {
+		if werr = cli.DumpRing(w, manifest, ring); werr != nil {
 			return werr
-		}
-		if werr = ring.Dump(w); werr != nil {
-			return werr
-		}
-		if c, ok := w.(io.Closer); ok {
-			if werr = c.Close(); werr != nil {
-				return werr
-			}
 		}
 	}
 	if cerr := rec.Close(); cerr != nil {
 		return cerr
 	}
-	if *obsSummary {
+	if *of.Summary {
 		_ = manifest.WriteSummary(os.Stderr)
 		_ = rec.WriteSummary(os.Stderr)
+	}
+	if *reportJSON {
+		return cli.WriteReportJSON(os.Stdout, rep)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -251,40 +151,4 @@ func run(args []string) error {
 	fmt.Printf("traffic:     %.1f Gb data, %.2f Gb control\n", rep.DataBits/1e9, rep.ControlBits/1e9)
 	fmt.Printf("wall time:   %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
-}
-
-// wallClock is the nanosecond clock injected into the phase timers
-// (internal/obs itself is determinism-linted and never reads the wall
-// clock).
-func wallClock() int64 { return time.Now().UnixNano() }
-
-// digestable strips the pointer fields off a Setup so its %+v rendering
-// — and therefore the manifest's config digest — is stable across runs.
-func digestable(s experiment.Setup) experiment.Setup {
-	s.Trace = nil
-	s.Knowledge = nil
-	s.Obs = nil
-	return s
-}
-
-// openTraceOut opens the run-trace destination; "-" selects stdout
-// (left open for the report that follows).
-func openTraceOut(path string) (io.Writer, error) {
-	if path == "-" {
-		return struct{ io.Writer }{os.Stdout}, nil
-	}
-	return os.Create(path)
-}
-
-func parseResponse(s string) (scheme.ResponseMode, error) {
-	switch strings.ToLower(s) {
-	case "global":
-		return scheme.ResponseGlobal, nil
-	case "sigmoid":
-		return scheme.ResponseSigmoid, nil
-	case "always":
-		return scheme.ResponseAlways, nil
-	default:
-		return 0, fmt.Errorf("unknown response mode %q", s)
-	}
 }

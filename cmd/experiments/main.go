@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"dtncache/internal/cli"
 	"dtncache/internal/experiment"
 	"dtncache/internal/obs"
 	"dtncache/internal/prof"
@@ -50,10 +51,8 @@ func run(args []string) error {
 		outDir     = fs.String("outdir", "", "also write each table as CSV into this directory")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this `file`")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this `file` after the run")
-		progress   = fs.Bool("progress", false, "print a completion line per sweep cell to stderr")
-		obsSummary = fs.Bool("obs-summary", false, "print per-scheme cell timings to stderr at the end")
-		traceOut   = fs.String("trace-out", "", "record sweep-cell NDJSON events to this `file` (wall-clock timings: not byte-stable across runs)")
-		flightN    = fs.Int("flight-recorder", 0, "keep only the last `n` cell events in a ring")
+		progress = fs.Bool("progress", false, "print a completion line per sweep cell to stderr")
+		of       = cli.AddObsFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,27 +70,17 @@ func run(args []string) error {
 	// sweep cell (one simulation run) reports its scheme and wall time.
 	// Cells run in parallel, so the hook serializes recorder access with
 	// a mutex.
-	var (
-		rec      *obs.Recorder
-		ring     *obs.RingSink
-		phases   *obs.Phases
-		manifest obs.Manifest
-	)
-	if *progress || *obsSummary || *traceOut != "" || *flightN > 0 {
-		phases = obs.NewPhases(func() int64 { return time.Now().UnixNano() })
-		var sink obs.Sink
-		switch {
-		case *flightN > 0:
-			ring = obs.NewRingSink(*flightN)
-			sink = ring
-		case *traceOut != "":
-			w, werr := os.Create(*traceOut)
-			if werr != nil {
-				return werr
-			}
-			sink = obs.NewStreamSink(w)
-		}
-		rec = obs.NewRecorder(sink, obs.WithPhases(phases))
+	rec, ring, err := of.NewRecorder()
+	if err != nil {
+		return err
+	}
+	if rec == nil && *progress {
+		// -progress alone still needs the phase timers for the cell hook.
+		rec = obs.NewRecorder(nil, obs.WithPhases(obs.NewPhases(cli.WallClock)))
+	}
+	var manifest obs.Manifest
+	if rec != nil {
+		phases := rec.Phases()
 		manifest = obs.NewManifest("", *fig, *seed, o)
 		if ring == nil {
 			rec.Manifest(manifest)
@@ -188,10 +177,7 @@ func run(args []string) error {
 		start := time.Now()
 		if err := j.run(); err != nil {
 			if ring != nil {
-				fmt.Fprintf(os.Stderr, "flight recorder: last %d of %d cell events\n",
-					ring.Len(), ring.Len()+int(ring.Dropped()))
-				os.Stderr.Write(append(manifest.AppendJSON(nil), '\n'))
-				_ = ring.Dump(os.Stderr)
+				cli.DumpRingErr(manifest, ring)
 			}
 			_ = rec.Close()
 			return fmt.Errorf("experiment %s: %w", j.key, err)
@@ -204,35 +190,21 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
-	if ring != nil && *traceOut != "" {
-		if err := dumpRing(*traceOut, manifest, ring); err != nil {
-			return err
+	if ring != nil && *of.TraceOut != "" {
+		w, werr := cli.OpenTraceOut(*of.TraceOut)
+		if werr != nil {
+			return werr
+		}
+		if werr = cli.DumpRing(w, manifest, ring); werr != nil {
+			return werr
 		}
 	}
 	if err := rec.Close(); err != nil {
 		return err
 	}
-	if *obsSummary {
+	if *of.Summary {
 		_ = manifest.WriteSummary(os.Stderr)
 		_ = rec.WriteSummary(os.Stderr)
 	}
 	return stopProf()
-}
-
-// dumpRing writes the manifest line followed by the ring's retained
-// events to path.
-func dumpRing(path string, m obs.Manifest, ring *obs.RingSink) error {
-	w, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(append(m.AppendJSON(nil), '\n')); err != nil {
-		w.Close()
-		return err
-	}
-	if err := ring.Dump(w); err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
 }

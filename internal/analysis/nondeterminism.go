@@ -31,6 +31,12 @@ var DeterministicPackages = []string{
 	// replayed result: every fault draw must come from the seeded RNG
 	// tree, never the wall clock or global rand.
 	"dtncache/internal/fault",
+	// The driver-agnostic engine is the one replay code path every
+	// driver (dtnsim, experiment sweeps, dtnserved) shares: it may not
+	// read the wall clock — real-time pacing lives in the drivers — and
+	// its concurrent request surface is lock-serialized, never
+	// goroutine-spawning.
+	"dtncache/internal/engine",
 }
 
 // Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in

@@ -2,167 +2,34 @@
 // collection into runnable experiments, and regenerates every table and
 // figure of the paper's evaluation (Sec. VI). See DESIGN.md for the
 // experiment index E1-E8.
+//
+// Since the engine extraction, this package is a batch driver over
+// internal/engine: every cell of every sweep builds an engine.Config
+// and replays it through the one shared engine code path. What remains
+// here is driver logic — sweep orchestration, cell parallelism, result
+// tables and the cell hook.
 package experiment
 
 import (
-	"errors"
-	"fmt"
 	"sync/atomic"
 	"time"
 
-	"dtncache/internal/buffer"
-	"dtncache/internal/core"
-	"dtncache/internal/fault"
+	"dtncache/internal/engine"
 	"dtncache/internal/knowledge"
 	"dtncache/internal/metrics"
-	"dtncache/internal/obs"
 	"dtncache/internal/scheme"
-	"dtncache/internal/sim"
 	"dtncache/internal/trace"
-	"dtncache/internal/workload"
 )
 
 // Setup describes one simulation run: a trace, workload parameters
-// (Sec. VI-A) and protocol configuration.
-type Setup struct {
-	// Trace is the contact trace to replay (required).
-	Trace *trace.Trace
-	// MetricT is the path-weight horizon T; 0 picks the paper's value
-	// for the trace name (1h Infocom, 1wk Reality, 3d UCSD, else 1 day).
-	MetricT float64
-	// AvgLifetime is T_L (default 1 week).
-	AvgLifetime float64
-	// AvgSizeBits is s_avg (default 100 Mb).
-	AvgSizeBits float64
-	// ZipfExponent is the query exponent s (default 1).
-	ZipfExponent float64
-	// GenProb is p_G (default 0.2).
-	GenProb float64
-	// K is the NCL count (default 8).
-	K int
-	// NCLSelection picks the central-node selection strategy (the
-	// paper's Eq. 3 metric by default; degree/contact-count/random are
-	// ablation baselines).
-	NCLSelection scheme.NCLStrategy
-	// BufferMinBits/BufferMaxBits bound node buffers (default 200-600 Mb).
-	BufferMinBits, BufferMaxBits float64
-	// Response is the probabilistic response mode (default sigmoid).
-	Response scheme.ResponseMode
-	// ProbabilisticSelection toggles Algorithm 1 (default on).
-	// Set DisableProbabilisticSelection to turn it off.
-	DisableProbabilisticSelection bool
-	// PopularityFromFirst picks the literal Eq. (6) variant.
-	PopularityFromFirst bool
-	// DisableReplacement turns the contact-time cache replacement off
-	// entirely (ablation; affects the Intentional scheme only).
-	DisableReplacement bool
-	// UtilityFloor overrides the fresh-data utility floor of the
-	// Intentional scheme's replacement (0 keeps the default 0.1).
-	UtilityFloor float64
-	// QuerySprayCopies enables spray-and-wait query dissemination with
-	// this copy budget per NCL target (0/1 = single-copy gradient).
-	QuerySprayCopies int
-	// PerNodeInterests gives each requester its own Zipf rank
-	// permutation (extension; the paper's global popularity is default).
-	PerNodeInterests bool
-	// DropProb injects transfer failures.
-	DropProb float64
-	// Fault configures the deterministic fault-injection engine: node
-	// churn, contact truncation, transfer kills, NCL blackouts. The zero
-	// value installs no injector.
-	Fault fault.Config
-	// QueryRetrySec re-issues still-unsatisfied queries after this
-	// timeout with capped exponential backoff (0 = no retries).
-	QueryRetrySec float64
-	// QueryRetryMax caps retry attempts per query (0 = scheme default).
-	QueryRetryMax int
-	// NCLFailover lets the intentional scheme redirect pushes and query
-	// fan-out from crashed central nodes to the next-ranked live node.
-	NCLFailover bool
-	// PushRetryBudget abandons a pending push after this many attempts
-	// (0 = retry forever, the pre-fault behavior).
-	PushRetryBudget int
-	// CheckInvariants runs the runtime invariant checker every
-	// maintenance sweep (tests and dtnsim -invariants).
-	CheckInvariants bool
-	// Seed drives workload and protocol randomness (default 1).
-	Seed int64
-	// Knowledge optionally shares a prebuilt knowledge provider across
-	// runs (see SharedKnowledge). It must have been built for this
-	// trace's merged contacts with the same MetricT; nil gives each run
-	// its own provider. Knowledge is independent of Seed, workload and
-	// scheme, so one provider serves every cell of a sweep over the
-	// same trace.
-	Knowledge *knowledge.Provider
-	// Obs is the observability recorder wired into the environment (nil
-	// = off). Metric updates are atomic, so one recorder may be shared
-	// across parallel cells (RunComparison, sweeps) — but only a
-	// sink-free recorder: trace encoding reuses one buffer, so a
-	// recorder with a trace sink must be confined to a single
-	// sequential run (where it records byte-identical traces at a fixed
-	// seed). cmd/experiments keeps sweep-cell trace events on a
-	// separate mutex-guarded recorder for this reason.
-	Obs *obs.Recorder
-}
-
-// normalized fills defaults.
-func (s Setup) normalized() (Setup, error) {
-	if s.Trace == nil {
-		return s, errors.New("experiment: Setup.Trace is required")
-	}
-	if s.MetricT == 0 {
-		s.MetricT = DefaultMetricT(s.Trace.Name)
-	}
-	if s.AvgLifetime == 0 {
-		s.AvgLifetime = 7 * 86400
-	}
-	if s.AvgSizeBits == 0 {
-		s.AvgSizeBits = 100e6
-	}
-	if s.ZipfExponent == 0 {
-		s.ZipfExponent = 1
-	}
-	if s.GenProb == 0 {
-		s.GenProb = 0.2
-	}
-	if s.K == 0 {
-		s.K = 8
-	}
-	if s.BufferMinBits == 0 {
-		s.BufferMinBits = 200e6
-	}
-	if s.BufferMaxBits == 0 {
-		s.BufferMaxBits = 600e6
-	}
-	if s.Response == 0 {
-		s.Response = scheme.ResponseSigmoid
-	}
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
-	return s, nil
-}
+// (Sec. VI-A) and protocol configuration. It is the engine
+// configuration under its historical name — the figure/table sweeps
+// and the public dtncache API build Setups and hand them to Run.
+type Setup = engine.Config
 
 // DefaultMetricT returns the path-weight horizon T for a trace,
-// following Sec. IV-B's per-trace values and its adaptivity rule
-// ("different values of T are used adaptively ... to ensure the
-// differentiation of the NCL selection metric"): our synthetic Infocom06
-// stand-in is denser than the real trace, so its horizon is 15 minutes
-// rather than the paper's hour.
-func DefaultMetricT(name string) float64 {
-	switch trace.Preset(name) {
-	case trace.Infocom05:
-		return 3600
-	case trace.Infocom06:
-		return 900
-	case trace.MITReality:
-		return 7 * 86400
-	case trace.UCSD:
-		return 3 * 86400
-	default:
-		return 86400
-	}
-}
+// following Sec. IV-B's per-trace values and its adaptivity rule.
+func DefaultMetricT(name string) float64 { return engine.DefaultMetricT(name) }
 
 // cellHookFn observes one completed simulation cell (see SetCellHook).
 type cellHookFn func(schemeName string, wallNs int64)
@@ -177,19 +44,23 @@ func SetCellHook(fn func(schemeName string, wallNs int64)) {
 	cellHook.Store(cellHookFn(fn))
 }
 
-// Run executes one simulation of the named scheme and returns its
-// metric report.
+// Run executes one simulation of the named scheme through the engine
+// and returns its metric report.
 func Run(s Setup, schemeName string) (metrics.Report, error) {
-	env, err := BuildEnv(s, schemeName)
+	s.Scheme = schemeName
+	eng, err := engine.New(s)
 	if err != nil {
 		return metrics.Report{}, err
 	}
 	hook, _ := cellHook.Load().(cellHookFn)
 	if hook == nil {
-		return env.Run(), nil
+		return eng.Run()
 	}
 	start := time.Now()
-	rep := env.Run()
+	rep, err := eng.Run()
+	if err != nil {
+		return metrics.Report{}, err
+	}
 	hook(schemeName, time.Since(start).Nanoseconds())
 	return rep, nil
 }
@@ -200,49 +71,12 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 // behind the events/sec metric) while sharing the exact Setup
 // normalization and workload generation of Run.
 func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
-	s, err := s.normalized()
+	s.Scheme = schemeName
+	eng, err := engine.New(s)
 	if err != nil {
 		return nil, err
 	}
-	doneBuild := s.Obs.Phase("build")
-	defer doneBuild()
-	factory, err := factoryForSetup(s, schemeName)
-	if err != nil {
-		return nil, err
-	}
-	w, err := workload.Generate(workload.Config{
-		Nodes:            s.Trace.Nodes,
-		GenProb:          s.GenProb,
-		AvgLifetime:      s.AvgLifetime,
-		AvgSizeBits:      s.AvgSizeBits,
-		ZipfExponent:     s.ZipfExponent,
-		PerNodeInterests: s.PerNodeInterests,
-		Start:            s.Trace.Duration / 2,
-		End:              s.Trace.Duration,
-		Seed:             s.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cfg := scheme.DefaultConfig(s.Trace.Duration)
-	cfg.MetricT = s.MetricT
-	cfg.NCLCount = s.K
-	cfg.NCLSelection = s.NCLSelection
-	cfg.BufferMinBits = s.BufferMinBits
-	cfg.BufferMaxBits = s.BufferMaxBits
-	cfg.Response = s.Response
-	cfg.ProbabilisticSelection = !s.DisableProbabilisticSelection
-	cfg.PopularityFromFirst = s.PopularityFromFirst
-	cfg.DropProb = s.DropProb
-	cfg.Fault = s.Fault
-	cfg.QueryRetrySec = s.QueryRetrySec
-	cfg.QueryRetryMax = s.QueryRetryMax
-	cfg.NCLFailover = s.NCLFailover
-	cfg.PushRetryBudget = s.PushRetryBudget
-	cfg.CheckInvariants = s.CheckInvariants
-	cfg.Seed = s.Seed
-	cfg.Obs = s.Obs
-	return scheme.NewEnvShared(s.Trace, w, cfg, factory(), s.Knowledge)
+	return eng.Env(), nil
 }
 
 // SharedKnowledge builds a knowledge provider for tr that concurrent
@@ -250,15 +84,9 @@ func BuildEnv(s Setup, schemeName string) (*scheme.Env, error) {
 // NCL-metric pipeline per trace instead of one per environment. The
 // provider is exact (Epsilon 0), so shared results are bit-identical to
 // isolated ones. metricT = 0 picks the trace's default horizon, the
-// same rule Setup.normalized applies.
+// same rule Setup normalization applies.
 func SharedKnowledge(tr *trace.Trace, metricT float64) *knowledge.Provider {
-	if metricT == 0 {
-		metricT = DefaultMetricT(tr.Name)
-	}
-	return knowledge.NewProvider(knowledge.Params{
-		Nodes:   tr.Nodes,
-		MetricT: metricT,
-	}, sim.MergeOverlaps(tr.Contacts))
+	return engine.SharedKnowledge(tr, metricT)
 }
 
 // RunComparison runs every named scheme on the same setup concurrently,
@@ -267,7 +95,7 @@ func SharedKnowledge(tr *trace.Trace, metricT float64) *knowledge.Provider {
 // shared pipeline is exact, so each report is bit-identical to what an
 // isolated Run of that scheme produces.
 func RunComparison(s Setup, names []string) ([]metrics.Report, error) {
-	s, err := s.normalized()
+	s, err := s.Normalized()
 	if err != nil {
 		return nil, err
 	}
@@ -335,77 +163,25 @@ func RunAveraged(s Setup, schemeName string, repeats int) (metrics.Report, error
 	return agg, nil
 }
 
-// Scheme names accepted by Factory.
+// Scheme names accepted by Factory (canonical definitions live in the
+// engine; the historical spellings stay importable from here).
 const (
-	SchemeIntentional     = "Intentional"
-	SchemeNoCache         = "NoCache"
-	SchemeRandomCache     = "RandomCache"
-	SchemeCacheData       = "CacheData"
-	SchemeBundleCache     = "BundleCache"
-	SchemeEpidemic        = "Epidemic"
-	SchemeIntentionalFIFO = "Intentional-FIFO"
-	SchemeIntentionalLRU  = "Intentional-LRU"
-	SchemeIntentionalGDS  = "Intentional-GDS"
+	SchemeIntentional     = engine.SchemeIntentional
+	SchemeNoCache         = engine.SchemeNoCache
+	SchemeRandomCache     = engine.SchemeRandomCache
+	SchemeCacheData       = engine.SchemeCacheData
+	SchemeBundleCache     = engine.SchemeBundleCache
+	SchemeEpidemic        = engine.SchemeEpidemic
+	SchemeIntentionalFIFO = engine.SchemeIntentionalFIFO
+	SchemeIntentionalLRU  = engine.SchemeIntentionalLRU
+	SchemeIntentionalGDS  = engine.SchemeIntentionalGDS
 )
 
 // SchemeNames lists every runnable scheme, comparison order of Fig. 10.
-func SchemeNames() []string {
-	return []string{
-		SchemeIntentional, SchemeBundleCache, SchemeCacheData,
-		SchemeRandomCache, SchemeNoCache,
-	}
-}
+func SchemeNames() []string { return engine.SchemeNames() }
 
 // ReplacementNames lists the Fig. 12 replacement comparison.
-func ReplacementNames() []string {
-	return []string{
-		SchemeIntentional, SchemeIntentionalFIFO,
-		SchemeIntentionalLRU, SchemeIntentionalGDS,
-	}
-}
-
-// factoryForSetup builds the scheme honoring Setup's ablation knobs
-// (they only apply to the Intentional scheme).
-func factoryForSetup(s Setup, name string) (func() scheme.Scheme, error) {
-	if name == SchemeIntentional &&
-		(s.DisableReplacement || s.UtilityFloor > 0 || s.QuerySprayCopies > 1) {
-		var opts []core.Option
-		if s.DisableReplacement {
-			opts = append(opts, core.WithReplacement(false))
-		}
-		if s.UtilityFloor > 0 {
-			opts = append(opts, core.WithUtilityFloor(s.UtilityFloor))
-		}
-		if s.QuerySprayCopies > 1 {
-			opts = append(opts, core.WithQuerySpray(s.QuerySprayCopies))
-		}
-		return func() scheme.Scheme { return core.New(opts...) }, nil
-	}
-	return Factory(name)
-}
+func ReplacementNames() []string { return engine.ReplacementNames() }
 
 // Factory returns a constructor for the named scheme.
-func Factory(name string) (func() scheme.Scheme, error) {
-	switch name {
-	case SchemeIntentional:
-		return func() scheme.Scheme { return core.New() }, nil
-	case SchemeEpidemic:
-		return func() scheme.Scheme { return scheme.NewEpidemic() }, nil
-	case SchemeNoCache:
-		return func() scheme.Scheme { return scheme.NewNoCache() }, nil
-	case SchemeRandomCache:
-		return func() scheme.Scheme { return scheme.NewRandomCache() }, nil
-	case SchemeCacheData:
-		return func() scheme.Scheme { return scheme.NewCacheData() }, nil
-	case SchemeBundleCache:
-		return func() scheme.Scheme { return scheme.NewBundleCache() }, nil
-	case SchemeIntentionalFIFO:
-		return func() scheme.Scheme { return core.New(core.WithEvictionPolicy(buffer.FIFO{})) }, nil
-	case SchemeIntentionalLRU:
-		return func() scheme.Scheme { return core.New(core.WithEvictionPolicy(buffer.LRU{})) }, nil
-	case SchemeIntentionalGDS:
-		return func() scheme.Scheme { return core.New(core.WithEvictionPolicy(&buffer.GreedyDualSize{})) }, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown scheme %q", name)
-	}
-}
+func Factory(name string) (func() scheme.Scheme, error) { return engine.Factory(name) }

@@ -230,6 +230,75 @@ func sortedKeys[V any](m map[metricKey]V) []metricKey {
 	return keys
 }
 
+// promName renders a metric key as a Prometheus metric name:
+// dtn_<subsystem>_<name> with every character outside [a-zA-Z0-9_]
+// mapped to '_'.
+func promName(k metricKey) string {
+	var sb strings.Builder
+	sb.WriteString("dtn_")
+	for _, s := range []string{k.subsystem, "_", k.name} {
+		for _, c := range s {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+				c >= '0' && c <= '9', c == '_':
+				sb.WriteRune(c)
+			default:
+				sb.WriteByte('_')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format, sorted by (subsystem, name) within each metric
+// type — the byte-deterministic /metrics endpoint of dtnserved. Two
+// calls against the same metric state produce identical bytes.
+// Counters become <name>_total, histograms emit cumulative le buckets
+// plus a _count series (no _sum: buckets count integer events whose
+// magnitudes the registry does not retain). Nil-safe.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range sortedKeys(r.counters) {
+		name := promName(k) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(r.histograms) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		bounds, counts := r.histograms[k].Buckets()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = fmt.Sprintf("%g", bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteSummary renders every registered metric, grouped by type and
 // sorted by (subsystem, name). Nil-safe.
 func (r *Registry) WriteSummary(w io.Writer) error {

@@ -143,3 +143,47 @@ func TestRegistrySummarySorted(t *testing.T) {
 		t.Error("summary not deterministic across read-outs")
 	}
 }
+
+func TestRegistryWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("query", "issued").Add(7)
+	r.Counter("query", "hits").Add(3)
+	r.Gauge("knowledge", "cached").Set(-2)
+	h := r.Histogram("query", "delay-sec", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE dtn_query_hits_total counter
+dtn_query_hits_total 3
+# TYPE dtn_query_issued_total counter
+dtn_query_issued_total 7
+# TYPE dtn_knowledge_cached gauge
+dtn_knowledge_cached -2
+# TYPE dtn_query_delay_sec histogram
+dtn_query_delay_sec_bucket{le="1"} 1
+dtn_query_delay_sec_bucket{le="10"} 2
+dtn_query_delay_sec_bucket{le="+Inf"} 3
+dtn_query_delay_sec_count 3
+`
+	if got != want {
+		t.Errorf("WriteProm output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Byte-determinism regression: identical state renders identical
+	// bytes on every read-out.
+	var sb2 strings.Builder
+	if err := r.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Error("WriteProm not deterministic across read-outs")
+	}
+	var nilReg *Registry
+	if err := nilReg.WriteProm(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WriteProm: %v", err)
+	}
+}

@@ -464,33 +464,95 @@ func (e *Env) ContactEnd(s *sim.Session) { e.scheme.OnContactEnd(s) }
 func (e *Env) scheduleWorkload() error {
 	for _, item := range e.W.Data {
 		item := item
-		if err := e.Sim.Schedule(item.Created, func() {
-			e.ownData[item.Source][item.ID] = item
-			e.scheme.OnData(item)
-		}); err != nil {
+		if err := e.Sim.Schedule(item.Created, func() { e.deliverData(item) }); err != nil {
 			return err
 		}
 	}
 	for _, q := range e.W.Queries {
 		q := q
-		if err := e.Sim.Schedule(q.Issued, func() {
-			// A requester that already holds the data would not query the
-			// network at all.
-			if e.Buffers[q.Requester].Has(q.Data) {
-				return
-			}
-			e.M.QueryIssued(q)
-			e.cQIssued.Inc()
-			e.Obs.QueryIssued(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(q.Data))
-			e.scheme.OnQuery(q)
-			if e.Cfg.QueryRetrySec > 0 {
-				e.scheduleQueryRetry(q, 1, e.Cfg.QueryRetrySec)
-			}
-		}); err != nil {
+		if err := e.Sim.Schedule(q.Issued, func() { e.issueQuery(q) }); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// deliverData registers a generated item as the source's own data and
+// hands it to the scheme — the body of every data-generation event,
+// batch-scheduled or live-injected.
+func (e *Env) deliverData(item workload.DataItem) {
+	e.ownData[item.Source][item.ID] = item
+	e.scheme.OnData(item)
+}
+
+// issueQuery runs one query event and reports whether the query
+// actually entered the network: a requester that already holds the
+// data would not query the network at all.
+func (e *Env) issueQuery(q workload.Query) bool {
+	if e.Buffers[q.Requester].Has(q.Data) {
+		return false
+	}
+	e.M.QueryIssued(q)
+	e.cQIssued.Inc()
+	e.Obs.QueryIssued(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(q.Data))
+	e.scheme.OnQuery(q)
+	if e.Cfg.QueryRetrySec > 0 {
+		e.scheduleQueryRetry(q, 1, e.Cfg.QueryRetrySec)
+	}
+	return true
+}
+
+// InjectData appends a live-published data item to the workload at the
+// current virtual time and runs the same generation event the batch
+// schedule would have: the item becomes the source's own data and the
+// scheme reacts to it. IDs stay dense in creation order.
+func (e *Env) InjectData(source trace.NodeID, sizeBits, lifetimeSec float64) (workload.DataItem, error) {
+	if source < 0 || int(source) >= e.N {
+		return workload.DataItem{}, fmt.Errorf("scheme: source node %d outside [0,%d)", source, e.N)
+	}
+	if sizeBits <= 0 {
+		return workload.DataItem{}, errors.New("scheme: data size must be positive")
+	}
+	if lifetimeSec <= 0 {
+		return workload.DataItem{}, errors.New("scheme: data lifetime must be positive")
+	}
+	now := e.Sim.Now()
+	item := workload.DataItem{
+		ID:       workload.DataID(len(e.W.Data)),
+		Source:   source,
+		SizeBits: sizeBits,
+		Created:  now,
+		Expires:  now + lifetimeSec,
+	}
+	e.W.Data = append(e.W.Data, item)
+	e.deliverData(item)
+	return item, nil
+}
+
+// InjectQuery appends a live query to the workload at the current
+// virtual time and runs the same query event the batch schedule would
+// have. issued is false when the requester already held the data (the
+// query never entered the network and is not counted).
+func (e *Env) InjectQuery(requester trace.NodeID, id workload.DataID, constraintSec float64) (q workload.Query, issued bool, err error) {
+	if requester < 0 || int(requester) >= e.N {
+		return q, false, fmt.Errorf("scheme: requester node %d outside [0,%d)", requester, e.N)
+	}
+	if id < 0 || int(id) >= len(e.W.Data) {
+		return q, false, fmt.Errorf("scheme: unknown data ID %d", id)
+	}
+	if constraintSec <= 0 {
+		return q, false, errors.New("scheme: query time constraint must be positive")
+	}
+	now := e.Sim.Now()
+	q = workload.Query{
+		ID:        workload.QueryID(len(e.W.Queries)),
+		Requester: requester,
+		Data:      id,
+		Issued:    now,
+		Deadline:  now + constraintSec,
+	}
+	e.W.Queries = append(e.W.Queries, q)
+	return q, e.issueQuery(q), nil
 }
 
 func (e *Env) scheduleMaintenance() error {
@@ -544,8 +606,12 @@ func (e *Env) scanExpiredQueries(now float64) {
 	if e.Obs == nil {
 		return
 	}
-	if e.expiredSeen == nil {
-		e.expiredSeen = make([]bool, len(e.W.Queries))
+	if len(e.expiredSeen) < len(e.W.Queries) {
+		// Sized to the workload, regrown when live injections extend it
+		// after the first sweep.
+		grown := make([]bool, len(e.W.Queries))
+		copy(grown, e.expiredSeen)
+		e.expiredSeen = grown
 	}
 	for i := range e.W.Queries {
 		q := &e.W.Queries[i]

@@ -243,3 +243,12 @@ func (s *Simulator) run(t Time, bounded bool) (n int, stopped bool) {
 
 // Pending returns the number of queued events (diagnostics only).
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// NextEventAt returns the timestamp of the earliest queued event, or
+// the current time when the queue is empty (the engine's Tick target).
+func (s *Simulator) NextEventAt() Time {
+	if len(s.queue) == 0 {
+		return s.now
+	}
+	return s.queue[0].at
+}

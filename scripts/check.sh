@@ -88,6 +88,14 @@ if [[ -z "${CHECK_SKIP_TRACE_ID:-}" ]]; then
     echo "faulted trace byte identity: OK ($(wc -l < "$tmpdir/f1.ndjson") lines)"
 fi
 
+# Service smoke: dtnserved + dtnload end to end — live bookkeeping
+# exactness and the batch /report byte-identity against dtnsim.
+# Set CHECK_SKIP_SERVE=1 to skip.
+if [[ -z "${CHECK_SKIP_SERVE:-}" ]]; then
+    echo "== serve-smoke (dtnserved + dtnload)"
+    ./scripts/serve_smoke.sh
+fi
+
 # Benchmark regression gate: rerun the suite and compare against the
 # committed PR 2 numbers. The 0.5x default threshold in the Makefile
 # only trips on gross slowdowns, so cross-machine noise passes.

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serve-smoke gate: boots dtnserved on an ephemeral port and drives it
+# with dtnload, twice:
+#
+#   1. live mode — publish a batch, fire Zipf queries from concurrent
+#      workers while advancing virtual time, then require /healthz green
+#      and the /metrics + /report issued totals to equal the generator's
+#      own count exactly (dtnload -verify), and a clean SIGTERM shutdown.
+#   2. batch mode — replay the generated MIT Reality workload to
+#      completion through POST /v1/advance and byte-compare the final
+#      GET /report against `dtnsim -report-json` of the same setup: the
+#      service and the CLI must execute one identical replay code path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    if [[ -n "$srv_pid" ]]; then kill "$srv_pid" 2>/dev/null || true; fi
+    wait 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "== serve-smoke: build"
+go build -o "$tmpdir/dtnserved" ./cmd/dtnserved
+go build -o "$tmpdir/dtnload" ./cmd/dtnload
+go build -o "$tmpdir/dtnsim" ./cmd/dtnsim
+
+wait_addr() {
+    for _ in $(seq 1 100); do
+        [[ -s "$1" ]] && return 0
+        sleep 0.1
+    done
+    echo "serve-smoke: server never wrote $1" >&2
+    [[ -f "$2" ]] && cat "$2" >&2
+    return 1
+}
+
+stop_server() { # $1 = logfile
+    kill -TERM "$srv_pid"
+    wait "$srv_pid"
+    srv_pid=""
+    if ! grep -q "shut down cleanly" "$1"; then
+        echo "serve-smoke: server did not shut down cleanly" >&2
+        cat "$1" >&2
+        return 1
+    fi
+}
+
+echo "== serve-smoke: live load (publish/query, /healthz, /metrics totals)"
+rm -f "$tmpdir/addr"
+"$tmpdir/dtnserved" -trace Infocom05 -listen 127.0.0.1:0 \
+    -addr-file "$tmpdir/addr" -live 2>"$tmpdir/srv-live.log" &
+srv_pid=$!
+wait_addr "$tmpdir/addr" "$tmpdir/srv-live.log"
+"$tmpdir/dtnload" -addr-file "$tmpdir/addr" -publish 8 -queries 5000 \
+    -workers 4 -advance-by 600 -advance-every 500
+stop_server "$tmpdir/srv-live.log"
+
+echo "== serve-smoke: batch replay byte-identity (/report vs dtnsim -report-json)"
+rm -f "$tmpdir/addr"
+"$tmpdir/dtnserved" -trace "MIT Reality" -listen 127.0.0.1:0 \
+    -addr-file "$tmpdir/addr" -live=false 2>"$tmpdir/srv-batch.log" &
+srv_pid=$!
+wait_addr "$tmpdir/addr" "$tmpdir/srv-batch.log"
+"$tmpdir/dtnload" -addr-file "$tmpdir/addr" -publish 0 -queries 0 \
+    -advance-end -report-out "$tmpdir/report-served.json" -verify=false
+stop_server "$tmpdir/srv-batch.log"
+"$tmpdir/dtnsim" -trace "MIT Reality" -report-json >"$tmpdir/report-sim.json"
+cmp "$tmpdir/report-served.json" "$tmpdir/report-sim.json"
+echo "serve-smoke: report byte identity OK ($(wc -c < "$tmpdir/report-sim.json") bytes)"
+
+echo "serve-smoke: OK"
