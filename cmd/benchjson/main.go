@@ -12,7 +12,10 @@
 // its speedup (baseline ns/op divided by current ns/op), and
 // -regress-below makes the run fail when any common benchmark's
 // speedup drops under the threshold — the regression gate behind
-// `make bench-compare`.
+// `make bench-compare`. A benchmark present only in the current run
+// produces a warning (the baseline predates it); a baseline benchmark
+// absent from the current run fails the comparison, since the numbers
+// it pinned are no longer measured at all.
 //
 // Input lines that are not benchmark results (goos/pkg headers, PASS,
 // ok) are ignored, so whole `go test` transcripts can be piped in.
@@ -143,6 +146,7 @@ func run(args []string) error {
 		}
 		sum.Ratios = append(sum.Ratios, ratio)
 	}
+	var vanished []string
 	if *baseline != "" {
 		base, err := loadSummary(*baseline)
 		if err != nil {
@@ -150,9 +154,17 @@ func run(args []string) error {
 		}
 		sum.Baseline = *baseline
 		warnEnvMismatch(os.Stderr, base, sum)
-		sum.VsBaseline = compareBaseline(base.Benchmarks, sum.Benchmarks)
+		var fresh []string
+		sum.VsBaseline, vanished, fresh = compareBaseline(base.Benchmarks, sum.Benchmarks)
 		if len(sum.VsBaseline) == 0 {
 			return fmt.Errorf("baseline %s shares no benchmarks with the input", *baseline)
+		}
+		// A benchmark the baseline has but this run lacks is a gate
+		// escape — the numbers it pinned are no longer measured — so it
+		// fails (below, after the output is written). A benchmark new in
+		// this run merely predates the baseline: warn and move on.
+		for _, n := range fresh {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: benchmark %s not in baseline %s; no speedup computed\n", n, *baseline)
 		}
 	}
 
@@ -167,6 +179,9 @@ func run(args []string) error {
 		}
 	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
+	}
+	if len(vanished) > 0 {
+		return fmt.Errorf("baseline %s has benchmarks absent from the input: %s", *baseline, strings.Join(vanished, ", "))
 	}
 	return checkRegressions(sum.VsBaseline, *regress)
 }
@@ -216,16 +231,23 @@ func loadSummary(path string) (*Summary, error) {
 }
 
 // compareBaseline pairs up benchmarks by name and computes speedups,
-// preserving the current run's benchmark order.
-func compareBaseline(base, cur []Result) []Compared {
+// preserving the current run's benchmark order. vanished lists baseline
+// benchmarks the current run no longer measures (in baseline order);
+// fresh lists current benchmarks the baseline predates.
+func compareBaseline(base, cur []Result) (out []Compared, vanished, fresh []string) {
 	byName := make(map[string]Result, len(base))
 	for _, b := range base {
 		byName[b.Name] = b
 	}
-	var out []Compared
+	inCur := make(map[string]bool, len(cur))
 	for _, c := range cur {
+		inCur[c.Name] = true
 		b, ok := byName[c.Name]
-		if !ok || b.NsPerOp == 0 || c.NsPerOp == 0 {
+		if !ok {
+			fresh = append(fresh, c.Name)
+			continue
+		}
+		if b.NsPerOp == 0 || c.NsPerOp == 0 {
 			continue
 		}
 		out = append(out, Compared{
@@ -235,7 +257,12 @@ func compareBaseline(base, cur []Result) []Compared {
 			Speedup:    b.NsPerOp / c.NsPerOp,
 		})
 	}
-	return out
+	for _, b := range base {
+		if !inCur[b.Name] {
+			vanished = append(vanished, b.Name)
+		}
+	}
+	return out, vanished, fresh
 }
 
 // checkRegressions fails the run when any compared benchmark fell below

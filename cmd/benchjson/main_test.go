@@ -91,12 +91,54 @@ func TestCompareBaseline(t *testing.T) {
 		{Name: "ReplaySingleScheme", NsPerOp: 1600},
 		{Name: "OnlyInCurrent", NsPerOp: 5},
 	}
-	cmp := compareBaseline(base, cur)
+	cmp, vanished, fresh := compareBaseline(base, cur)
 	if len(cmp) != 1 {
 		t.Fatalf("compared %d benchmarks, want 1 (only the common one)", len(cmp))
 	}
 	if cmp[0].Name != "ReplaySingleScheme" || cmp[0].Speedup != 2.5 {
 		t.Errorf("compared = %+v, want ReplaySingleScheme 2.5x", cmp[0])
+	}
+	if len(vanished) != 1 || vanished[0] != "OnlyInBaseline" {
+		t.Errorf("vanished = %v, want [OnlyInBaseline]", vanished)
+	}
+	if len(fresh) != 1 || fresh[0] != "OnlyInCurrent" {
+		t.Errorf("fresh = %v, want [OnlyInCurrent]", fresh)
+	}
+}
+
+// TestRunBaselineCoverage pins the run-level asymmetry: a benchmark the
+// baseline lacks only warns, one the current run lacks fails — but the
+// output file is still written either way.
+func TestRunBaselineCoverage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(p, s string) {
+		t.Helper()
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dir+"/base.txt", "BenchmarkShared \t100\t 40 ns/op\nBenchmarkOld \t100\t 40 ns/op\n")
+	write(dir+"/grown.txt", "BenchmarkShared \t100\t 40 ns/op\nBenchmarkOld \t100\t 40 ns/op\nBenchmarkNew \t100\t 40 ns/op\n")
+	write(dir+"/shrunk.txt", "BenchmarkShared \t100\t 40 ns/op\n")
+	basePath := dir + "/base.json"
+	if err := run([]string{"-o", basePath, dir + "/base.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	// Grown suite: the new benchmark is a warning, not a failure.
+	if err := run([]string{"-o", dir + "/grown.json", "-baseline", basePath, dir + "/grown.txt"}); err != nil {
+		t.Errorf("benchmark missing from the baseline must not fail: %v", err)
+	}
+	// Shrunk suite: a baseline benchmark vanished; the gate must fail
+	// and name it, with the output still on disk for inspection.
+	err := run([]string{"-o", dir + "/shrunk.json", "-baseline", basePath, dir + "/shrunk.txt"})
+	if err == nil {
+		t.Fatal("vanished baseline benchmark must fail the comparison")
+	}
+	if !strings.Contains(err.Error(), "Old") {
+		t.Errorf("error must name the vanished benchmark: %v", err)
+	}
+	if _, serr := os.Stat(dir + "/shrunk.json"); serr != nil {
+		t.Errorf("output must be written even when the gate fails: %v", serr)
 	}
 }
 

@@ -74,6 +74,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	setup.Stream = tf.Opener()
 	manifest := obs.NewManifest(tr.Name, *schemeName, *ef.Seed, cli.Digestable(setup))
 	if ring == nil {
 		// Stream sink: the manifest is the first recorded line. With a
@@ -91,6 +92,9 @@ func run(args []string) error {
 		var eng *engine.Engine
 		if eng, err = engine.New(setup); err == nil {
 			rep, err = eng.Run()
+			if err == nil {
+				err = eng.ReplayErr()
+			}
 			if err == nil && *ef.Invariants {
 				if v := eng.InvariantViolations(); len(v) > 0 {
 					err = fmt.Errorf("%d invariant violation(s), first: %s", len(v), v[0])

@@ -43,8 +43,11 @@ func run(args []string) error {
 		amax     = fs.Float64("amax", 15, "custom trace: max activity ratio")
 		comms    = fs.Int("communities", 0, "custom trace: community count (0 = none)")
 		boost    = fs.Float64("boost", 8, "custom trace: intra-community rate boost")
+		city     = fs.Bool("city", false, "city-scale generator: power-law districts + diurnal cycle; with -format chunked the trace streams to -o without being materialized")
+		inter    = fs.Float64("inter", 0.05, "city: inter-community contact probability")
 		seed     = fs.Int64("seed", 1, "random seed")
 		out      = fs.String("o", "", "write the trace to this file ('-' for stdout)")
+		format   = fs.String("format", "plain", "output format for -o: plain or chunked (binary columnar)")
 		analyze  = fs.Bool("analyze", false, "print inter-contact time analysis (exponential-fit check)")
 		rwp      = fs.Bool("rwp", false, "generate via random-waypoint mobility instead of Poisson contacts")
 		arena    = fs.Float64("arena", 1000, "RWP: arena side in meters")
@@ -61,6 +64,27 @@ func run(args []string) error {
 		}
 		fmt.Println(t.Format())
 		return nil
+	}
+
+	if *city {
+		if *nodes <= 0 || *days <= 0 || *contacts <= 0 {
+			return fmt.Errorf("-city needs -nodes, -days and -contacts")
+		}
+		cfg := trace.CityDefaults(*nodes, *contacts)
+		cfg.DurationSec = *days * 86400
+		cfg.GranularitySec = *gran
+		cfg.InterProb = *inter
+		cfg.Seed = *seed
+		if *out != "" && *format == "chunked" {
+			// The O(nodes)-memory path: generator -> chunked writer,
+			// no materialized contact slice at any point.
+			return streamCityChunked(cfg, *out)
+		}
+		tr, err := trace.GenerateCity(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(tr, *out, *format, *analyze)
 	}
 
 	var tr *trace.Trace
@@ -89,11 +113,17 @@ func run(args []string) error {
 		return err
 	}
 
+	return emit(tr, *out, *format, *analyze)
+}
+
+// emit prints the trace statistics and writes the trace to out (if any)
+// in the requested format.
+func emit(tr *trace.Trace, out, format string, analyze bool) error {
 	s := tr.ComputeStats()
 	fmt.Fprintf(os.Stderr, "%s: %d nodes, %.1f days, %d contacts, %.3g contacts/pair/day, mean contact %.0fs\n",
 		tr.Name, s.Nodes, s.DurationDays, s.Contacts, s.PairwiseFreqDay, s.MeanContactSec)
 
-	if *analyze {
+	if analyze {
 		ic := tr.AnalyzeInterContacts()
 		fmt.Printf("inter-contact analysis (%d gaps over %d pairs):\n", ic.Samples, ic.PairsObserved)
 		fmt.Printf("  mean %.0fs, median %.0fs, CV %.2f (exponential: 1.0)\n",
@@ -101,17 +131,61 @@ func run(args []string) error {
 		fmt.Printf("  KS distance to exponential (rate-normalized): %.4f\n", ic.KSDistance)
 	}
 
-	if *out == "" {
+	if out == "" {
 		return nil
 	}
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	return trace.Write(w, tr)
+	switch format {
+	case "plain":
+		return trace.Write(w, tr)
+	case "chunked":
+		return trace.WriteChunked(w, tr)
+	default:
+		return fmt.Errorf("unknown output format %q (plain, chunked)", format)
+	}
+}
+
+// streamCityChunked pipes the city generator straight into the chunked
+// writer: peak memory stays O(nodes) no matter how many contacts the
+// trace holds.
+func streamCityChunked(cfg trace.CityConfig, out string) error {
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	sw, err := trace.NewStreamWriter(w, trace.StreamMeta{
+		Name:        cfg.Name,
+		Nodes:       cfg.Nodes,
+		Duration:    cfg.DurationSec,
+		Granularity: cfg.GranularitySec,
+	})
+	if err != nil {
+		return err
+	}
+	count := 0
+	if err := trace.StreamCity(cfg, func(c trace.Contact) error {
+		count++
+		return sw.Add(c)
+	}); err != nil {
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d nodes, %.1f days, %d contacts (streamed)\n",
+		cfg.Name, cfg.Nodes, cfg.DurationSec/86400, count)
+	return nil
 }

@@ -35,25 +35,45 @@ import (
 func WallClock() int64 { return time.Now().UnixNano() }
 
 // TraceFlags selects the contact trace: a built-in preset or a file in
-// one of the supported formats.
+// one of the supported formats, optionally replayed as a stream.
 type TraceFlags struct {
 	Preset *string
 	File   *string
 	Format *string
+	Stream *bool
 }
 
-// AddTraceFlags registers -trace, -tracefile and -format on fs.
+// AddTraceFlags registers -trace, -tracefile, -format and -stream on fs.
 func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	return &TraceFlags{
 		Preset: fs.String("trace", "MIT Reality", "trace preset (Infocom05, Infocom06, 'MIT Reality', UCSD)"),
 		File:   fs.String("tracefile", "", "read the trace from this file instead of a preset"),
-		Format: fs.String("format", "plain", "trace file format: plain ('a b start end'), csv ('a,b,start,end') or one (ONE simulator CONN events)"),
+		Format: fs.String("format", "plain", "trace file format: plain ('a b start end'), csv ('a,b,start,end'), one (ONE simulator CONN events) or chunked (binary stream, see tracegen -emit chunked)"),
+		Stream: fs.Bool("stream", false, "replay the tracefile without materializing contacts in memory (requires -format chunked)"),
 	}
 }
 
 // Load reads or generates the selected trace; seed drives preset
-// generation.
+// generation. With -stream set it reads only the chunked header and
+// returns a metadata-only trace (empty Contacts) — Opener supplies the
+// contact stream.
 func (t *TraceFlags) Load(seed int64) (*trace.Trace, error) {
+	if *t.Stream {
+		if *t.File == "" || strings.ToLower(*t.Format) != "chunked" {
+			return nil, fmt.Errorf("-stream requires -tracefile with -format chunked")
+		}
+		f, err := os.Open(*t.File)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sr, err := trace.NewStreamReader(f)
+		if err != nil {
+			return nil, err
+		}
+		m := sr.Meta()
+		return &trace.Trace{Name: m.Name, Nodes: m.Nodes, Duration: m.Duration, Granularity: m.Granularity}, nil
+	}
 	if *t.File == "" {
 		return trace.GeneratePreset(trace.Preset(*t.Preset), seed)
 	}
@@ -69,9 +89,52 @@ func (t *TraceFlags) Load(seed int64) (*trace.Trace, error) {
 		return trace.ReadCSV(f)
 	case "one":
 		return trace.ReadONE(f)
+	case "chunked":
+		return trace.ReadChunked(f)
 	default:
 		return nil, fmt.Errorf("unknown trace format %q", *t.Format)
 	}
+}
+
+// Opener returns the engine.Config.Stream opener when -stream is set,
+// nil otherwise. Each call opens the tracefile afresh, as the streaming
+// contracts require; the underlying file closes itself when the source
+// is drained or errors.
+func (t *TraceFlags) Opener() func() (trace.ContactSource, error) {
+	if !*t.Stream {
+		return nil
+	}
+	file := *t.File
+	return func() (trace.ContactSource, error) {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := trace.NewStreamReader(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &fileSource{f: f, sr: sr}, nil
+	}
+}
+
+// fileSource streams contacts from an open tracefile and closes it at
+// EOF or on the first read error. A source abandoned mid-stream (a
+// knowledge-feed rewind) holds its descriptor until process exit —
+// fine for one-shot CLI runs, which is all this type serves.
+type fileSource struct {
+	f  *os.File
+	sr *trace.StreamReader
+}
+
+func (s *fileSource) NextContact() (trace.Contact, error) {
+	c, err := s.sr.NextContact()
+	if err != nil && s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	return c, err
 }
 
 // FaultFlags configures the deterministic fault-injection engine.
@@ -210,6 +273,7 @@ func ParseResponse(s string) (scheme.ResponseMode, error) {
 func Digestable(c engine.Config) engine.Config {
 	c.Trace = nil
 	c.Knowledge = nil
+	c.Stream = nil
 	c.Obs = nil
 	return c
 }

@@ -117,6 +117,16 @@ type Config struct {
 	// scheme, so one provider serves every cell of a sweep over the
 	// same trace.
 	Knowledge *knowledge.Provider
+	// Stream optionally replays contacts from a streaming source instead
+	// of Trace.Contacts, so city-scale traces never materialize in
+	// memory. The opener must return a fresh source positioned at the
+	// start on every call — the engine opens one stream for the contact
+	// driver and one (plus one per rewind) for the knowledge feed. Trace
+	// is still required and supplies the metadata (Name, Nodes,
+	// Duration); its Contacts may be empty. Results are byte-identical
+	// to a materialized run over the same contacts; callers should check
+	// Engine.ReplayErr after the run.
+	Stream func() (trace.ContactSource, error)
 	// Obs is the observability recorder wired into the environment (nil
 	// = off). Metric updates are atomic, so one recorder may be shared
 	// across parallel cells (RunComparison, sweeps) — but only a

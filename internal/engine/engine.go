@@ -91,7 +91,12 @@ func New(cfg Config) (*Engine, error) {
 	sc.CheckInvariants = c.CheckInvariants
 	sc.Seed = c.Seed
 	sc.Obs = c.Obs
-	env, err := scheme.NewEnvShared(c.Trace, w, sc, factory(), c.Knowledge)
+	var env *scheme.Env
+	if c.Stream != nil {
+		env, err = scheme.NewEnvStream(c.Trace, w, sc, factory(), c.Knowledge, c.Stream)
+	} else {
+		env, err = scheme.NewEnvShared(c.Trace, w, sc, factory(), c.Knowledge)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +264,16 @@ func (e *Engine) Satisfied(id workload.QueryID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.env.M.Satisfied(id)
+}
+
+// ReplayErr returns the sticky error, if any, the streaming contact
+// feed or knowledge feed reported. Always nil for a materialized run.
+// A streaming run observing a non-nil ReplayErr saw only a prefix of
+// the trace and must be discarded.
+func (e *Engine) ReplayErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.env.ReplayErr()
 }
 
 // Report computes the metric summary of everything replayed so far.

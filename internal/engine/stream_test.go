@@ -1,0 +1,157 @@
+package engine_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtncache/internal/engine"
+	"dtncache/internal/trace"
+)
+
+// metaOnly strips the contact slice off a trace, leaving what a
+// streaming run carries in Config.Trace.
+func metaOnly(tr *trace.Trace) *trace.Trace {
+	return &trace.Trace{Name: tr.Name, Nodes: tr.Nodes, Duration: tr.Duration, Granularity: tr.Granularity}
+}
+
+// TestStreamedRunMatchesMaterialized pins the streaming pipeline's core
+// promise end to end: an engine fed a contact source (driver feed and
+// knowledge feed both) produces a report bit-identical to the
+// materialized engine over the same trace.
+func TestStreamedRunMatchesMaterialized(t *testing.T) {
+	tr := infocom(t)
+	// T_L = 12h: the 7-day default generates no queries inside
+	// Infocom05's 3-day horizon, and a zero-query comparison proves
+	// little.
+	const lifetime = 12 * 3600
+	base, err := engine.New(engine.Config{Trace: tr, Scheme: engine.SchemeIntentional, AvgLifetime: lifetime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := engine.New(engine.Config{
+		Trace:       metaOnly(tr),
+		Scheme:      engine.SchemeIntentional,
+		AvgLifetime: lifetime,
+		Stream: func() (trace.ContactSource, error) {
+			return trace.NewSliceSource(tr.Contacts), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplayErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("streamed run != materialized run:\n%+v\n%+v", got, want)
+	}
+	if want.QueriesIssued == 0 {
+		t.Error("expected a nonzero batch workload on Infocom05")
+	}
+}
+
+// TestStreamedRunFromChunkedFile replays the same comparison through
+// the on-disk chunked format — the exact path dtnsim -stream takes.
+func TestStreamedRunFromChunkedFile(t *testing.T) {
+	tr := infocom(t)
+	path := filepath.Join(t.TempDir(), "trace.dtnc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChunked(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const lifetime = 12 * 3600 // see TestStreamedRunMatchesMaterialized
+	base, err := engine.New(engine.Config{Trace: tr, AvgLifetime: lifetime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := engine.New(engine.Config{
+		Trace:       metaOnly(tr),
+		AvgLifetime: lifetime,
+		Stream: func() (trace.ContactSource, error) {
+			g, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := trace.NewStreamReader(g)
+			if err != nil {
+				g.Close()
+				return nil, err
+			}
+			return sr, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplayErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("chunked streamed run != materialized run:\n%+v\n%+v", got, want)
+	}
+}
+
+// failTailSource errors after yielding a prefix of the contacts.
+type failTailSource struct {
+	contacts []trace.Contact
+	i        int
+	err      error
+}
+
+func (s *failTailSource) NextContact() (trace.Contact, error) {
+	if s.i >= len(s.contacts) {
+		return trace.Contact{}, s.err
+	}
+	c := s.contacts[s.i]
+	s.i++
+	return c, nil
+}
+
+// TestStreamedRunReportsFeedError: a source failing mid-replay must
+// surface through Engine.ReplayErr so drivers can discard the run.
+func TestStreamedRunReportsFeedError(t *testing.T) {
+	tr := infocom(t)
+	boom := errors.New("disk gone")
+	eng, err := engine.New(engine.Config{
+		Trace: metaOnly(tr),
+		Stream: func() (trace.ContactSource, error) {
+			return &failTailSource{contacts: tr.Contacts[:len(tr.Contacts)/2], err: boom}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplayErr(); !errors.Is(err, boom) {
+		t.Fatalf("ReplayErr = %v, want %v", err, boom)
+	}
+}

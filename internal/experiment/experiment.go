@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -53,15 +54,19 @@ func Run(s Setup, schemeName string) (metrics.Report, error) {
 		return metrics.Report{}, err
 	}
 	hook, _ := cellHook.Load().(cellHookFn)
-	if hook == nil {
-		return eng.Run()
-	}
 	start := time.Now()
 	rep, err := eng.Run()
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	hook(schemeName, time.Since(start).Nanoseconds())
+	// A streamed replay that lost its source mid-run saw only a prefix
+	// of the trace; its report is not comparable to anything.
+	if rerr := eng.ReplayErr(); rerr != nil {
+		return metrics.Report{}, fmt.Errorf("streamed replay incomplete: %w", rerr)
+	}
+	if hook != nil {
+		hook(schemeName, time.Since(start).Nanoseconds())
+	}
 	return rep, nil
 }
 

@@ -168,11 +168,53 @@ func (g *Graph) Neighbors(v trace.NodeID) []trace.NodeID {
 // Paths holds the shortest opportunistic paths from one source to every
 // other node: hop-capped minimum-expected-delay paths whose weights
 // (delivery probability within T) follow Eqs. (1)-(2).
+//
+// Per-destination data is stored compactly for reachable destinations
+// only: idx maps a destination to its reachable index (-1 otherwise),
+// hop rates live concatenated in one slab sliced by ratesOff, and the
+// hypoexponential cache is indexed by the same compact index. On sparse
+// graphs (a city district reaches only its own community) this keeps a
+// Paths proportional to what the source can actually reach instead of
+// paying three full-width arrays per source.
 type Paths struct {
-	src      trace.NodeID
-	delay    []float64   // min expected delay; +Inf if unreachable
-	hopRates [][]float64 // rates along the best path, in hop order
-	dists    []*mathx.Hypoexp
+	src       trace.NodeID
+	delay     []float64 // min expected delay per node; +Inf if unreachable
+	idx       []int32   // node -> compact reachable index, or -1
+	ratesOff  []int32   // reach+1 offsets into ratesSlab, in hop order
+	ratesSlab []float64 // concatenated hop rates of every reachable path
+	dists     []*mathx.Hypoexp
+}
+
+// PathScratch holds the layered-DP working arrays of Paths so repeated
+// path computations (the knowledge builder runs one per dirty source
+// per snapshot) reuse them instead of reallocating. A scratch is not
+// safe for concurrent use; pool one per worker. The zero value is
+// ready.
+type PathScratch struct {
+	dist   [][]float64
+	choice [][]trace.NodeID
+}
+
+// layers resizes the scratch to hold maxHops+1 layers of width n and
+// returns them. Contents are not cleared; PathsInto re-initializes
+// every cell it reads.
+func (ps *PathScratch) layers(maxHops, n int) ([][]float64, [][]trace.NodeID) {
+	h := maxHops + 1
+	if cap(ps.dist) < h {
+		ps.dist = make([][]float64, h)
+		ps.choice = make([][]trace.NodeID, h)
+	}
+	ps.dist = ps.dist[:h]
+	ps.choice = ps.choice[:h]
+	for i := 0; i < h; i++ {
+		if cap(ps.dist[i]) < n {
+			ps.dist[i] = make([]float64, n)
+			ps.choice[i] = make([]trace.NodeID, n)
+		}
+		ps.dist[i] = ps.dist[i][:n]
+		ps.choice[i] = ps.choice[i][:n]
+	}
+	return ps.dist, ps.choice
 }
 
 // Paths computes shortest opportunistic paths from src with at most
@@ -180,19 +222,27 @@ type Paths struct {
 // (Bellman-Ford over hop counts), which is exact for hop-capped minimum
 // expected delay.
 func (g *Graph) Paths(src trace.NodeID, maxHops int) *Paths {
+	return g.PathsInto(src, maxHops, nil)
+}
+
+// PathsInto is Paths with caller-provided working memory: scratch (nil
+// for one-shot use) supplies the DP layers, so a pooled scratch makes
+// repeated calls allocate only the returned Paths. The result never
+// aliases the scratch and scratch identity never affects the result.
+func (g *Graph) PathsInto(src trace.NodeID, maxHops int, scratch *PathScratch) *Paths {
 	if maxHops <= 0 {
 		maxHops = DefaultMaxHops
+	}
+	if scratch == nil {
+		scratch = &PathScratch{}
 	}
 	n := g.n
 	const inf = 1e300
 	// Layered DP: dist[h][v] is the minimum expected delay from src to v
 	// using at most h hops; choice[h][v] is the last hop's upstream node,
 	// or -1 when the h-hop value is carried over from h-1 hops.
-	dist := make([][]float64, maxHops+1)
-	choice := make([][]trace.NodeID, maxHops+1)
+	dist, choice := scratch.layers(maxHops, n)
 	for h := range dist {
-		dist[h] = make([]float64, n)
-		choice[h] = make([]trace.NodeID, n)
 		for v := range dist[h] {
 			dist[h][v] = inf
 			choice[h][v] = -1
@@ -228,26 +278,38 @@ func (g *Graph) Paths(src trace.NodeID, maxHops int) *Paths {
 			break
 		}
 	}
-	final := dist[maxHops]
+	// Copy the final layer out of the scratch: the Paths must own its
+	// delay slice so the scratch can be reused for the next source.
+	final := make([]float64, n)
+	copy(final, dist[maxHops])
 	p := &Paths{
-		src:      src,
-		delay:    final,
-		hopRates: make([][]float64, n),
-		dists:    make([]*mathx.Hypoexp, n),
+		src:   src,
+		delay: final,
+		idx:   make([]int32, n),
 	}
+	reach := 0
+	for v := 0; v < n; v++ {
+		p.idx[v] = -1
+		if v != int(src) && final[v] < inf {
+			reach++
+		}
+	}
+	p.ratesOff = make([]int32, 1, reach+1)
+	p.ratesSlab = make([]float64, 0, reach*maxHops)
+	buf := make([]float64, 0, maxHops)
 	for v := 0; v < n; v++ {
 		if v == int(src) || final[v] >= inf {
 			continue
 		}
 		// Recover the path by walking the DP layers downward.
-		rates := make([]float64, 0, maxHops)
+		buf = buf[:0]
 		cursor := trace.NodeID(v)
 		for h := maxHops; h > 0 && cursor != src; h-- {
 			u := choice[h][cursor]
 			if u < 0 {
 				continue // value carried from layer h-1
 			}
-			rates = append(rates, g.Rate(u, cursor))
+			buf = append(buf, g.Rate(u, cursor))
 			cursor = u
 		}
 		if cursor != src {
@@ -256,12 +318,25 @@ func (g *Graph) Paths(src trace.NodeID, maxHops int) *Paths {
 		}
 		// Reverse into src->v hop order (the hypoexponential weight does
 		// not depend on order, but diagnostics read better).
-		for i, j := 0, len(rates)-1; i < j; i, j = i+1, j-1 {
-			rates[i], rates[j] = rates[j], rates[i]
+		for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+			buf[i], buf[j] = buf[j], buf[i]
 		}
-		p.hopRates[v] = rates
+		p.idx[v] = int32(len(p.ratesOff) - 1)
+		p.ratesSlab = append(p.ratesSlab, buf...)
+		p.ratesOff = append(p.ratesOff, int32(len(p.ratesSlab)))
 	}
+	p.dists = make([]*mathx.Hypoexp, len(p.ratesOff)-1)
 	return p
+}
+
+// hopRates returns the slab range of dst's path, or nil if dst is
+// unreachable or the source itself.
+func (p *Paths) hopRates(dst trace.NodeID) []float64 {
+	k := p.idx[dst]
+	if k < 0 {
+		return nil
+	}
+	return p.ratesSlab[p.ratesOff[k]:p.ratesOff[k+1]]
 }
 
 // Source returns the path-tree root.
@@ -272,18 +347,19 @@ func (p *Paths) Reachable(dst trace.NodeID) bool {
 	if int(dst) >= len(p.delay) || dst < 0 {
 		return false
 	}
-	return dst == p.src || p.hopRates[dst] != nil
+	return dst == p.src || p.idx[dst] >= 0
 }
 
 // ExpectedDelay returns the expected delay of the shortest opportunistic
 // path to dst (0 for the source itself, +Inf-like 1e300 if unreachable).
 func (p *Paths) ExpectedDelay(dst trace.NodeID) float64 { return p.delay[dst] }
 
-// HopRates returns the contact rates along the path to dst (nil if
+// HopRates returns the contact rates along the path to dst (empty if
 // unreachable or dst == src).
 func (p *Paths) HopRates(dst trace.NodeID) []float64 {
-	out := make([]float64, len(p.hopRates[dst]))
-	copy(out, p.hopRates[dst])
+	rates := p.hopRates(dst)
+	out := make([]float64, len(rates))
+	copy(out, rates)
 	return out
 }
 
@@ -293,10 +369,11 @@ func (p *Paths) Hops(dst trace.NodeID) int {
 	if dst == p.src {
 		return 0
 	}
-	if p.hopRates[dst] == nil {
+	k := p.idx[dst]
+	if k < 0 {
 		return -1
 	}
-	return len(p.hopRates[dst])
+	return int(p.ratesOff[k+1] - p.ratesOff[k])
 }
 
 // Weight returns the opportunistic path weight p_{src,dst}(T): the
@@ -313,18 +390,18 @@ func (p *Paths) Weight(dst trace.NodeID, t float64) float64 {
 		}
 		return 1
 	}
-	rates := p.hopRates[dst]
-	if rates == nil {
+	k := p.idx[dst]
+	if k < 0 {
 		return 0
 	}
-	h := p.dists[dst]
+	h := p.dists[k]
 	if h == nil {
 		var err error
-		h, err = mathx.NewHypoexp(rates)
+		h, err = mathx.NewHypoexp(p.ratesSlab[p.ratesOff[k]:p.ratesOff[k+1]])
 		if err != nil {
 			return 0
 		}
-		p.dists[dst] = h
+		p.dists[k] = h
 	}
 	return h.CDF(t)
 }
@@ -335,12 +412,12 @@ func (p *Paths) Weight(dst trace.NodeID, t float64) float64 {
 // every Weight call is read-only, so a materialized Paths is safe for
 // concurrent use (the contract knowledge snapshots rely on).
 func (p *Paths) Materialize() {
-	for v, rates := range p.hopRates {
-		if rates == nil || p.dists[v] != nil {
+	for k := range p.dists {
+		if p.dists[k] != nil {
 			continue
 		}
-		if h, err := mathx.NewHypoexp(rates); err == nil {
-			p.dists[v] = h
+		if h, err := mathx.NewHypoexp(p.ratesSlab[p.ratesOff[k]:p.ratesOff[k+1]]); err == nil {
+			p.dists[k] = h
 		}
 	}
 }

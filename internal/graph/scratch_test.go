@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"testing"
+
+	"dtncache/internal/mathx"
+	"dtncache/internal/trace"
+)
+
+// TestPathsIntoMatchesPaths: a reused scratch must never change any
+// result — delays, hop rates, or weights — for any source.
+func TestPathsIntoMatchesPaths(t *testing.T) {
+	const n = 40
+	rng := mathx.NewRand(5)
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Bernoulli(0.15) {
+				g.SetRate(trace.NodeID(i), trace.NodeID(j), rng.Exp(2000))
+			}
+		}
+	}
+	scratch := &PathScratch{}
+	for src := 0; src < n; src++ {
+		want := g.Paths(trace.NodeID(src), 4)
+		got := g.PathsInto(trace.NodeID(src), 4, scratch)
+		for v := 0; v < n; v++ {
+			if want.ExpectedDelay(trace.NodeID(v)) != got.ExpectedDelay(trace.NodeID(v)) {
+				t.Fatalf("src %d dst %d: delay %g != %g", src, v,
+					got.ExpectedDelay(trace.NodeID(v)), want.ExpectedDelay(trace.NodeID(v)))
+			}
+			if ww, gw := want.Weight(trace.NodeID(v), 3600), got.Weight(trace.NodeID(v), 3600); ww != gw {
+				t.Fatalf("src %d dst %d: weight %g != %g", src, v, gw, ww)
+			}
+		}
+	}
+}
+
+// TestPathsIntoResultOwnsDelay: mutating the scratch after PathsInto
+// must not corrupt an earlier result (the slice must be copied out).
+func TestPathsIntoResultOwnsDelay(t *testing.T) {
+	g := NewGraph(4)
+	g.SetRate(0, 1, 0.01)
+	g.SetRate(1, 2, 0.02)
+	scratch := &PathScratch{}
+	p0 := g.PathsInto(0, 3, scratch)
+	d01 := p0.ExpectedDelay(1)
+	_ = g.PathsInto(3, 3, scratch) // node 3 is isolated; overwrites the layers
+	if p0.ExpectedDelay(1) != d01 {
+		t.Fatalf("delay changed after scratch reuse: %g != %g", p0.ExpectedDelay(1), d01)
+	}
+}

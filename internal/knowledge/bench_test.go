@@ -99,3 +99,31 @@ func BenchmarkSnapshotIncrementalExact(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAllPathsCity measures the snapshot pipeline on the
+// city-scale preset shape: 400 nodes in isolated power-law districts
+// (InterProb = 0), where almost every source-destination pair is
+// unreachable and a dense weight matrix is nearly all zeros. The
+// bytes/op of this benchmark is the headline number for the CSR
+// snapshot layout.
+func BenchmarkAllPathsCity(b *testing.B) {
+	cfg := trace.CityDefaults(400, 60000)
+	cfg.DurationSec = 2 * 86400
+	cfg.InterProb = 0
+	tr, err := trace.GenerateCity(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := knowledge.Params{Nodes: tr.Nodes, MetricT: 86400}
+	builder := knowledge.NewBuilder(params, tr.Contacts)
+	grid := make([]float64, 6)
+	for i := range grid {
+		grid[i] = tr.Duration/2 + float64(i)*tr.Duration/12
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v, t := range grid {
+			builder.Build(t, nil, v+1)
+		}
+	}
+}

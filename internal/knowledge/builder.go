@@ -2,6 +2,7 @@ package knowledge
 
 import (
 	"sort"
+	"sync"
 
 	"dtncache/internal/graph"
 	"dtncache/internal/trace"
@@ -61,20 +62,42 @@ func (b *Builder) counts(t float64) []int {
 // row and metric (see dirtySources). version is recorded on the
 // snapshot; the Provider passes its own monotone counter.
 func (b *Builder) Build(t float64, base *Snapshot, version int) *Snapshot {
+	var counts []int
+	if t > 0 {
+		counts = b.counts(t)
+	}
+	return b.buildFromCounts(counts, t, base, version)
+}
+
+// scratchPool recycles the layered-DP working arrays across path
+// computations. Scratch identity never affects results (PathsInto's
+// contract), so pooling is invisible to determinism.
+var scratchPool = sync.Pool{New: func() any { return new(graph.PathScratch) }}
+
+// buildFromCounts is Build with the contact counting already done —
+// the streaming Provider supplies counts from its online fold instead
+// of a materialized contact list. counts may be nil when t <= 0.
+//
+// The weight matrix is built in two passes so its CSR slabs can be
+// sized exactly: pass 1 computes each dirty source's paths, its Eq. (3)
+// metric (summing every off-diagonal weight, zeros included, in the
+// same order as the dense build — bit-identical by construction), and
+// its non-zero count; after a prefix sum sizes the slabs, pass 2 fills
+// each row's index-owned range. The second weight evaluation per entry
+// is a pure read of the materialized hypoexponentials.
+func (b *Builder) buildFromCounts(counts []int, t float64, base *Snapshot, version int) *Snapshot {
 	n := b.params.Nodes
 	s := &Snapshot{
 		params:  b.params,
 		version: version,
 		builtAt: t,
 		paths:   make([]*graph.Paths, n),
-		metricW: make([]float64, n*n),
 		metrics: make([]float64, n),
 	}
 	// The rate arithmetic must match RateEstimator.Snapshot bit-for-bit:
 	// count/elapsed with the observation window starting at 0.
 	s.g = graph.NewGraph(n)
-	if t > 0 {
-		counts := b.counts(t)
+	if t > 0 && counts != nil {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if c := counts[i*n+j]; c > 0 {
@@ -93,46 +116,89 @@ func (b *Builder) Build(t float64, base *Snapshot, version int) *Snapshot {
 			dirty[i] = i
 		}
 	}
+	isDirty := make([]bool, n)
+	for _, i := range dirty {
+		isDirty[i] = true
+	}
 
-	// Clean sources: carry the base's artifacts over unchanged.
+	rowLen := make([]int32, n)
+
+	// Clean sources: carry the base's artifacts over unchanged (the CSR
+	// row contents follow in pass 2, once the slabs exist).
 	if len(dirty) < n {
-		isDirty := make([]bool, n)
-		for _, i := range dirty {
-			isDirty[i] = true
-		}
 		for i := 0; i < n; i++ {
 			if isDirty[i] {
 				continue
 			}
 			s.paths[i] = base.paths[i]
-			copy(s.metricW[i*n:(i+1)*n], base.metricW[i*n:(i+1)*n])
 			s.metrics[i] = base.metrics[i]
+			rowLen[i] = base.rowPtr[i+1] - base.rowPtr[i]
 			s.reused++
 		}
 	}
 
-	// Dirty sources: recompute paths, the weight row at MetricT, and the
-	// Eq. (3) metric, in parallel across index-owned slots. Evaluating
-	// the full weight row also materializes every reachable
+	// Pass 1 — dirty sources: recompute paths, the Eq. (3) metric, and
+	// the row's non-zero count, in parallel across index-owned slots.
+	// Evaluating the full weight row also materializes every reachable
 	// hypoexponential, so the published snapshot is never mutated again.
 	forEachSource(len(dirty), func(k int) {
 		i := dirty[k]
-		p := s.g.Paths(trace.NodeID(i), b.params.MaxHops)
+		scratch := scratchPool.Get().(*graph.PathScratch)
+		p := s.g.PathsInto(trace.NodeID(i), b.params.MaxHops, scratch)
+		scratchPool.Put(scratch)
 		p.Materialize()
 		s.paths[i] = p
-		row := s.metricW[i*n : (i+1)*n]
 		var sum float64
+		var nnz int32
 		for j := 0; j < n; j++ {
 			if j == i {
-				row[j] = 1
 				continue
 			}
 			w := p.Weight(trace.NodeID(j), b.params.MetricT)
-			row[j] = w
 			sum += w
+			if w != 0 {
+				nnz++
+			}
 		}
+		rowLen[i] = nnz
 		if n > 1 {
 			s.metrics[i] = sum / float64(n-1)
+		}
+	})
+
+	// Size and fill the CSR slabs.
+	s.rowPtr = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		s.rowPtr[i+1] = s.rowPtr[i] + rowLen[i]
+	}
+	nnz := s.rowPtr[n]
+	s.cols = make([]int32, nnz)
+	s.vals = make([]float64, nnz)
+
+	// Pass 2 — every row fills its own slab range: dirty rows from the
+	// materialized paths, clean rows copied from the base's slabs.
+	forEachSource(n, func(i int) {
+		lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+		if lo == hi {
+			return
+		}
+		if !isDirty[i] {
+			blo := base.rowPtr[i]
+			copy(s.cols[lo:hi], base.cols[blo:blo+hi-lo])
+			copy(s.vals[lo:hi], base.vals[blo:blo+hi-lo])
+			return
+		}
+		p := s.paths[i]
+		k := lo
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if w := p.Weight(trace.NodeID(j), b.params.MetricT); w != 0 {
+				s.cols[k] = int32(j)
+				s.vals[k] = w
+				k++
+			}
 		}
 	})
 	return s

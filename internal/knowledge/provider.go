@@ -41,6 +41,12 @@ type Provider struct {
 	version int
 	empty   *Snapshot
 
+	// Streaming mode (NewStreamProvider): counts come from an online
+	// fold over a contact source instead of a materialized list. A
+	// source failure is sticky in streamErr.
+	feed      *contactFeed
+	streamErr error
+
 	rec      *obs.Recorder
 	cBuilds  *obs.Counter
 	cHits    *obs.Counter
@@ -59,6 +65,14 @@ func NewProvider(p Params, contacts []trace.Contact) *Provider {
 // Params returns the normalized pipeline configuration, for
 // compatibility checks when a provider is shared.
 func (pr *Provider) Params() Params { return pr.builder.Params() }
+
+// StreamErr returns the sticky error, if any, a streaming provider's
+// contact source reported. Always nil for a materialized provider.
+func (pr *Provider) StreamErr() error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.streamErr
+}
 
 // SetRecorder attaches observability: knowledge/builds and
 // knowledge/cache_hits counters, a knowledge/cached_snapshots gauge and
@@ -107,7 +121,16 @@ func (pr *Provider) At(t float64) *Snapshot {
 	}
 	pr.version++
 	done := pr.rec.Phase("knowledge-build")
-	s := pr.builder.Build(t, base, pr.version)
+	var s *Snapshot
+	if pr.feed != nil {
+		counts, err := pr.feed.countsAt(t)
+		if err != nil && pr.streamErr == nil {
+			pr.streamErr = err
+		}
+		s = pr.builder.buildFromCounts(counts, t, base, pr.version)
+	} else {
+		s = pr.builder.Build(t, base, pr.version)
+	}
 	done()
 	pr.cBuilds.Inc()
 	pr.byTime[t] = s

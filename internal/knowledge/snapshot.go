@@ -16,8 +16,18 @@ const memoLimit = 1 << 16
 
 // Snapshot is one immutable, versioned view of the network knowledge at
 // a build time: the contact-rate graph, shortest opportunistic paths
-// from every source, the dense path-weight matrix at the metric horizon
-// T, and the Eq. (3) NCL selection metric of every node.
+// from every source, the path-weight matrix at the metric horizon T in
+// compressed-sparse-row form, and the Eq. (3) NCL selection metric of
+// every node.
+//
+// The weight matrix stores only non-zero off-diagonal entries: row i's
+// columns live in cols[rowPtr[i]:rowPtr[i+1]] in ascending order, with
+// the weights in the parallel vals range. The three slabs are allocated
+// once per build, arena-style, and every row is a subslice into them —
+// no per-row allocation, and a snapshot's whole matrix is freed as one
+// unit when the Provider evicts it. On sparse contact graphs (city
+// traces: isolated districts) this replaces the dense n×n matrix whose
+// zeros dominated the build footprint.
 //
 // All methods are safe for concurrent use. Consumers must treat the
 // snapshot as read-only; in a comparison the same value is shared by
@@ -32,7 +42,9 @@ type Snapshot struct {
 
 	g       *graph.Graph
 	paths   []*graph.Paths
-	metricW []float64 // n×n row-major weights at MetricT; diagonal 1
+	rowPtr  []int32   // n+1 row offsets into cols/vals
+	cols    []int32   // ascending column indices of non-zero weights
+	vals    []float64 // weights at MetricT, parallel to cols
 	metrics []float64 // C_i of Eq. (3) per node
 
 	memo     sync.Map // weightKey -> float64, off-horizon Weight cache
@@ -78,20 +90,51 @@ func (s *Snapshot) Metrics() []float64 {
 }
 
 // MetricWeight returns the opportunistic path weight p_ab(T) at the
-// metric horizon, from the precomputed matrix.
+// metric horizon, from the precomputed sparse matrix. The diagonal is 1
+// by definition and not stored.
 //
-//dtn:allocfree pure dense-matrix lookup on the scheme hot path
+//dtn:allocfree pure CSR lookup on the scheme hot path
 func (s *Snapshot) MetricWeight(a, b trace.NodeID) float64 {
 	n := s.params.Nodes
 	if a < 0 || b < 0 || int(a) >= n || int(b) >= n {
 		return 0
 	}
-	return s.metricW[int(a)*n+int(b)]
+	if a == b {
+		return 1
+	}
+	return s.csrLookup(a, b)
 }
 
+// csrLookup binary-searches row a for column b. The search is
+// hand-rolled: sort.Search takes a closure and would allocate on a path
+// that must stay allocation-free.
+//
+//dtn:allocfree
+func (s *Snapshot) csrLookup(a, b trace.NodeID) float64 {
+	lo, hi := s.rowPtr[a], s.rowPtr[a+1]
+	col := int32(b)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s.cols[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.rowPtr[a+1] && s.cols[lo] == col {
+		return s.vals[lo]
+	}
+	return 0
+}
+
+// WeightNNZ returns the number of stored (non-zero, off-diagonal)
+// entries of the metric-horizon weight matrix — the footprint the CSR
+// layout actually pays for, versus n² for the dense form.
+func (s *Snapshot) WeightNNZ() int { return len(s.cols) }
+
 // Weight returns the opportunistic path weight p_ab(t): 1 for a == b, a
-// matrix lookup at the metric horizon, and a memoized Paths evaluation
-// for any other horizon.
+// sparse-matrix lookup at the metric horizon, and a memoized Paths
+// evaluation for any other horizon.
 func (s *Snapshot) Weight(a, b trace.NodeID, t float64) float64 {
 	if a == b {
 		return 1
@@ -101,7 +144,7 @@ func (s *Snapshot) Weight(a, b trace.NodeID, t float64) float64 {
 		return 0
 	}
 	if t == s.params.MetricT {
-		return s.metricW[int(a)*n+int(b)]
+		return s.csrLookup(a, b)
 	}
 	k := weightKey{src: a, dst: b, t: t}
 	if v, ok := s.memo.Load(k); ok {

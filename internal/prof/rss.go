@@ -1,0 +1,58 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// PeakRSS returns the process's peak resident set size in bytes — the
+// high-water mark of physical memory, which is what the city-scale
+// streaming benchmarks pin: a streaming replay must keep it below the
+// footprint of materializing the trace. On Linux it reads VmHWM from
+// /proc/self/status; elsewhere (or if the read fails) it falls back to
+// the Go runtime's view of memory obtained from the OS, which
+// understates the true RSS but is still monotone over a run.
+//
+// The gauge is process-wide and monotone: it never decreases, so
+// callers comparing phases should record the delta around the phase of
+// interest or run the phase in a fresh process.
+func PeakRSS() int64 {
+	if v, ok := procPeakRSS(); ok {
+		return v
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// procPeakRSS parses VmHWM ("VmHWM:    123456 kB") out of
+// /proc/self/status.
+func procPeakRSS() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		f := bytes.Fields(line[len("VmHWM:"):])
+		if len(f) < 1 {
+			return 0, false
+		}
+		kb, err := strconv.ParseInt(string(f[0]), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb << 10, true
+	}
+	return 0, false
+}

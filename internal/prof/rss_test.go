@@ -1,0 +1,37 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSSPositive(t *testing.T) {
+	if got := PeakRSS(); got <= 0 {
+		t.Fatalf("PeakRSS() = %d, want > 0", got)
+	}
+}
+
+func TestPeakRSSMonotone(t *testing.T) {
+	before := PeakRSS()
+	// Touch a chunk of memory so the high-water mark cannot shrink and
+	// plausibly grows; either way the gauge must not go backwards.
+	buf := make([]byte, 16<<20)
+	for i := 0; i < len(buf); i += 4096 {
+		buf[i] = 1
+	}
+	after := PeakRSS()
+	runtime.KeepAlive(buf)
+	if after < before {
+		t.Fatalf("PeakRSS went backwards: %d then %d", before, after)
+	}
+}
+
+func TestProcPeakRSSOnLinux(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("VmHWM is Linux-only")
+	}
+	v, ok := procPeakRSS()
+	if !ok || v <= 0 {
+		t.Fatalf("procPeakRSS() = %d, %v", v, ok)
+	}
+}

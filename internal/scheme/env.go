@@ -325,6 +325,25 @@ func (c Config) KnowledgeParams(nodes int) knowledge.Params {
 // sim.MergeOverlaps(tr.Contacts) so its counts equal what this Env's
 // rate estimator observes.
 func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *knowledge.Provider) (*Env, error) {
+	return newEnv(tr, w, cfg, s, kb, nil)
+}
+
+// NewEnvStream wires a streaming replay: contacts come from the opener
+// instead of tr.Contacts, which may be empty — tr then only carries the
+// metadata (Name, Nodes, Duration). The opener is called once for the
+// driver's replay feed and once for the knowledge provider's counting
+// feed (plus once more per out-of-order knowledge rewind), and must
+// return a fresh source positioned at the start each call. Results are
+// byte-identical to a materialized run over the same contacts; after
+// Run, check ReplayErr before trusting them.
+func NewEnvStream(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *knowledge.Provider, open func() (trace.ContactSource, error)) (*Env, error) {
+	if open == nil {
+		return nil, errors.New("scheme: NewEnvStream requires a contact source opener")
+	}
+	return newEnv(tr, w, cfg, s, kb, open)
+}
+
+func newEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *knowledge.Provider, open func() (trace.ContactSource, error)) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -391,11 +410,23 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 		e.faults.OnUp = e.nodeUp
 		e.faults.RankedNodes = e.rankedNodes
 	}
-	if err := e.Driver.Load(tr); err != nil {
+	if open != nil {
+		src, err := open()
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Driver.LoadStream(src); err != nil {
+			return nil, err
+		}
+	} else if err := e.Driver.Load(tr); err != nil {
 		return nil, err
 	}
 	if kb == nil {
-		kb = knowledge.NewProvider(cfg.KnowledgeParams(e.N), sim.MergeOverlaps(tr.Contacts))
+		if open != nil {
+			kb = knowledge.NewStreamProvider(cfg.KnowledgeParams(e.N), open)
+		} else {
+			kb = knowledge.NewProvider(cfg.KnowledgeParams(e.N), sim.MergeOverlaps(tr.Contacts))
+		}
 		// The provider is private to this Env, so its metrics belong to
 		// this run; shared providers stay recorder-free (see
 		// Provider.SetRecorder).
@@ -434,6 +465,17 @@ func NewEnvShared(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, k
 // QueryDelayBounds buckets query access delays (seconds), spanning the
 // minutes-to-days range DTN deliveries land in.
 var QueryDelayBounds = []float64{60, 300, 900, 3600, 4 * 3600, 12 * 3600, 86400, 3 * 86400}
+
+// ReplayErr returns the sticky streaming error, if any: a truncated or
+// corrupt contact source seen by the replay feed or the knowledge feed.
+// Always nil for a materialized run. A run with a non-nil ReplayErr
+// replayed only a prefix of the trace; discard its results.
+func (e *Env) ReplayErr() error {
+	if err := e.Driver.FeedErr(); err != nil {
+		return err
+	}
+	return e.kb.StreamErr()
+}
 
 // Run executes the simulation to the end of the trace and returns the
 // metric report. The replay and the report computation run under obs

@@ -1,10 +1,119 @@
 package sim
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
+	"unsafe"
 
+	"dtncache/internal/prof"
 	"dtncache/internal/trace"
 )
+
+// City-scale fixture: 100k nodes, ~10.5M contacts (target padded above
+// the 10M floor so the Poisson draw never lands under it).
+const (
+	cityBenchNodes    = 100_000
+	cityBenchContacts = 10_500_000
+	cityBenchFloor    = 10_000_000
+)
+
+// writeCityBenchTrace streams the city generator straight into a chunked
+// file — the trace is never materialized, here or during the replay.
+func writeCityBenchTrace(b *testing.B, path string) (contacts int64) {
+	b.Helper()
+	cfg := trace.CityDefaults(cityBenchNodes, cityBenchContacts)
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := trace.NewStreamWriter(f, trace.StreamMeta{
+		Name:        cfg.Name,
+		Nodes:       cfg.Nodes,
+		Duration:    cfg.DurationSec,
+		Granularity: cfg.GranularitySec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = trace.StreamCity(cfg, func(c trace.Contact) error {
+		contacts++
+		return sw.Add(c)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if contacts < cityBenchFloor {
+		b.Fatalf("generated %d contacts, below the %d floor", contacts, cityBenchFloor)
+	}
+	return contacts
+}
+
+// BenchmarkCityScaleReplay replays a 100k-node, >=10M-contact city trace
+// through the streaming reader and the driver's chunked feeder, with the
+// same two-transfer handler as BenchmarkReplayContacts. It pins the
+// tentpole promise with an in-bench gate: peak RSS must stay below the
+// footprint of just materializing the contact slice (contacts x
+// sizeof(Contact)), i.e. city-scale replay cannot cost city-scale
+// memory. Reported metrics: events/sec, contacts/sec and
+// peak-rss-bytes.
+//
+// VmHWM is process-wide and monotone, so this benchmark must run before
+// any benchmark with a larger footprint — it is defined first in the
+// file for that reason, and it fails loudly (rather than silently
+// gating against another benchmark's memory) if the gauge is already
+// polluted at entry.
+func BenchmarkCityScaleReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "city.dtnc")
+	contacts := writeCityBenchTrace(b, path)
+	matBytes := contacts * int64(unsafe.Sizeof(trace.Contact{}))
+	if before := prof.PeakRSS(); before >= matBytes {
+		b.Fatalf("peak RSS already %d B >= %d B before the replay; run this benchmark first (or alone) so the gate measures the streaming path", before, matBytes)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events, replayed uint64
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := trace.NewStreamReader(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := New()
+		h := newBenchHandler()
+		d := NewDriver(s, h)
+		if err := d.LoadStream(sr); err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(sr.Meta().Duration)
+		if err := d.FeedErr(); err != nil {
+			b.Fatal(err)
+		}
+		if h.delivered == 0 {
+			b.Fatal("no transfers delivered")
+		}
+		events += s.Processed()
+		replayed += uint64(sr.Records())
+		f.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(replayed)/b.Elapsed().Seconds(), "contacts/sec")
+	peak := prof.PeakRSS()
+	b.ReportMetric(float64(peak), "peak-rss-bytes")
+	if peak >= matBytes {
+		b.Fatalf("peak RSS %d B >= materialized contact footprint %d B: streaming replay is not saving memory", peak, matBytes)
+	}
+}
 
 // BenchmarkReplayDispatch measures one steady-state Schedule+fire cycle:
 // the event queue is warm, the callback is preallocated, and each
@@ -57,16 +166,27 @@ func BenchmarkReplayBacklog(b *testing.B) {
 
 // benchHandler is a minimal protocol: on every contact each endpoint
 // sends one small transfer, so the benchmark covers session setup,
-// transfer completion events, and teardown.
+// transfer completion events, and teardown. The delivery callback is a
+// method value created once, not a per-contact closure, so the handler
+// adds no allocations of its own to the replay loop.
 type benchHandler struct {
 	delivered int
+	onDeliver func(Time)
 }
+
+func newBenchHandler() *benchHandler {
+	h := &benchHandler{}
+	h.onDeliver = h.deliver
+	return h
+}
+
+func (h *benchHandler) deliver(Time) { h.delivered++ }
 
 func (h *benchHandler) ContactStart(s *Session) {
 	s.Enqueue(Transfer{From: s.A, To: s.B, Bits: 80e3, Label: "q",
-		OnDelivered: func(Time) { h.delivered++ }})
+		OnDelivered: h.onDeliver})
 	s.Enqueue(Transfer{From: s.B, To: s.A, Bits: 80e3, Label: "q",
-		OnDelivered: func(Time) { h.delivered++ }})
+		OnDelivered: h.onDeliver})
 }
 
 func (h *benchHandler) ContactEnd(*Session) {}
@@ -106,7 +226,7 @@ func BenchmarkReplayContacts(b *testing.B) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		s := New()
-		h := &benchHandler{}
+		h := newBenchHandler()
 		d := NewDriver(s, h)
 		if err := d.Load(tr); err != nil {
 			b.Fatal(err)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"io"
 	"sort"
 
 	"dtncache/internal/mathx"
@@ -46,6 +47,17 @@ type Session struct {
 	cur        Transfer
 	curDropped bool
 	onDone     func()
+
+	// Pooling state. A session returns to the driver's free list only
+	// when all three hold: the contact closed, its originally scheduled
+	// end event fired (endFired), and no transfer is in flight. Waiting
+	// for endFired means a force-closed session is never recycled while
+	// its end event still points at it, so no generation counter is
+	// needed. onEnd is the scheduled end event, a method value created
+	// once per session object like onDone.
+	endFired bool
+	pooled   bool
+	onEnd    func()
 }
 
 // Peer returns the other endpoint, or -1 if n is not part of the session.
@@ -136,6 +148,7 @@ func (s *Session) finishTransfer() {
 		if t.OnDropped != nil {
 			t.OnDropped(d.sim.Now())
 		}
+		d.releaseSession(s)
 		return
 	}
 	if s.curDropped {
@@ -157,9 +170,14 @@ func (s *Session) finishTransfer() {
 	if !s.closed && !s.busy {
 		s.startNext()
 	}
+	if s.closed {
+		d.releaseSession(s)
+	}
 }
 
-// close ends the session, dropping all queued transfers.
+// close ends the session, dropping all queued transfers. The queue's
+// backing array is kept (slots cleared, length rewound) so a pooled
+// session reuses it on its next contact.
 func (s *Session) close(at Time) {
 	if s.closed {
 		return
@@ -170,12 +188,23 @@ func (s *Session) close(at Time) {
 			s.queue[i].OnDropped(at)
 		}
 	}
-	s.queue = nil
+	for i := s.head; i < len(s.queue); i++ {
+		s.queue[i] = Transfer{}
+	}
+	s.queue = s.queue[:0]
 	s.head = 0
 }
 
+// endContact is the session's scheduled end event (the onEnd method
+// value).
+//
+//dtn:allocfree per-contact teardown on the replay hot path
+func (s *Session) endContact() { s.driver.sessionEnd(s) }
+
 // Handler receives contact lifecycle callbacks. Implementations hold the
-// protocol logic (caching scheme, routing).
+// protocol logic (caching scheme, routing). Sessions are pooled: a
+// handler must not retain a *Session past its ContactEnd callback — the
+// driver recycles the object for a later contact.
 type Handler interface {
 	// ContactStart fires when a contact begins. The handler reacts by
 	// enqueueing transfers on the session.
@@ -257,6 +286,22 @@ type Driver struct {
 
 	active map[[2]trace.NodeID]*Session
 
+	// Contact feeder. The driver keeps exactly one pending contact-begin
+	// event in the heap at any time, pulled lazily from feed; the heap
+	// stays O(active sessions) instead of O(trace) whether the source is
+	// a materialized slice or a streaming reader. feedFn is a method
+	// value created once; feedSeq is the 1-based emission index used as
+	// the begin event's explicit sequence number (see ReservedSeqBase).
+	feed     trace.ContactSource
+	feedNext trace.Contact
+	feedSeq  uint64
+	feedFn   func()
+	feedErr  error
+	mergeSrc *trace.MergeSource
+
+	// free is the session pool; see Session's pooling fields.
+	free []*Session
+
 	deliveredTransfers int
 	droppedTransfers   int
 	mergedContacts     int
@@ -287,10 +332,22 @@ func NewDriver(s *Simulator, h Handler, opts ...DriverOption) *Driver {
 }
 
 // Stats returns delivered/dropped transfer counts and the number of
-// overlapping same-pair contacts merged at load time.
+// overlapping same-pair contacts merged. For a materialized Load the
+// merge count is known up front; for a LoadStream it reflects the
+// contacts folded so far (equal to the materialized count once the
+// replay has consumed the source).
 func (d *Driver) Stats() (delivered, dropped, merged int) {
-	return d.deliveredTransfers, d.droppedTransfers, d.mergedContacts
+	merged = d.mergedContacts
+	if d.mergeSrc != nil {
+		merged = d.mergeSrc.MergedCount()
+	}
+	return d.deliveredTransfers, d.droppedTransfers, merged
 }
+
+// FeedErr returns the sticky error, if any, the contact source reported
+// mid-replay. A non-nil value means the run was stopped on a truncated
+// or corrupt stream and its results must be discarded.
+func (d *Driver) FeedErr() error { return d.feedErr }
 
 // LabelStats returns the delivered transfer count and total bits for a
 // transfer label ("push", "query", "reply", ...), letting experiments
@@ -325,22 +382,86 @@ func (d *Driver) ActivePeers(n trace.NodeID) []trace.NodeID {
 // ErrBadTrace reports a trace that fails validation at load time.
 var ErrBadTrace = errors.New("sim: invalid trace")
 
-// Load schedules every contact of the trace. Overlapping contacts of the
-// same pair are merged into a single longer contact. Load may be called
-// once per driver, before Run.
+// Load replays the trace's contacts. Overlapping contacts of the same
+// pair are merged into a single longer contact. Load (or LoadStream)
+// may be called once per driver, before Run. Contact-begin events are
+// fed into the simulator lazily, one pending at a time, under explicit
+// sequence numbers that reproduce the dispatch order of a bulk preload
+// exactly (see ReservedSeqBase).
 func (d *Driver) Load(tr *trace.Trace) error {
 	if err := tr.Validate(); err != nil {
 		return errors.Join(ErrBadTrace, err)
 	}
 	merged := MergeOverlaps(tr.Contacts)
 	d.mergedContacts = len(tr.Contacts) - len(merged)
-	for _, c := range merged {
-		c := c
-		if err := d.sim.Schedule(c.Start, func() { d.beginContact(c) }); err != nil {
-			return err
-		}
+	return d.startFeed(trace.NewSliceSource(merged))
+}
+
+// LoadStream replays contacts from a streaming source instead of a
+// materialized trace, keeping memory O(active sessions). The source
+// must yield valid contacts in nondecreasing start order (a
+// trace.StreamReader enforces both); overlapping same-pair contacts are
+// folded online into exactly the merged sequence Load produces. A
+// source error mid-replay stops the simulation; check FeedErr after the
+// run.
+func (d *Driver) LoadStream(src trace.ContactSource) error {
+	ms := trace.NewMergeSource(src)
+	d.mergeSrc = ms
+	return d.startFeed(ms)
+}
+
+// startFeed installs the merged contact source and primes the feeder
+// with its first contact.
+func (d *Driver) startFeed(src trace.ContactSource) error {
+	if d.feed != nil {
+		return errors.New("sim: driver already loaded")
+	}
+	d.feed = src
+	d.feedFn = d.feedStep
+	d.sim.ReserveSeqs(ReservedSeqBase)
+	return d.scheduleNextContact()
+}
+
+// scheduleNextContact pulls the next merged contact and schedules its
+// begin event under the next explicit sequence number.
+//
+//dtn:allocfree the steady-state feeder path; errors are terminal
+func (d *Driver) scheduleNextContact() error {
+	c, err := d.feed.NextContact()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		d.feedErr = err
+		return err
+	}
+	d.feedSeq++
+	if d.feedSeq >= ReservedSeqBase {
+		d.feedErr = errors.New("sim: contact count exceeds the reserved sequence range")
+		return d.feedErr
+	}
+	d.feedNext = c
+	if err := d.sim.ScheduleSeq(c.Start, d.feedSeq, d.feedFn); err != nil {
+		d.feedErr = err
+		return err
 	}
 	return nil
+}
+
+// feedStep is the pending contact-begin event: it opens the session for
+// the pulled contact and chains the next one into the heap. The chain
+// is scheduled first so an equal-timestamp successor still dispatches
+// after this one (its sequence number is larger).
+//
+//dtn:allocfree per-contact replay hot path
+func (d *Driver) feedStep() {
+	c := d.feedNext
+	if err := d.scheduleNextContact(); err != nil {
+		// A truncated or corrupt stream cannot be surfaced to a caller
+		// mid-run; stop the simulation and leave the error in FeedErr.
+		d.sim.Stop()
+	}
+	d.beginContact(c)
 }
 
 func (d *Driver) beginContact(c trace.Contact) {
@@ -354,21 +475,66 @@ func (d *Driver) beginContact(c trace.Contact) {
 		}
 	}
 	key := pairKey(c.A, c.B)
-	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
-	s.onDone = s.finishTransfer
+	s := d.getSession(c)
 	d.active[key] = s
 	d.rec.ContactBegin(d.sim.Now(), int32(c.A), int32(c.B))
 	d.hDuration.Observe(c.End - c.Start)
 	// End event scheduled before the handler runs so an immediate Stop
 	// inside the handler still cleans up.
-	_ = d.sim.Schedule(c.End, func() { d.endSession(key, s) })
+	_ = d.sim.Schedule(c.End, s.onEnd)
 	d.handler.ContactStart(s)
 }
 
+// getSession pops a recycled session from the pool or allocates one.
+//
+//dtn:allocfree steady state pops from the free list
+func (d *Driver) getSession(c trace.Contact) *Session {
+	if n := len(d.free); n > 0 {
+		s := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		s.A, s.B, s.Start, s.End = c.A, c.B, c.Start, c.End
+		s.busy, s.closed, s.sentBits = false, false, 0
+		s.cur, s.curDropped = Transfer{}, false
+		s.endFired, s.pooled = false, false
+		return s
+	}
+	//lint:allow allocfree cold path: the pool grows to the peak concurrent contact count
+	s := &Session{A: c.A, B: c.B, Start: c.Start, End: c.End, driver: d}
+	//lint:allow allocfree cold path: method values bound once, reused for the session's pooled lifetime
+	s.onDone, s.onEnd = s.finishTransfer, s.endContact
+	return s
+}
+
+// releaseSession returns a session to the pool once it is fully quiet:
+// closed, its scheduled end event consumed, and no transfer in flight.
+//
+//dtn:allocfree steady state reuses the free list's backing array
+func (d *Driver) releaseSession(s *Session) {
+	if !s.closed || !s.endFired || s.busy || s.pooled {
+		return
+	}
+	s.pooled = true
+	//lint:allow allocfree amortized growth: the free list is the session pool
+	d.free = append(d.free, s)
+}
+
+// sessionEnd handles a session's scheduled end event. A session
+// force-closed early by CloseNode has closed set, so the event fires no
+// second ContactEnd — it only marks the session recyclable.
+//
+//dtn:allocfree per-contact teardown on the replay hot path
+func (d *Driver) sessionEnd(s *Session) {
+	s.endFired = true
+	if s.closed {
+		d.releaseSession(s)
+		return
+	}
+	d.endSession(pairKey(s.A, s.B), s)
+}
+
 // endSession tears down a session at its scheduled (or forced) end. A
-// session force-closed early by CloseNode has closed set, so the
-// originally scheduled end event becomes a no-op instead of firing
-// ContactEnd a second time.
+// session that already closed is left alone.
 func (d *Driver) endSession(key [2]trace.NodeID, s *Session) {
 	if s.closed {
 		return
@@ -379,6 +545,7 @@ func (d *Driver) endSession(key [2]trace.NodeID, s *Session) {
 	}
 	d.rec.ContactEnd(d.sim.Now(), int32(s.A), int32(s.B), s.sentBits)
 	d.handler.ContactEnd(s)
+	d.releaseSession(s)
 }
 
 // CloseNode force-closes every active session touching n (a node

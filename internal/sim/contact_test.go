@@ -8,14 +8,18 @@ import (
 )
 
 // recorder is a Handler that records contact lifecycle events and
-// optionally reacts to contact starts.
+// optionally reacts to contact starts. Sessions may be recycled after
+// ContactEnd, so post-run assertions on contact fields use the value
+// copies in startCopies, not the pointers.
 type recorder struct {
 	starts, ends []*Session
+	startCopies  []Session
 	onStart      func(*Session)
 }
 
 func (r *recorder) ContactStart(s *Session) {
 	r.starts = append(r.starts, s)
+	r.startCopies = append(r.startCopies, *s)
 	if r.onStart != nil {
 		r.onStart(s)
 	}
@@ -242,8 +246,8 @@ func TestOverlappingContactsMerged(t *testing.T) {
 	if len(rec.starts) != 2 {
 		t.Fatalf("contacts after merge = %d, want 2", len(rec.starts))
 	}
-	if rec.starts[0].End != 80 {
-		t.Errorf("merged end = %v, want 80", rec.starts[0].End)
+	if rec.startCopies[0].End != 80 {
+		t.Errorf("merged end = %v, want 80", rec.startCopies[0].End)
 	}
 	_, _, merged := d.Stats()
 	if merged != 1 {

@@ -159,6 +159,41 @@ func (s *Simulator) Schedule(at Time, fn func()) error {
 	return nil
 }
 
+// ReservedSeqBase is the sequence floor the contact feeder reserves:
+// lazily fed contact-begin events carry explicit sequence numbers below
+// it, while every Schedule call after ReserveSeqs draws numbers above
+// it. The (at, seq) dispatch order then matches a bulk preload exactly
+// — contact begins first among equal timestamps, everything else in
+// scheduling order — which keeps streamed replays byte-identical to
+// materialized ones. 1<<40 leaves room for a trillion contacts.
+const ReservedSeqBase uint64 = 1 << 40
+
+// ScheduleSeq runs fn at virtual time at with an explicit sequence
+// number instead of the auto-assigned one. It is the contact feeder's
+// tool for lazy event injection: the i-th contact keeps sequence i no
+// matter when it is actually pushed. Callers must have reserved the
+// explicit range with ReserveSeqs; seq must be below the reserved base
+// and unique per (at, seq) pair.
+//
+//dtn:allocfree the streaming feeder path; error construction is hoisted
+func (s *Simulator) ScheduleSeq(at Time, seq uint64, fn func()) error {
+	if at < s.now {
+		return s.pastErr(at)
+	}
+	s.queue.push(event{at: at, seq: seq, fn: fn})
+	return nil
+}
+
+// ReserveSeqs raises the auto sequence counter to at least base so
+// every subsequent Schedule draws sequence numbers above it, leaving
+// [1, base] to ScheduleSeq callers. Idempotent; raising the counter
+// never reorders already-queued events.
+func (s *Simulator) ReserveSeqs(base uint64) {
+	if s.seq < base {
+		s.seq = base
+	}
+}
+
 // After runs fn d seconds from now; d must be non-negative.
 //
 //dtn:allocfree

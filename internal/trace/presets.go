@@ -13,9 +13,24 @@ const (
 	UCSD       Preset = "UCSD"
 )
 
+// City is the synthetic city-scale preset (power-law communities,
+// diurnal intensity; see CityConfig). It is deliberately NOT part of
+// Presets(): Table I sweeps stay the four published traces.
+const City Preset = "City"
+
 // Presets lists all presets in Table I order.
 func Presets() []Preset {
 	return []Preset{Infocom05, Infocom06, MITReality, UCSD}
+}
+
+// CityPresetConfig returns the default city configuration used by
+// GeneratePreset(City, seed): a walkable small-city slice that the
+// Table I pipeline can still materialize (the full city-scale path
+// streams a CityConfig of its own instead).
+func CityPresetConfig(seed int64) CityConfig {
+	cfg := CityDefaults(500, 200000)
+	cfg.Seed = seed
+	return cfg
 }
 
 const day = 86400.0
@@ -70,6 +85,9 @@ func PresetConfig(p Preset, seed int64) (GenConfig, bool) {
 // GeneratePreset generates a synthetic trace calibrated to the given
 // Table I row.
 func GeneratePreset(p Preset, seed int64) (*Trace, error) {
+	if p == City {
+		return GenerateCity(CityPresetConfig(seed))
+	}
 	cfg, ok := PresetConfig(p, seed)
 	if !ok {
 		return nil, &UnknownPresetError{Preset: p}

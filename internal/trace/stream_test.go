@@ -1,0 +1,396 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// --- raw encoding helpers: build stream bytes without writer validation ---
+
+func append16(b []byte, v uint16) []byte {
+	var s [2]byte
+	binary.LittleEndian.PutUint16(s[:], v)
+	return append(b, s[:]...)
+}
+
+func append32(b []byte, v uint32) []byte {
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], v)
+	return append(b, s[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], math.Float64bits(v))
+	return append(b, s[:]...)
+}
+
+func rawHeader(name string, nodes uint32, dur, gran float64) []byte {
+	b := []byte(streamMagic)
+	b = append16(b, streamVersion)
+	b = append16(b, uint16(len(name)))
+	b = append(b, name...)
+	b = append32(b, nodes)
+	b = appendF64(b, dur)
+	b = appendF64(b, gran)
+	return b
+}
+
+func rawChunk(b []byte, cs []Contact) []byte {
+	n := len(cs)
+	b = append32(b, uint32(n))
+	b = append32(b, uint32(n*recordBytes))
+	for _, c := range cs {
+		b = append32(b, uint32(c.A))
+	}
+	for _, c := range cs {
+		b = append32(b, uint32(c.B))
+	}
+	for _, c := range cs {
+		b = appendF64(b, c.Start)
+	}
+	for _, c := range cs {
+		b = appendF64(b, c.End)
+	}
+	return b
+}
+
+func rawTrailer(b []byte) []byte { return append32(append32(b, 0), 0) }
+
+func rawStream(name string, nodes uint32, dur, gran float64, chunks ...[]Contact) []byte {
+	b := rawHeader(name, nodes, dur, gran)
+	for _, cs := range chunks {
+		b = rawChunk(b, cs)
+	}
+	return rawTrailer(b)
+}
+
+func drainStream(t *testing.T, data []byte) []Contact {
+	t.Helper()
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Contact
+	for {
+		c, err := sr.NextContact()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	orig := validTrace()
+	var buf bytes.Buffer
+	if err := WriteChunked(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChunked(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Nodes != orig.Nodes ||
+		got.Duration != orig.Duration || got.Granularity != orig.Granularity {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, orig)
+	}
+	if len(got.Contacts) != len(orig.Contacts) {
+		t.Fatalf("contact count %d vs %d", len(got.Contacts), len(orig.Contacts))
+	}
+	for i := range got.Contacts {
+		if got.Contacts[i] != orig.Contacts[i] {
+			t.Errorf("contact %d: %+v vs %+v", i, got.Contacts[i], orig.Contacts[i])
+		}
+	}
+}
+
+func TestChunkedRoundTripPreset(t *testing.T) {
+	orig, err := GeneratePreset(MITReality, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChunked(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChunked(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Contacts) != len(orig.Contacts) {
+		t.Fatalf("contact count %d vs %d", len(got.Contacts), len(orig.Contacts))
+	}
+	for i := range got.Contacts {
+		if got.Contacts[i] != orig.Contacts[i] {
+			t.Fatalf("contact %d: %+v vs %+v", i, got.Contacts[i], orig.Contacts[i])
+		}
+	}
+}
+
+// TestStreamReaderMatchesSlice replays a multi-chunk stream record by
+// record and checks it yields exactly the materialized slice, proving
+// the iterator path and the converter path agree.
+func TestStreamReaderMatchesSlice(t *testing.T) {
+	cfg := GenConfig{
+		Name: "stream", Nodes: 30, DurationSec: 4 * 86400, GranularitySec: 120,
+		TargetContacts: 20000, ActivityAlpha: 1.5, ActivityMax: 10, Seed: 11,
+	}
+	orig, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Contacts) <= defaultChunkRecords {
+		t.Fatalf("want > %d contacts to cover multiple chunks, got %d",
+			defaultChunkRecords, len(orig.Contacts))
+	}
+	var buf bytes.Buffer
+	if err := WriteChunked(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sr.Meta(); m.Nodes != orig.Nodes || m.Duration != orig.Duration {
+		t.Fatalf("meta = %+v", m)
+	}
+	for i, want := range orig.Contacts {
+		got, err := sr.NextContact()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := sr.NextContact(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+	if _, err := sr.NextContact(); err != io.EOF {
+		t.Fatalf("EOF not sticky: %v", err)
+	}
+	if sr.Records() != int64(len(orig.Contacts)) {
+		t.Fatalf("Records() = %d, want %d", sr.Records(), len(orig.Contacts))
+	}
+}
+
+// TestStreamReaderNormalizesPairs checks A>B records are swapped like
+// SortContacts normalizes materialized traces.
+func TestStreamReaderNormalizesPairs(t *testing.T) {
+	data := rawStream("t", 4, 100, 0, []Contact{{A: 3, B: 1, Start: 0, End: 5}})
+	got := drainStream(t, data)
+	if len(got) != 1 || got[0] != (Contact{A: 1, B: 3, Start: 0, End: 5}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestStreamGoldenErrors pins one-line error messages, with chunk and
+// record context, for every corruption class the reader must reject.
+func TestStreamGoldenErrors(t *testing.T) {
+	ok := []Contact{{A: 0, B: 1, Start: 1, End: 2}}
+	valid := rawStream("t", 4, 100, 0, ok)
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"bad magic", append([]byte("BOGUS!"), valid[6:]...),
+			`bad magic "BOGUS!"`},
+		{"version skew", func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint16(b[6:], 99)
+			return b
+		}(), "unsupported version 99 (want 1)"},
+		{"truncated header", valid[:10], "read name"},
+		{"empty input", nil, "read magic"},
+		{"zero nodes", rawStream("t", 0, 100, 0), "node count must be positive"},
+		{"bad duration", rawStream("t", 4, -1, 0), "duration -1 not positive"},
+		{"nan duration", rawStream("t", 4, math.NaN(), 0), "non-finite"},
+		{"truncated before trailer", valid[:len(valid)-8],
+			"chunk 2: truncated before trailer"},
+		{"truncated payload", valid[:len(valid)-20],
+			"chunk 1: truncated payload (1 records)"},
+		{"trailer with payload", func() []byte {
+			b := rawHeader("t", 4, 100, 0)
+			b = append32(b, 0)
+			b = append32(b, 7)
+			return b
+		}(), "chunk 1: trailer with payload length 7"},
+		{"data after trailer", append(valid, 0xFF),
+			"chunk 2: data after trailer"},
+		{"oversized count", func() []byte {
+			b := rawHeader("t", 4, 100, 0)
+			b = append32(b, maxChunkRecords+1)
+			b = append32(b, (maxChunkRecords+1)*recordBytes)
+			return b
+		}(), "exceeds limit"},
+		{"payload length mismatch", func() []byte {
+			b := rawHeader("t", 4, 100, 0)
+			b = append32(b, 1)
+			b = append32(b, 23)
+			return b
+		}(), "chunk 1: payload length 23 does not match 1 records"},
+		{"nan start", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 1, Start: math.NaN(), End: 2}}),
+			"chunk 1 record 0: non-finite contact time"},
+		{"negative start", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 1, Start: -5, End: 2}}),
+			"chunk 1 record 0: negative start time -5"},
+		{"reversed interval", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 1, Start: 9, End: 3}}),
+			"chunk 1 record 0: contact end 3 not after start 9"},
+		{"self contact", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 2, B: 2, Start: 1, End: 2}}),
+			"chunk 1 record 0: node 2 in contact with itself"},
+		{"out of range", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 9, Start: 1, End: 2}}),
+			"chunk 1 record 0: node ID outside declared range 0..3"},
+		{"end after duration", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 1, Start: 1, End: 101}}),
+			"chunk 1 record 0: contact end 101 after trace duration 100"},
+		{"unsorted", rawStream("t", 4, 100, 0,
+			[]Contact{{A: 0, B: 1, Start: 9, End: 12}, {A: 0, B: 2, Start: 3, End: 5}}),
+			"chunk 1 record 1: start 3 before previous start 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadChunked(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error not one line: %q", err)
+			}
+		})
+	}
+}
+
+// TestStreamReaderErrorSticky checks a record error poisons subsequent
+// reads rather than resyncing mid-chunk.
+func TestStreamReaderErrorSticky(t *testing.T) {
+	data := rawStream("t", 4, 100, 0, []Contact{
+		{A: 0, B: 1, Start: 1, End: 2},
+		{A: 2, B: 2, Start: 3, End: 4}, // self contact
+		{A: 0, B: 3, Start: 5, End: 6},
+	})
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.NextContact(); err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := sr.NextContact()
+	if err1 == nil {
+		t.Fatal("self contact accepted")
+	}
+	_, err2 := sr.NextContact()
+	if err2 != err1 {
+		t.Fatalf("error not sticky: %v then %v", err1, err2)
+	}
+}
+
+// TestStreamWriterRejects checks the writer enforces the reader's record
+// invariants up front, with the running record number in the error.
+func TestStreamWriterRejects(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, StreamMeta{Name: "t", Nodes: 4, Duration: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Add(Contact{A: 0, B: 1, Start: 5, End: 8}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		c    Contact
+		want string
+	}{
+		{Contact{A: 0, B: 0, Start: 6, End: 8}, "record 1: node 0 in contact with itself"},
+		{Contact{A: 0, B: 1, Start: 2, End: 8}, "record 1: start 2 before previous start 5"},
+		{Contact{A: 0, B: 1, Start: 6, End: 200}, "after trace duration"},
+		{Contact{A: 0, B: 7, Start: 6, End: 8}, "outside declared range"},
+	}
+	for _, tc := range cases {
+		err := sw.Add(tc.c)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Add(%+v) = %v, want %q", tc.c, err, tc.want)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Add(Contact{A: 0, B: 1, Start: 6, End: 8}); err == nil ||
+		!strings.Contains(err.Error(), "write after Close") {
+		t.Fatalf("Add after Close = %v", err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestStreamWriterRejectsBadMeta(t *testing.T) {
+	cases := []StreamMeta{
+		{Name: "t", Nodes: 0, Duration: 100},
+		{Name: "t", Nodes: math.MaxUint32 + 1, Duration: 100},
+		{Name: "t", Nodes: 4, Duration: 0},
+		{Name: "t", Nodes: 4, Duration: math.Inf(1)},
+		{Name: "t", Nodes: 4, Duration: 100, Granularity: -1},
+		{Name: strings.Repeat("x", math.MaxUint16+1), Nodes: 4, Duration: 100},
+	}
+	for _, m := range cases {
+		if _, err := NewStreamWriter(io.Discard, m); err == nil {
+			t.Errorf("meta %+v accepted", m)
+		}
+	}
+}
+
+func FuzzReadChunked(f *testing.F) {
+	small := &Trace{Name: "f", Nodes: 4, Duration: 100, Granularity: 1,
+		Contacts: []Contact{{A: 0, B: 1, Start: 1, End: 5}, {A: 1, B: 2, Start: 2, End: 9}}}
+	var buf bytes.Buffer
+	if err := WriteChunked(&buf, small); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(rawStream("t", 4, 100, 0, []Contact{{A: 3, B: 1, Start: 0, End: 5}}))
+	f.Add(rawStream("", 0, -1, math.NaN()))
+	f.Add([]byte(streamMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadChunked(bytes.NewReader(data))
+		if err != nil {
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error not one line: %q", err)
+			}
+			return
+		}
+		// Anything accepted must be a fully valid trace that survives a
+		// write/read round trip byte-identically.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var rt bytes.Buffer
+		if err := WriteChunked(&rt, tr); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		tr2, err := ReadChunked(bytes.NewReader(rt.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(tr2.Contacts) != len(tr.Contacts) {
+			t.Fatalf("round trip dropped contacts: %d vs %d", len(tr2.Contacts), len(tr.Contacts))
+		}
+	})
+}

@@ -86,6 +86,24 @@ if [[ -z "${CHECK_SKIP_TRACE_ID:-}" ]]; then
         -invariants -trace-out "$tmpdir/f2.ndjson" >/dev/null
     cmp "$tmpdir/f1.ndjson" "$tmpdir/f2.ndjson"
     echo "faulted trace byte identity: OK ($(wc -l < "$tmpdir/f1.ndjson") lines)"
+
+    # Streaming replay byte identity: the same preset replayed once
+    # materialized and once through the chunked streaming reader
+    # (-stream feeds both the contact driver and the knowledge build
+    # from the file) must produce identical reports AND identical
+    # run-traces — the PR 8 tentpole contract. T_L=12h so Infocom05
+    # actually issues queries.
+    echo "== streamed replay byte identity (Infocom05 chunked vs materialized)"
+    go run ./cmd/tracegen -preset Infocom05 -format chunked \
+        -o "$tmpdir/infocom05.dtnc" 2>/dev/null
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional -tl 12h \
+        -report-json -trace-out "$tmpdir/mat.ndjson" > "$tmpdir/mat.json"
+    go run ./cmd/dtnsim -tracefile "$tmpdir/infocom05.dtnc" -format chunked -stream \
+        -scheme Intentional -tl 12h \
+        -report-json -trace-out "$tmpdir/str.ndjson" > "$tmpdir/str.json"
+    cmp "$tmpdir/mat.json" "$tmpdir/str.json"
+    cmp "$tmpdir/mat.ndjson" "$tmpdir/str.ndjson"
+    echo "streamed replay byte identity: OK ($(wc -l < "$tmpdir/str.ndjson") lines)"
 fi
 
 # Service smoke: dtnserved + dtnload end to end — live bookkeeping
@@ -96,13 +114,16 @@ if [[ -z "${CHECK_SKIP_SERVE:-}" ]]; then
     ./scripts/serve_smoke.sh
 fi
 
-# Benchmark regression gate: rerun the suite and compare against the
-# committed PR 2 numbers. The 0.5x default threshold in the Makefile
-# only trips on gross slowdowns, so cross-machine noise passes.
-# Set CHECK_SKIP_BENCH=1 to skip on very slow machines.
+# Benchmark regression gate: rerun the suite — including the city-scale
+# streaming replay with its in-bench peak-RSS cap — and compare against
+# the committed post-optimization PR 8 numbers, failing on any >2x
+# slowdown (-regress-below 0.5). This pins the PR 8 wins: undoing the
+# session pooling (ReplayContacts, 6x) or the CSR build (AllPathsCity)
+# trips the bound, and a baseline benchmark vanishing from the suite is
+# itself a failure. Set CHECK_SKIP_BENCH=1 to skip on very slow machines.
 if [[ -z "${CHECK_SKIP_BENCH:-}" ]]; then
-    echo "== make bench-compare BASELINE=BENCH_pr2.json"
-    make bench-compare BASELINE=BENCH_pr2.json
+    echo "== make bench-compare BASELINE=BENCH_pr8.json"
+    make bench-compare BASELINE=BENCH_pr8.json
 fi
 
 if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
@@ -111,6 +132,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/trace FuzzRead"
         "./internal/trace FuzzReadCSV"
         "./internal/trace FuzzReadONE"
+        "./internal/trace FuzzReadChunked"
         "./internal/knapsack FuzzSolve"
         "./internal/knapsack FuzzProbabilisticSelect"
         "./internal/sim FuzzEventHeapOrdering"
