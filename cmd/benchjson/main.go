@@ -61,11 +61,13 @@ type Ratio struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// EnvInfo pins the toolchain and parallelism a BENCH file was produced
-// with, so committed BENCH_*.json files stay comparable across PRs.
+// EnvInfo pins the toolchain, parallelism and CPU a BENCH file was
+// produced with, so committed BENCH_*.json files stay comparable
+// across PRs.
 type EnvInfo struct {
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
 }
 
 // Compared is one benchmark measured against the same benchmark in a
@@ -136,7 +138,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sum.Env = &EnvInfo{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	// The bench output's own cpu: header names the machine the numbers
+	// were measured on; fall back to the host's when the input lacks it.
+	cpu := ""
+	if sum.Env != nil {
+		cpu = sum.Env.CPUModel
+	}
+	if cpu == "" {
+		cpu = hostCPUModel()
+	}
+	sum.Env = &EnvInfo{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), CPUModel: cpu}
 	m := obs.NewManifest("", "", 0, nil)
 	sum.Manifest = &m
 	for _, r := range ratios {
@@ -186,35 +197,71 @@ func run(args []string) error {
 	return checkRegressions(sum.VsBaseline, *regress)
 }
 
-// benchEnv extracts the toolchain/parallelism pins of a summary,
-// preferring the manifest over the legacy env block. ok is false when
-// the summary carries neither (hand-written or very old baselines).
-func benchEnv(s *Summary) (goVersion string, goMaxProcs int, ok bool) {
+// benchEnv extracts the toolchain/parallelism/CPU pins of a summary,
+// preferring the manifest over the legacy env block (the CPU model
+// lives only in the env block). ok is false when the summary carries
+// neither (hand-written or very old baselines).
+func benchEnv(s *Summary) (goVersion string, goMaxProcs int, cpuModel string, ok bool) {
+	if s.Env != nil {
+		cpuModel = s.Env.CPUModel
+	}
 	switch {
 	case s.Manifest != nil:
-		return s.Manifest.GoVersion, s.Manifest.GoMaxProcs, true
+		return s.Manifest.GoVersion, s.Manifest.GoMaxProcs, cpuModel, true
 	case s.Env != nil:
-		return s.Env.GoVersion, s.Env.GoMaxProcs, true
+		return s.Env.GoVersion, s.Env.GoMaxProcs, cpuModel, true
 	}
-	return "", 0, false
+	return "", 0, "", false
+}
+
+// cpuLabel renders a possibly-unknown CPU model for a warning line.
+func cpuLabel(m string) string {
+	if m == "" {
+		return "unknown CPU"
+	}
+	return m
 }
 
 // warnEnvMismatch flags baseline comparisons made across different
-// toolchains or parallelism, which would otherwise be reported as
-// speedups/regressions without comment.
+// toolchains, parallelism or hardware, which would otherwise be
+// reported as speedups/regressions without comment.
 func warnEnvMismatch(w io.Writer, base, cur *Summary) {
-	bv, bp, ok := benchEnv(base)
+	bv, bp, bc, ok := benchEnv(base)
 	if !ok {
 		fmt.Fprintln(w, "benchjson: warning: baseline has no environment info; speedups may compare across toolchains")
 		return
 	}
-	cv, cp, _ := benchEnv(cur)
+	cv, cp, cc, _ := benchEnv(cur)
 	if bv != cv {
 		fmt.Fprintf(w, "benchjson: warning: baseline was measured with %s, this run with %s; speedups are not like-for-like\n", bv, cv)
 	}
-	if bp != cp {
-		fmt.Fprintf(w, "benchjson: warning: baseline ran at GOMAXPROCS=%d, this run at %d; speedups are not like-for-like\n", bp, cp)
+	switch {
+	case bp != cp:
+		fmt.Fprintf(w, "benchjson: warning: baseline ran at GOMAXPROCS=%d on %s, this run at %d on %s; speedups are not like-for-like\n",
+			bp, cpuLabel(bc), cp, cpuLabel(cc))
+	case bc != cc && bc != "" && cc != "":
+		fmt.Fprintf(w, "benchjson: warning: baseline was measured on %s, this run on %s; speedups are not like-for-like\n", bc, cc)
 	}
+}
+
+// hostCPUModel names the host CPU from /proc/cpuinfo ("" when the
+// platform does not expose one).
+func hostCPUModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		key, val, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		switch strings.TrimSpace(key) {
+		case "model name", "cpu model", "Processor": // x86, MIPS, older ARM
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
 }
 
 // loadSummary reads a previously emitted BENCH_*.json file.
@@ -291,6 +338,10 @@ func parse(r io.Reader) (*Summary, error) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			sum.Env = &EnvInfo{CPUModel: strings.TrimSpace(cpu)}
+			continue
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}

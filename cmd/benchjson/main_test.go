@@ -40,6 +40,9 @@ func TestParse(t *testing.T) {
 	if incr.Metrics["reused-frac"] != 0.625 {
 		t.Errorf("custom metric = %v", incr.Metrics)
 	}
+	if sum.Env == nil || sum.Env.CPUModel != "Intel(R) Xeon(R)" {
+		t.Errorf("cpu: header not captured: %+v", sum.Env)
+	}
 }
 
 func TestComputeRatio(t *testing.T) {
@@ -164,6 +167,9 @@ func TestWarnEnvMismatch(t *testing.T) {
 	mk := func(v string, p int) *Summary {
 		return &Summary{Env: &EnvInfo{GoVersion: v, GoMaxProcs: p}}
 	}
+	mkCPU := func(p int, cpu string) *Summary {
+		return &Summary{Env: &EnvInfo{GoVersion: "go1.24.0", GoMaxProcs: p, CPUModel: cpu}}
+	}
 	cases := []struct {
 		name      string
 		base, cur *Summary
@@ -171,7 +177,12 @@ func TestWarnEnvMismatch(t *testing.T) {
 	}{
 		{"identical", mk("go1.24.0", 4), mk("go1.24.0", 4), nil},
 		{"go-version", mk("go1.23.1", 4), mk("go1.24.0", 4), []string{"go1.23.1", "go1.24.0"}},
-		{"gomaxprocs", mk("go1.24.0", 2), mk("go1.24.0", 8), []string{"GOMAXPROCS=2", "at 8"}},
+		{"gomaxprocs", mk("go1.24.0", 2), mk("go1.24.0", 8), []string{"GOMAXPROCS=2", "at 8", "unknown CPU"}},
+		{"gomaxprocs-names-cpus", mkCPU(2, "Xeon E5"), mkCPU(8, "EPYC 7B12"),
+			[]string{"GOMAXPROCS=2", "at 8", "Xeon E5", "EPYC 7B12"}},
+		{"cpu-model", mkCPU(4, "Xeon E5"), mkCPU(4, "EPYC 7B12"),
+			[]string{"measured on Xeon E5", "this run on EPYC 7B12"}},
+		{"cpu-unknown-side-quiet", mkCPU(4, ""), mkCPU(4, "EPYC 7B12"), nil},
 		{"no-env", &Summary{}, mk("go1.24.0", 4), []string{"no environment info"}},
 		{"manifest-preferred", // manifest pins win over a stale env block
 			&Summary{Env: &EnvInfo{GoVersion: "go1.1", GoMaxProcs: 1},

@@ -1,8 +1,10 @@
 // Command dtnload drives a dtnserved instance: it publishes a batch of
 // data items, issues Zipf-distributed queries against them at a
-// configurable rate from concurrent workers, and then verifies the
-// server's books — the /metrics counter totals must match the
-// generator's own counts exactly and /healthz must be green.
+// configurable rate from concurrent workers, reports p50/p95/p99
+// end-to-end query latency at exit, and then verifies the server's
+// books — the /metrics counter totals must match the generator's own
+// counts exactly (a mismatch names the first diverging counter) and
+// /healthz must be green.
 //
 // Usage:
 //
@@ -18,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -123,11 +127,16 @@ func run(args []string) error {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		errCh := make(chan error, *workers)
+		// Each worker appends its query round-trip latencies to its own
+		// slot; slots are merged only after the wg.Wait join.
+		perWorker := make([][]time.Duration, *workers)
 		for wi := 0; wi < *workers; wi++ {
 			wg.Add(1)
 			//dtn:workerpool query workers, joined by wg.Wait below
 			go func(wi int) {
 				defer wg.Done()
+				lats := make([]time.Duration, 0, 256)
+				defer func() { perWorker[wi] = lats }()
 				rng := mathx.NewRand(*seed).Derive("worker-" + strconv.Itoa(wi))
 				for range jobs {
 					body := map[string]any{
@@ -140,6 +149,7 @@ func run(args []string) error {
 					var resp struct {
 						Issued bool `json:"issued"`
 					}
+					t0 := time.Now()
 					if err := c.postJSON("/v1/query", body, &resp); err != nil {
 						select {
 						case errCh <- err:
@@ -147,6 +157,7 @@ func run(args []string) error {
 						}
 						return
 					}
+					lats = append(lats, time.Since(t0))
 					if resp.Issued {
 						issued.Add(1)
 					}
@@ -199,6 +210,13 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "dtnload: %d queries (%d issued) in %s (%.0f q/s)\n",
 			sent.Load(), issued.Load(), elapsed.Round(time.Millisecond),
 			float64(sent.Load())/elapsed.Seconds())
+		all := make([]time.Duration, 0, sent.Load())
+		for _, l := range perWorker {
+			all = append(all, l...)
+		}
+		if line := latencyReport(all); line != "" {
+			fmt.Fprintln(os.Stderr, "dtnload:", line)
+		}
 	}
 
 	if *advanceEnd {
@@ -311,21 +329,53 @@ func (c *client) advance(to, by float64) error {
 	return c.postJSON("/v1/advance", body, nil)
 }
 
-// verifyBooks cross-checks the server against the generator: the
-// dtn_query_issued_total counter and the /report QueriesIssued field
+// latencyReport formats the merged query-latency percentiles, or ""
+// when no queries completed.
+func latencyReport(lats []time.Duration) string {
+	if len(lats) == 0 {
+		return ""
+	}
+	slices.Sort(lats)
+	return fmt.Sprintf("query latency p50 %s p95 %s p99 %s (%d samples)",
+		percentile(lats, 50), percentile(lats, 95), percentile(lats, 99), len(lats))
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted
+// sample set.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// counterCheck is one server-vs-generator comparison in verifyBooks.
+// present is false when the server side has no sample for the counter
+// (tolerated only while the generator count is also zero).
+type counterCheck struct {
+	name              string
+	server, generator int64
+	present           bool
+}
+
+// verifyBooks cross-checks the server against the generator: every
+// server-side view of the issued-query count (the
+// dtn_query_issued_total counter and the /report QueriesIssued field)
 // must equal the number of queries the server acknowledged as issued,
-// and the invariant checker behind /healthz must be green.
+// and the invariant checker behind /healthz must be green. On a
+// mismatch the error names the first diverging counter with both
+// sides' values, so a failed run is diagnosable from the one line.
 func (c *client) verifyBooks(wantIssued int64) error {
 	metrics, err := c.getRaw("/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
-	}
-	gotIssued, ok := promValue(metrics, "dtn_query_issued_total")
-	if !ok && wantIssued > 0 {
-		return errors.New("verify: dtn_query_issued_total missing from /metrics")
-	}
-	if ok && gotIssued != wantIssued {
-		return fmt.Errorf("verify: dtn_query_issued_total = %d, generator issued %d", gotIssued, wantIssued)
 	}
 	var rep struct {
 		QueriesIssued int64
@@ -333,11 +383,35 @@ func (c *client) verifyBooks(wantIssued int64) error {
 	if err := c.getJSON("/report", &rep); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
-	if rep.QueriesIssued != wantIssued {
-		return fmt.Errorf("verify: report QueriesIssued = %d, generator issued %d", rep.QueriesIssued, wantIssued)
+	gotIssued, ok := promValue(metrics, "dtn_query_issued_total")
+	checks := []counterCheck{
+		{"dtn_query_issued_total (/metrics)", gotIssued, wantIssued, ok},
+		{"QueriesIssued (/report)", rep.QueriesIssued, wantIssued, true},
+	}
+	if err := firstDivergence(checks); err != nil {
+		return err
 	}
 	if _, err := c.getRaw("/healthz"); err != nil {
 		return fmt.Errorf("verify: %w", err)
+	}
+	return nil
+}
+
+// firstDivergence returns an error naming the first check whose server
+// and generator counts differ, or whose server side is missing while
+// the generator counted something.
+func firstDivergence(checks []counterCheck) error {
+	for _, ck := range checks {
+		if !ck.present {
+			if ck.generator > 0 {
+				return fmt.Errorf("verify: %s missing from the server, generator=%d", ck.name, ck.generator)
+			}
+			continue
+		}
+		if ck.server != ck.generator {
+			return fmt.Errorf("verify: first diverging counter: %s: server=%d generator=%d",
+				ck.name, ck.server, ck.generator)
+		}
 	}
 	return nil
 }

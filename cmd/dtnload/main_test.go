@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.p); got != c.want {
+			t.Errorf("p%g = %s, want %s", c.p, got, c.want)
+		}
+	}
+	if got := percentile([]time.Duration{7 * time.Second}, 99); got != 7*time.Second {
+		t.Errorf("single sample p99 = %s, want 7s", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %s, want 0", got)
+	}
+}
+
+func TestLatencyReport(t *testing.T) {
+	if got := latencyReport(nil); got != "" {
+		t.Errorf("no samples must yield no report, got %q", got)
+	}
+	// Unsorted on purpose: the report sorts before ranking.
+	lats := []time.Duration{3 * time.Millisecond, 1 * time.Millisecond, 2 * time.Millisecond}
+	got := latencyReport(lats)
+	for _, want := range []string{"p50 2ms", "p95 3ms", "p99 3ms", "3 samples"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report %q missing %q", got, want)
+		}
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	ok := []counterCheck{
+		{"a", 5, 5, true},
+		{"b", 0, 0, false}, // absent but generator idle: tolerated
+	}
+	if err := firstDivergence(ok); err != nil {
+		t.Errorf("matching books failed: %v", err)
+	}
+	div := []counterCheck{
+		{"dtn_query_issued_total (/metrics)", 3, 5, true},
+		{"QueriesIssued (/report)", 9, 5, true},
+	}
+	err := firstDivergence(div)
+	if err == nil {
+		t.Fatal("diverging counters must fail")
+	}
+	// The first divergence is named, with both sides' values; the
+	// second mismatch must not mask it.
+	for _, want := range []string{"first diverging counter", "dtn_query_issued_total", "server=3", "generator=5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "server=9") {
+		t.Errorf("error %q reports a later divergence, want the first", err)
+	}
+	missing := []counterCheck{{"dtn_query_issued_total (/metrics)", 0, 4, false}}
+	if err := firstDivergence(missing); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("absent counter with non-zero generator count = %v, want a missing error", err)
+	}
+}
+
+// fakeServer serves just enough of the dtnserved surface for
+// verifyBooks: /metrics, /report, /healthz.
+func fakeServer(t *testing.T, metricsIssued, reportIssued int64) *client {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "dtn_query_issued_total %d\n", metricsIssued)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"QueriesIssued":%d}`, reportIssued)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s := httptest.NewServer(mux)
+	t.Cleanup(s.Close)
+	return &client{base: s.URL, http: s.Client()}
+}
+
+func TestVerifyBooks(t *testing.T) {
+	if err := fakeServer(t, 5, 5).verifyBooks(5); err != nil {
+		t.Errorf("matching books failed verification: %v", err)
+	}
+	err := fakeServer(t, 3, 5).verifyBooks(5)
+	if err == nil || !strings.Contains(err.Error(), "server=3 generator=5") {
+		t.Errorf("metrics divergence = %v, want server=3 generator=5 named", err)
+	}
+	err = fakeServer(t, 5, 2).verifyBooks(5)
+	if err == nil || !strings.Contains(err.Error(), "QueriesIssued (/report)") {
+		t.Errorf("report divergence = %v, want QueriesIssued named", err)
+	}
+}

@@ -11,9 +11,15 @@
 //	curl -s localhost:8080/metrics
 //
 // Endpoints: POST /v1/publish, /v1/query, /v1/advance; GET /v1/status,
-// /v1/satisfied?id=N, /report (bare report JSON, the dtnsim -report-json
-// encoding), /metrics (Prometheus text, byte-deterministic), /healthz
-// (invariant-checker gate). SIGTERM/SIGINT shut the server down
+// /v1/satisfied?id=N, /v1/trace/{queryID} (the query's provenance span
+// tree with critical-path delay attribution, kept for the last
+// -span-retain finished queries), /report (bare report JSON, the dtnsim
+// -report-json encoding), /metrics (Prometheus text,
+// byte-deterministic), /healthz (invariant-checker gate). With
+// -debug-addr a second listener serves net/http/pprof and
+// /debug/metrics (Go runtime gauges plus per-endpoint HTTP latency
+// histograms — wall-clock metrics, deliberately separate from the
+// deterministic /metrics). SIGTERM/SIGINT shut the server down
 // gracefully and flush the run-trace sink.
 package main
 
@@ -56,6 +62,8 @@ func run(args []string) error {
 		of         = cli.AddObsFlags(fs)
 		listen     = fs.String("listen", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 		addrFile   = fs.String("addr-file", "", "write the bound address to this `file` once listening")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof and /debug/metrics (Go runtime + HTTP latency) on this extra address (empty = off)")
+		spanRetain = fs.Int("span-retain", 1024, "finished queries whose provenance span trees stay queryable via GET /v1/trace/{id} (0 = off)")
 		rate       = fs.Float64("rate", 0, "real-time replay rate: virtual seconds advanced per wall second (0 = manual pacing via POST /v1/advance)")
 		live       = fs.Bool("live", true, "live workload: data and queries enter only through the API (false replays the generated batch workload)")
 	)
@@ -85,6 +93,7 @@ func run(args []string) error {
 	}
 	cfg.Scheme = *schemeName
 	cfg.Live = *live
+	cfg.SpanRetain = *spanRetain
 	manifest := obs.NewManifest(tr.Name, *schemeName, *ef.Seed, cli.Digestable(cfg))
 	if ring == nil {
 		rec.Manifest(manifest)
@@ -113,6 +122,16 @@ func run(args []string) error {
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dtnserved: pprof and runtime metrics on %s/debug/\n", dln.Addr())
+		dbg := &http.Server{Handler: srv.debugMux()}
+		defer dbg.Close()
+		go func() { _ = dbg.Serve(dln) }()
+	}
 	if *rate > 0 {
 		go pace(ctx, eng, *rate)
 	}

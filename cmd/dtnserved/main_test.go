@@ -2,14 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"dtncache/internal/engine"
 	"dtncache/internal/metrics"
 	"dtncache/internal/obs"
+	"dtncache/internal/provenance"
 	"dtncache/internal/trace"
 )
 
@@ -20,7 +23,7 @@ func newTestServer(t *testing.T) *server {
 		t.Fatal(err)
 	}
 	rec := obs.NewRecorder(nil)
-	eng, err := engine.New(engine.Config{Trace: tr, Live: true, Obs: rec})
+	eng, err := engine.New(engine.Config{Trace: tr, Live: true, Obs: rec, SpanRetain: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,6 +253,186 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Byte-determinism regression for the scrape output.
 	if w2 := do(s, "GET", "/metrics", ""); w2.Body.String() != body {
 		t.Error("two /metrics reads differ")
+	}
+}
+
+// TestTraceEndpoint drives one query to satisfaction and reads its
+// provenance span tree back through the live API.
+func TestTraceEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// NCL selection happens at the end of warm-up (half the trace);
+	// queries issued before it have no centers to route toward.
+	if _, err := s.eng.Advance(s.eng.Duration() / 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Publish(engine.PublishSpec{Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Query(engine.QuerySpec{Requester: 4, Data: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Advance(s.eng.Duration()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.eng.Satisfied(0) {
+		t.Fatal("query 0 not satisfied after full replay; trace pin needs it")
+	}
+
+	w := do(s, "GET", "/v1/trace/0", "")
+	if w.Code != 200 {
+		t.Fatalf("trace status %d: %s", w.Code, w.Body.String())
+	}
+	var resp traceResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.QueryID != 0 || !resp.Satisfied {
+		t.Errorf("trace response %+v, want satisfied query 0", resp)
+	}
+	if want := fmt.Sprintf("%016x", provenance.TraceID(1, 0)); resp.TraceID != want {
+		t.Errorf("trace ID %s, want %s", resp.TraceID, want)
+	}
+	if len(resp.Spans) == 0 || len(resp.CriticalPath) < 2 {
+		t.Fatalf("trace has %d spans, critical path %v", len(resp.Spans), resp.CriticalPath)
+	}
+	attr := resp.Attribution
+	if attr == nil {
+		t.Fatal("satisfied query without attribution")
+	}
+	// The components reassemble the recorded delay exactly: queued is
+	// the residual by construction, and JSON round-trips floats exactly.
+	if attr.QueuedSec != attr.TotalSec-attr.WaitSec-attr.TransferSec {
+		t.Errorf("attribution does not reassemble: %+v", attr)
+	}
+	if attr.TotalSec <= 0 || attr.Hops == 0 {
+		t.Errorf("implausible attribution %+v", attr)
+	}
+	// Two reads of a quiesced engine are byte-identical.
+	if w2 := do(s, "GET", "/v1/trace/0", ""); w2.Body.String() != w.Body.String() {
+		t.Error("two /v1/trace reads differ")
+	}
+
+	for _, tc := range []struct {
+		target string
+		code   int
+	}{
+		{"/v1/trace/", 400},
+		{"/v1/trace/abc", 400},
+		{"/v1/trace/99999", 404},
+	} {
+		if w := do(s, "GET", tc.target, ""); w.Code != tc.code {
+			t.Errorf("GET %s = %d, want %d (%s)", tc.target, w.Code, tc.code, w.Body.String())
+		}
+	}
+	if w := do(s, "POST", "/v1/trace/0", ""); w.Code != 405 {
+		t.Errorf("POST trace = %d, want 405", w.Code)
+	}
+}
+
+// TestDebugMetrics pins the split between the two metric surfaces: the
+// debug listener serves Go runtime gauges and per-endpoint latency
+// histograms, and none of that wall-clock noise leaks into the
+// deterministic /metrics.
+func TestDebugMetrics(t *testing.T) {
+	s := newTestServer(t)
+	do(s, "GET", "/v1/status", "")
+	do(s, "GET", "/healthz", "")
+
+	mux := s.debugMux()
+	req := httptest.NewRequest("GET", "/debug/metrics", nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("debug metrics status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"dtn_runtime_goroutines",
+		"dtn_runtime_heap_objects_bytes",
+		"dtn_runtime_gc_cycles",
+		"dtn_http_status_latency_seconds_bucket",
+		"dtn_http_status_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("debug metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	sim := do(s, "GET", "/metrics", "").Body.String()
+	for _, leak := range []string{"dtn_http_", "dtn_runtime_"} {
+		if strings.Contains(sim, leak) {
+			t.Errorf("/metrics leaks wall-clock series %q:\n%s", leak, sim)
+		}
+	}
+
+	// pprof index is mounted on the same mux.
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Errorf("pprof index: %d %q", w.Code, w.Body.String())
+	}
+}
+
+// TestConcurrentMetricsScrapes hammers both Prometheus surfaces from
+// many goroutines while the engine advances — the -race regression for
+// obs.Registry.WriteProm against a live simulation — then pins that a
+// quiesced engine scrapes byte-identically twice.
+func TestConcurrentMetricsScrapes(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.eng.Publish(engine.PublishSpec{Source: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.eng.Query(engine.QuerySpec{Requester: 4, Data: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	dbg := s.debugMux()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		end := s.eng.Duration()
+		for target := 3600.0; target <= end; target += 3600 {
+			if _, err := s.eng.Advance(target); err != nil {
+				t.Errorf("advance: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if w := do(s, "GET", "/metrics", ""); w.Code != 200 {
+					t.Errorf("/metrics status %d", w.Code)
+					return
+				}
+				w := httptest.NewRecorder()
+				dbg.ServeHTTP(w, httptest.NewRequest("GET", "/debug/metrics", nil))
+				if w.Code != 200 {
+					t.Errorf("/debug/metrics status %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+
+	// Quiesced: the deterministic surface double-scrapes byte-for-byte.
+	first := do(s, "GET", "/metrics", "").Body.String()
+	second := do(s, "GET", "/metrics", "").Body.String()
+	if first != second {
+		t.Error("quiesced /metrics scrapes differ")
+	}
+	if !strings.Contains(first, "dtn_query_issued_total 1\n") {
+		t.Errorf("scrape lost the issued counter:\n%s", first)
 	}
 }
 

@@ -5,35 +5,64 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	runtimemetrics "runtime/metrics"
 	"strconv"
+	"strings"
+	"time"
 
 	"dtncache/internal/cli"
 	"dtncache/internal/engine"
 	"dtncache/internal/obs"
+	"dtncache/internal/provenance"
 	"dtncache/internal/workload"
 )
 
+// latencyBounds are the per-endpoint HTTP latency histogram bucket
+// edges, in seconds.
+var latencyBounds = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
 // server routes the HTTP API onto one engine. Handlers hold no state of
 // their own: every request is answered from the engine (lock-serialized
-// inside) or the metric registry (atomic), so the handler pool needs no
+// inside) or a metric registry (atomic), so the handler pool needs no
 // additional synchronization.
+//
+// Two registries back the two metric surfaces: reg holds the
+// simulation's own counters and serves /metrics, which stays
+// byte-deterministic at a fixed engine state; runtime holds
+// wall-clock-tainted operational metrics (per-endpoint HTTP latency,
+// Go runtime samples) and serves /debug/metrics on the debug listener
+// only, so the deterministic surface never mixes with the
+// nondeterministic one.
 type server struct {
-	eng *engine.Engine
-	reg *obs.Registry
-	mux *http.ServeMux
+	eng     *engine.Engine
+	reg     *obs.Registry
+	runtime *obs.Registry
+	mux     *http.ServeMux
 }
 
 func newServer(eng *engine.Engine, reg *obs.Registry) *server {
-	s := &server{eng: eng, reg: reg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/publish", s.handlePublish)
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/advance", s.handleAdvance)
-	s.mux.HandleFunc("/v1/satisfied", s.handleSatisfied)
-	s.mux.HandleFunc("/v1/status", s.handleStatus)
-	s.mux.HandleFunc("/report", s.handleReport)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s := &server{eng: eng, reg: reg, runtime: obs.NewRegistry(), mux: http.NewServeMux()}
+	s.handle("/v1/publish", "publish", s.handlePublish)
+	s.handle("/v1/query", "query", s.handleQuery)
+	s.handle("/v1/advance", "advance", s.handleAdvance)
+	s.handle("/v1/satisfied", "satisfied", s.handleSatisfied)
+	s.handle("/v1/status", "status", s.handleStatus)
+	s.handle("/v1/trace/", "trace", s.handleTrace)
+	s.handle("/report", "report", s.handleReport)
+	s.handle("/metrics", "metrics", s.handleMetrics)
+	s.handle("/healthz", "healthz", s.handleHealthz)
 	return s
+}
+
+// handle mounts a handler with its per-endpoint latency histogram.
+func (s *server) handle(pattern, name string, h http.HandlerFunc) {
+	hist := s.runtime.Histogram("http", name+"_latency_seconds", latencyBounds)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -259,6 +288,145 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Pending:     s.eng.Pending(),
 		Processed:   s.eng.Processed(),
 	})
+}
+
+// spanJSON is the API rendering of one provenance span.
+type spanJSON struct {
+	ID       int64   `json:"id"`
+	Parent   int64   `json:"parent"`
+	Op       string  `json:"op"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+	EnqSec   float64 `json:"enq_sec"`
+	A        int32   `json:"a"`
+	B        int32   `json:"b"`
+	Aux      int64   `json:"aux"`
+	V        float64 `json:"v"`
+}
+
+type attributionJSON struct {
+	TotalSec    float64 `json:"total_sec"`
+	WaitSec     float64 `json:"wait_sec"`
+	QueuedSec   float64 `json:"queued_sec"`
+	TransferSec float64 `json:"transfer_sec"`
+	Hops        int     `json:"hops"`
+}
+
+type traceResponse struct {
+	QueryID      int64            `json:"query_id"`
+	TraceID      string           `json:"trace_id"`
+	Satisfied    bool             `json:"satisfied"`
+	Spans        []spanJSON       `json:"spans"`
+	CriticalPath []int64          `json:"critical_path,omitempty"`
+	Attribution  *attributionJSON `json:"attribution,omitempty"`
+}
+
+// handleTrace answers GET /v1/trace/{queryID} with the query's
+// retained span tree, its critical path and delay attribution once
+// satisfied. 404 means the query is unknown or fell out of the
+// retention window (-span-retain).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || idStr == "" {
+		writeError(w, http.StatusBadRequest, "trace path must end in an integer query ID")
+		return
+	}
+	spans, ok := s.eng.SpanTree(workload.QueryID(id))
+	if !ok || len(spans) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("query %d has no retained span tree (expired past -span-retain, or tracing is off)", id))
+		return
+	}
+	trees := provenance.BuildTrees(spans)
+	tree := trees[0] // all retained spans share the query ID
+	resp := traceResponse{
+		QueryID:   tree.Query,
+		TraceID:   fmt.Sprintf("%016x", tree.TraceID),
+		Satisfied: s.eng.Satisfied(workload.QueryID(id)),
+		Spans:     make([]spanJSON, 0, len(tree.Spans)),
+	}
+	for _, sp := range tree.Spans {
+		resp.Spans = append(resp.Spans, spanJSON{
+			ID: sp.ID, Parent: sp.Parent, Op: sp.Op,
+			StartSec: sp.Start, EndSec: sp.End, EnqSec: sp.Enq,
+			A: sp.A, B: sp.B, Aux: sp.Aux, V: sp.V,
+		})
+	}
+	if path := tree.CriticalPath(); path != nil {
+		for _, sp := range path {
+			resp.CriticalPath = append(resp.CriticalPath, sp.ID)
+		}
+	}
+	if attr, ok := tree.Attribute(); ok {
+		resp.Attribution = &attributionJSON{
+			TotalSec: attr.Total, WaitSec: attr.Wait,
+			QueuedSec: attr.Queued, TransferSec: attr.Transfer, Hops: attr.Hops,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runtimeSampleNames maps runtime/metrics samples onto gauge names in
+// the runtime registry.
+var runtimeSampleNames = [...]struct{ sample, gauge string }{
+	{"/sched/goroutines:goroutines", "goroutines"},
+	{"/memory/classes/heap/objects:bytes", "heap_objects_bytes"},
+	{"/gc/cycles/total:gc-cycles", "gc_cycles"},
+	{"/gc/pauses:seconds", "gc_pauses"},
+}
+
+// sampleRuntime refreshes the Go runtime gauges in the runtime
+// registry from runtime/metrics.
+func (s *server) sampleRuntime() {
+	samples := make([]runtimemetrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n.sample
+	}
+	runtimemetrics.Read(samples)
+	for i, sm := range samples {
+		g := s.runtime.Gauge("runtime", runtimeSampleNames[i].gauge)
+		switch sm.Value.Kind() {
+		case runtimemetrics.KindUint64:
+			g.Set(int64(sm.Value.Uint64()))
+		case runtimemetrics.KindFloat64:
+			g.Set(int64(sm.Value.Float64()))
+		case runtimemetrics.KindFloat64Histogram:
+			var n uint64
+			for _, c := range sm.Value.Float64Histogram().Counts {
+				n += c
+			}
+			g.Set(int64(n)) // pause count; distribution stays in pprof
+		}
+	}
+}
+
+// handleDebugMetrics serves the runtime registry (Go runtime gauges +
+// per-endpoint latency histograms) in Prometheus text format. Debug
+// listener only: its values are wall-clock-dependent by nature.
+func (s *server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.sampleRuntime()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.runtime.WriteProm(w)
+}
+
+// debugMux assembles the -debug-addr surface: pprof plus the runtime
+// metric registry, kept off the public API listener.
+func (s *server) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", s.handleDebugMetrics)
+	return mux
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {

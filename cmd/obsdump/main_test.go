@@ -24,6 +24,20 @@ const synthetic = `{"k":"manifest","trace":"Synthetic","scheme":"Intentional","s
 {"k":"cell","t":0,"x":1,"v":1.5,"s":"Intentional"}
 `
 
+// spanLines is the span stream of one satisfied query (0: issued at
+// 10 by node 2, answered at 100 via 2>5>9>4>2, wait 63s transfer 5.5s)
+// plus one still-unsatisfied query (1).
+const spanLines = `{"k":"span","t":10,"e":50,"nq":40,"tr":"00000000000000ff","sp":1,"pa":0,"op":"q-seg","a":2,"b":5,"id":0,"x":9,"v":1}
+{"k":"span","t":50,"e":75,"nq":70,"tr":"00000000000000ff","sp":2,"pa":1,"op":"q-seg","a":5,"b":9,"id":0,"x":9,"v":1}
+{"k":"span","t":75,"e":75,"tr":"00000000000000ff","sp":3,"pa":2,"op":"ncl-miss","a":9,"id":0,"x":3}
+{"k":"span","t":75,"e":82,"nq":80,"tr":"00000000000000ff","sp":4,"pa":2,"op":"q-bcast","a":9,"b":4,"id":0,"x":9,"v":1}
+{"k":"span","t":82,"e":82,"tr":"00000000000000ff","sp":5,"pa":4,"op":"pull","a":4,"id":0,"x":7,"v":0.25}
+{"k":"span","t":82,"e":100,"nq":90,"tr":"00000000000000ff","sp":6,"pa":5,"op":"r-seg","a":4,"b":2,"id":0,"v":2.5}
+{"k":"span","t":100,"e":100,"tr":"00000000000000ff","sp":7,"pa":6,"op":"deliver","a":2,"id":0,"v":90}
+{"k":"span","t":10,"e":100,"tr":"00000000000000ff","sp":0,"op":"issue","a":2,"id":0,"x":7}
+{"k":"span","t":60,"e":70,"nq":65,"tr":"00000000000000aa","sp":1,"pa":0,"op":"q-seg","a":4,"b":6,"id":1,"x":6,"v":1}
+`
+
 func dump(t *testing.T, input string, args ...string) string {
 	t.Helper()
 	path := t.TempDir() + "/trace.ndjson"
@@ -169,6 +183,95 @@ func TestDumpFaultTimeline(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("failure timeline missing %q column:\n%s", want, out)
 		}
+	}
+}
+
+func TestDumpSpansAttributionTable(t *testing.T) {
+	out := dump(t, synthetic+spanLines, "-spans")
+	for _, want := range []string{
+		"scheme=Intentional",
+		"9 spans across 2 traced queries, 1 satisfied",
+		"critical-path delay attribution (1 slowest of 1)",
+		"2>5>9>4>2", // query out, reply back
+		// Total 90s: wait 63 (70.0%), transfer 5.5 (6.1%), queued residual
+		// 21.5 (23.9%).
+		"70.0", "23.9", "6.1",
+		"Intentional aggregate over 1 satisfied queries",
+		"mean delay 1.5m, mean hops 4.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "timeline") {
+		t.Errorf("-spans must replace the timeline tables:\n%s", out)
+	}
+}
+
+func TestDumpSpanQueryTree(t *testing.T) {
+	out := dump(t, synthetic+spanLines, "-spans", "-span-query", "0")
+	for _, want := range []string{
+		"span tree for query 0 (trace 00000000000000ff)",
+		"[0] issue node 2 data 7 [10, 100] (1.5m)",
+		"[1] q-seg 2>5 [10, 50] wait 30s xfer 1s",
+		"[3] ncl-miss center 9 @75 ncl 3",
+		"[5] pull node 4 @82 data 7 util 0.25",
+		"[7] deliver node 2 @100 delay 1.5m",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tree missing %q:\n%s", want, out)
+		}
+	}
+	// Causal indentation: the pull (depth 3) sits deeper than its
+	// grandparent segment (depth 1).
+	if !strings.Contains(out, "      [5] pull") {
+		t.Errorf("pull span not indented below its causes:\n%s", out)
+	}
+}
+
+func TestDumpSpanQueryUnsatisfiedAndUnknown(t *testing.T) {
+	out := dump(t, synthetic+spanLines, "-spans", "-span-query", "1")
+	if !strings.Contains(out, "not satisfied: no root span") {
+		t.Errorf("unsatisfied query's spans must still print:\n%s", out)
+	}
+	path := t.TempDir() + "/trace.ndjson"
+	if err := writeFile(path, synthetic+spanLines); err != nil {
+		t.Fatal(err)
+	}
+	var sink strings.Builder
+	err := run([]string{"-spans", "-span-query", "42", path}, &sink)
+	if err == nil || !strings.Contains(err.Error(), "query 42") {
+		t.Errorf("unknown -span-query must error, got %v", err)
+	}
+}
+
+// A trace recorded without span events must come back from -spans as a
+// one-line error (nonzero exit via main), not as empty tables.
+func TestDumpSpanlessTraceErrors(t *testing.T) {
+	path := t.TempDir() + "/trace.ndjson"
+	if err := writeFile(path, synthetic); err != nil {
+		t.Fatal(err)
+	}
+	var sink strings.Builder
+	err := run([]string{"-spans", path}, &sink)
+	if err == nil {
+		t.Fatal("-spans accepted a spanless trace")
+	}
+	if !strings.Contains(err.Error(), "no span events") {
+		t.Errorf("error %q does not say the trace has no span events", err)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Errorf("error is not one line: %q", err)
+	}
+	if err := run([]string{"-spans", "-top", "0", path}, &sink); err == nil {
+		t.Error("-top 0 accepted")
+	}
+}
+
+func TestDumpSpanTimelineColumn(t *testing.T) {
+	out := dump(t, synthetic+spanLines, "-bins", "2")
+	if !strings.Contains(out, "span") {
+		t.Errorf("default mode must count span events in the timeline:\n%s", out)
 	}
 }
 

@@ -27,6 +27,10 @@ var DeterministicPackages = []string{
 	// not read the wall clock (phase timers use a clock injected by the
 	// CLI layer) or the global rand source.
 	"dtncache/internal/obs",
+	// The provenance tracer derives trace IDs from the seed and emits
+	// span lines into the byte-deterministic run-trace; any wall-clock
+	// or global-rand read would leak into recorded traces.
+	"dtncache/internal/provenance",
 	// The fault-injection engine's crash/recover schedule is part of the
 	// replayed result: every fault draw must come from the seeded RNG
 	// tree, never the wall clock or global rand.

@@ -19,6 +19,7 @@ import (
 
 	"dtncache/internal/buffer"
 	"dtncache/internal/obs"
+	"dtncache/internal/provenance"
 	"dtncache/internal/scheme"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
@@ -304,6 +305,7 @@ func (s *Intentional) queryAtCenter(center trace.NodeID, qc *scheme.QueryCarry) 
 		return
 	}
 	qc.Broadcast = true
+	s.env.Prov.NCLMiss(qc.Q.ID, qc.Target, center, s.env.Sim.Now(), qc.NCL)
 	s.base.CarryQuery(center, qc)
 }
 
@@ -329,6 +331,8 @@ func (s *Intentional) broadcastQueries(sess *sim.Session, from trace.NodeID) {
 					return
 				}
 				s.base.CarryQuery(to, copyQC)
+				s.env.Prov.QueryHop(copyQC.Q.ID, copyQC.Target, from, to,
+					now, at, s.env.XferSec(s.env.Cfg.QueryBits), provenance.OpQueryBcast, false)
 				s.base.Observe(to, copyQC.Q.Data, at)
 				// Caching nodes answer probabilistically (Sec. V-C).
 				if s.base.Respond(to, copyQC, false) {

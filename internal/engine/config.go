@@ -136,6 +136,12 @@ type Config struct {
 	// seed). cmd/experiments keeps sweep-cell trace events on a
 	// separate mutex-guarded recorder for this reason.
 	Obs *obs.Recorder
+
+	// SpanRetain keeps the provenance span trees of up to this many
+	// finished queries queryable through Engine.SpanTree (and
+	// dtnserved's /v1/trace endpoint). 0, the default, retains nothing;
+	// spans still stream into the run-trace whenever Obs has a sink.
+	SpanRetain int
 }
 
 // Normalized returns the config with every zero-valued knob replaced

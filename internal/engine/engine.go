@@ -7,6 +7,7 @@ import (
 
 	"dtncache/internal/fault"
 	"dtncache/internal/metrics"
+	"dtncache/internal/obs"
 	"dtncache/internal/scheme"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
@@ -91,6 +92,7 @@ func New(cfg Config) (*Engine, error) {
 	sc.CheckInvariants = c.CheckInvariants
 	sc.Seed = c.Seed
 	sc.Obs = c.Obs
+	sc.SpanRetain = c.SpanRetain
 	var env *scheme.Env
 	if c.Stream != nil {
 		env, err = scheme.NewEnvStream(c.Trace, w, sc, factory(), c.Knowledge, c.Stream)
@@ -156,6 +158,16 @@ func (e *Engine) Advance(to float64) (int, error) {
 		return 0, ErrClosed
 	}
 	return e.env.Sim.RunUntil(to), nil
+}
+
+// SpanTree returns a copy of the retained provenance spans of the
+// query (emission order) and whether the query is known to the tracer.
+// It requires Config.SpanRetain > 0; without a tracer every lookup
+// reports unknown.
+func (e *Engine) SpanTree(id workload.QueryID) ([]obs.SpanEvent, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.env.Prov.SpanTree(id)
 }
 
 // Tick dispatches all events of the next pending virtual instant and

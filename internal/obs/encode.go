@@ -73,6 +73,61 @@ func appendEvent(b []byte, k Kind, t float64, a, bb int32, id, aux int64, v floa
 	return append(b, '}')
 }
 
+// appendSpan encodes one provenance span as a JSON object (no trailing
+// newline). Key order is fixed; omission is value-driven like
+// appendEvent: nq is left out when it equals t, pa when negative
+// (root), a/b when negative, x/v when zero. The query ID is always
+// present — a span without its query is meaningless.
+func appendSpan(b []byte, ev SpanEvent) []byte {
+	b = append(b, `{"k":"span","t":`...)
+	b = appendFloat(b, ev.Start)
+	b = append(b, `,"e":`...)
+	b = appendFloat(b, ev.End)
+	if ev.Enq != ev.Start {
+		b = append(b, `,"nq":`...)
+		b = appendFloat(b, ev.Enq)
+	}
+	b = append(b, `,"tr":"`...)
+	b = appendHex16(b, ev.Trace)
+	b = append(b, `","sp":`...)
+	b = strconv.AppendInt(b, ev.ID, 10)
+	if ev.Parent >= 0 {
+		b = append(b, `,"pa":`...)
+		b = strconv.AppendInt(b, ev.Parent, 10)
+	}
+	b = append(b, `,"op":`...)
+	b = appendQuoted(b, ev.Op)
+	if ev.A >= 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendInt(b, int64(ev.A), 10)
+	}
+	if ev.B >= 0 {
+		b = append(b, `,"b":`...)
+		b = strconv.AppendInt(b, int64(ev.B), 10)
+	}
+	b = append(b, `,"id":`...)
+	b = strconv.AppendInt(b, ev.Query, 10)
+	if ev.Aux != 0 {
+		b = append(b, `,"x":`...)
+		b = strconv.AppendInt(b, ev.Aux, 10)
+	}
+	if ev.V != 0 {
+		b = append(b, `,"v":`...)
+		b = appendFloat(b, ev.V)
+	}
+	return append(b, '}')
+}
+
+// appendHex16 appends v as exactly 16 lowercase hex digits — the fixed
+// width keeps trace IDs grep-able and the encoding length-stable.
+func appendHex16(b []byte, v uint64) []byte {
+	const hex = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hex[(v>>uint(shift))&0xf])
+	}
+	return b
+}
+
 // appendManifest encodes the run-manifest header line.
 func appendManifest(b []byte, m Manifest) []byte {
 	b = append(b, `{"k":"manifest"`...)

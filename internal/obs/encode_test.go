@@ -44,6 +44,43 @@ func TestAppendEventGolden(t *testing.T) {
 	}
 }
 
+func TestAppendSpanGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   SpanEvent
+		want string
+	}{
+		{
+			"segment", // custody segment: wait [t,nq], transfer v seconds
+			SpanEvent{Trace: 0xdeadbeef01234567, ID: 3, Parent: 1, Op: "q-seg",
+				Start: 100, End: 260.5, Enq: 250, A: 4, B: 9, Query: 7, Aux: 12, V: 10.5},
+			`{"k":"span","t":100,"e":260.5,"nq":250,"tr":"deadbeef01234567","sp":3,"pa":1,` +
+				`"op":"q-seg","a":4,"b":9,"id":7,"x":12,"v":10.5}`,
+		},
+		{
+			"root", // parent -1 omitted, nq == t omitted, b < 0 omitted
+			SpanEvent{Trace: 1, ID: 0, Parent: -1, Op: "issue",
+				Start: 10, End: 500, Enq: 10, A: 2, B: -1, Query: 0, Aux: 5},
+			`{"k":"span","t":10,"e":500,"tr":"0000000000000001","sp":0,"op":"issue","a":2,"id":0,"x":5}`,
+		},
+		{
+			"point", // zero-extent span, zero x/v omitted, id 0 still present
+			SpanEvent{Trace: 0xffffffffffffffff, ID: 5, Parent: 2, Op: "pull",
+				Start: 33.25, End: 33.25, Enq: 33.25, A: 1, B: -1, Query: 0},
+			`{"k":"span","t":33.25,"e":33.25,"tr":"ffffffffffffffff","sp":5,"pa":2,"op":"pull","a":1,"id":0}`,
+		},
+	}
+	for _, c := range cases {
+		got := appendSpan(nil, c.ev)
+		if string(got) != c.want {
+			t.Errorf("%s:\n got %s\nwant %s", c.name, got, c.want)
+		}
+		if !json.Valid(got) {
+			t.Errorf("%s: not valid JSON: %s", c.name, got)
+		}
+	}
+}
+
 func TestAppendEventDeterministic(t *testing.T) {
 	a := appendEvent(nil, KindCacheInsert, 1234.5678, 9, -1, 77, 0, 0.333, "")
 	b := appendEvent(nil, KindCacheInsert, 1234.5678, 9, -1, 77, 0, 0.333, "")
@@ -182,6 +219,36 @@ func FuzzEncodeEvent(f *testing.F) {
 		}
 		// Deterministic: re-encoding yields identical bytes.
 		if again := appendEvent(nil, Kind(k), tm, a, b, id, aux, v, label); string(again) != string(line) {
+			t.Fatalf("non-deterministic encoding:\n%q\n%q", line, again)
+		}
+	})
+}
+
+// FuzzEncodeSpan is FuzzEncodeEvent's twin for the span line family:
+// any span must encode to one valid single-line JSON object,
+// deterministically.
+func FuzzEncodeSpan(f *testing.F) {
+	f.Add(uint64(0xdeadbeef), int64(3), int64(1), "q-seg", 100.0, 260.5, 250.0, int32(4), int32(9), int64(7), int64(12), 10.5)
+	f.Add(uint64(0), int64(0), int64(-1), "issue", 0.0, 0.0, 0.0, int32(-1), int32(-1), int64(0), int64(0), 0.0)
+	f.Add(uint64(math.MaxUint64), int64(math.MaxInt64), int64(math.MinInt64), "a\"b\\c\nd", -1.5, math.MaxFloat64, -0.0, int32(math.MinInt32), int32(math.MaxInt32), int64(-9), int64(-1), 1e-308)
+	f.Fuzz(func(t *testing.T, tr uint64, id, pa int64, op string, start, end, enq float64, a, b int32, q, aux int64, v float64) {
+		for _, x := range []float64{start, end, enq, v} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Skip("non-finite floats are excluded by the tracer's inputs (virtual time)")
+			}
+		}
+		ev := SpanEvent{Trace: tr, ID: id, Parent: pa, Op: op,
+			Start: start, End: end, Enq: enq, A: a, B: b, Query: q, Aux: aux, V: v}
+		line := appendSpan(nil, ev)
+		if !json.Valid(line) {
+			t.Fatalf("invalid JSON: %q", line)
+		}
+		for _, c := range line {
+			if c == '\n' {
+				t.Fatalf("embedded newline breaks NDJSON framing: %q", line)
+			}
+		}
+		if again := appendSpan(nil, ev); string(again) != string(line) {
 			t.Fatalf("non-deterministic encoding:\n%q\n%q", line, again)
 		}
 	})

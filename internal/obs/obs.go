@@ -84,6 +84,10 @@ const (
 	// re-replication from its source (a = source, id = data ID,
 	// aux = NCL index).
 	KindReplicate
+	// KindSpan: one causal span of a query's provenance tree (see
+	// internal/provenance); carries its own field set, encoded by
+	// appendSpan rather than appendEvent.
+	KindSpan
 
 	kindCount
 )
@@ -98,6 +102,7 @@ var kindNames = [kindCount]string{
 	"node-down", "node-up",
 	"contact-truncated", "transfer-killed",
 	"query-retry", "ncl-failover", "re-replicate",
+	"span",
 }
 
 // String returns the stable NDJSON name of the kind.
@@ -217,6 +222,53 @@ func (r *Recorder) Event(k Kind, t float64, a, b int32, id, aux int64, v float64
 	}
 	r.buf = appendEvent(r.buf[:0], k, t, a, b, id, aux, v, label)
 	r.sink.WriteLine(r.buf)
+}
+
+// SpanEvent is one causal span of a query's provenance tree (built by
+// internal/provenance): a virtual-time interval [Start, End] with a
+// cause edge to its parent span inside the same trace. Spans are their
+// own trace line family (k == "span") so existing consumers keep
+// working and span-bearing traces stay byte-deterministic.
+type SpanEvent struct {
+	// Trace is the query's trace ID, derived from (seed, query ID);
+	// encoded as 16 lowercase hex digits.
+	Trace uint64
+	// ID is the span's sequence number inside its trace (root = 0)
+	// and Parent its cause edge (-1 on the root, omitted then).
+	ID, Parent int64
+	// Op names the span kind; must be a static string (e.g. "q-seg").
+	Op string
+	// Start and End delimit the span in virtual seconds. Enq is the
+	// transfer-enqueue instant of custody segments; it equals Start
+	// (and is omitted) for spans without a link transfer.
+	Start, End, Enq float64
+	// A is the acting node and B the receiving peer; negative values
+	// mean "not applicable" and are omitted.
+	A, B int32
+	// Query is the query ID the span belongs to (always encoded).
+	Query int64
+	// Aux and V carry op-specific payload (data ID, NCL index, Eq. 6
+	// utility, link service time...); zero values are omitted.
+	Aux int64
+	V   float64
+}
+
+// Span records one provenance span into the trace sink. No-op without
+// a sink; like Event it reuses the recorder's encode scratch, so
+// producers must be serialized by the caller.
+func (r *Recorder) Span(ev SpanEvent) {
+	if r == nil || r.sink == nil {
+		return
+	}
+	r.buf = appendSpan(r.buf[:0], ev)
+	r.sink.WriteLine(r.buf)
+}
+
+// TraceEnabled reports whether trace events actually reach a sink —
+// the gate layers use to decide whether building span state is worth
+// anything at all.
+func (r *Recorder) TraceEnabled() bool {
+	return r != nil && r.sink != nil
 }
 
 // Manifest writes the run-manifest header line into the trace sink.

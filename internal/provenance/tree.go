@@ -1,0 +1,145 @@
+package provenance
+
+import (
+	"sort"
+
+	"dtncache/internal/obs"
+)
+
+// Tree is one query's reconstructed span tree.
+type Tree struct {
+	Query   int64
+	TraceID uint64
+	// Spans sorted by span ID (the root, when present, first).
+	Spans []obs.SpanEvent
+}
+
+// Attribution decomposes a satisfied query's end-to-end delay over its
+// critical path. Total is the root extent — bitwise equal to the delay
+// the metrics layer recorded. Wait sums the waiting-for-contact parts
+// of the path's custody segments ([start, enq]) and Transfer their
+// link service times; Queued is defined as the residual
+// Total - Wait - Transfer, so the three components reassemble to Total
+// exactly by construction. Queued covers time spent enqueued behind
+// other traffic on a live contact (the push budget's share of the
+// link) plus the decision points between segments.
+type Attribution struct {
+	Total    float64
+	Wait     float64
+	Transfer float64
+	Queued   float64
+	Hops     int
+}
+
+// BuildTrees groups spans by query and returns the trees sorted by
+// query ID, spans inside each sorted by span ID. Emission order within
+// a query is not ID order (the root is emitted last), so this is the
+// canonical view consumers should work from.
+func BuildTrees(spans []obs.SpanEvent) []*Tree {
+	byQuery := make(map[int64]*Tree)
+	var order []int64
+	for _, sp := range spans {
+		tr, ok := byQuery[sp.Query]
+		if !ok {
+			tr = &Tree{Query: sp.Query, TraceID: sp.Trace}
+			byQuery[sp.Query] = tr
+			order = append(order, sp.Query)
+		}
+		tr.Spans = append(tr.Spans, sp)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	trees := make([]*Tree, 0, len(order))
+	for _, q := range order {
+		tr := byQuery[q]
+		sort.Slice(tr.Spans, func(i, j int) bool { return tr.Spans[i].ID < tr.Spans[j].ID })
+		trees = append(trees, tr)
+	}
+	return trees
+}
+
+// Span returns the span with the given ID, nil when absent.
+func (t *Tree) Span(id int64) *obs.SpanEvent {
+	i := sort.Search(len(t.Spans), func(i int) bool { return t.Spans[i].ID >= id })
+	if i < len(t.Spans) && t.Spans[i].ID == id {
+		return &t.Spans[i]
+	}
+	return nil
+}
+
+// Root returns the issue span (present only for satisfied queries).
+func (t *Tree) Root() *obs.SpanEvent {
+	if sp := t.Span(rootSpanID); sp != nil && sp.Op == OpIssue {
+		return sp
+	}
+	return nil
+}
+
+// Deliver returns the terminal delivery span, nil when the query was
+// never satisfied.
+func (t *Tree) Deliver() *obs.SpanEvent {
+	for i := range t.Spans {
+		if t.Spans[i].Op == OpDeliver {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Children returns the spans whose parent is id, in span-ID order.
+func (t *Tree) Children(id int64) []*obs.SpanEvent {
+	var out []*obs.SpanEvent
+	for i := range t.Spans {
+		if t.Spans[i].Parent == id && t.Spans[i].ID != rootSpanID {
+			out = append(out, &t.Spans[i])
+		}
+	}
+	return out
+}
+
+// CriticalPath walks cause edges from the delivery span back to the
+// root and returns the chain root-first. Nil when the query was not
+// satisfied or the chain is broken (e.g. a trace truncated mid-query).
+func (t *Tree) CriticalPath() []*obs.SpanEvent {
+	del := t.Deliver()
+	if del == nil || t.Root() == nil {
+		return nil
+	}
+	var rev []*obs.SpanEvent
+	for sp := del; ; {
+		rev = append(rev, sp)
+		if sp.ID == rootSpanID {
+			break
+		}
+		next := t.Span(sp.Parent)
+		if next == nil || len(rev) > len(t.Spans) {
+			return nil // broken or cyclic chain
+		}
+		sp = next
+	}
+	path := make([]*obs.SpanEvent, len(rev))
+	for i, sp := range rev {
+		path[len(rev)-1-i] = sp
+	}
+	return path
+}
+
+// Attribute computes the critical-path delay attribution of a
+// satisfied query; ok is false when there is no complete path.
+func (t *Tree) Attribute() (Attribution, bool) {
+	path := t.CriticalPath()
+	if path == nil {
+		return Attribution{}, false
+	}
+	root := path[0]
+	a := Attribution{Total: root.End - root.Start}
+	for _, sp := range path {
+		switch sp.Op {
+		case OpQuerySeg, OpQuerySpray, OpQueryBcast, OpReplySeg:
+			a.Wait += sp.Enq - sp.Start
+			a.Transfer += sp.V
+			a.Hops++
+		}
+	}
+	a.Queued = a.Total - a.Wait - a.Transfer
+	return a, true
+}

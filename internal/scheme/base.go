@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"dtncache/internal/buffer"
+	"dtncache/internal/provenance"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
@@ -408,6 +409,8 @@ func (b *Base) ForwardQueries(s *sim.Session, from trace.NodeID, onArrive QueryA
 					return
 				}
 				b.CarryQuery(to, qc)
+				b.E.Prov.QueryHop(qc.Q.ID, qc.Target, from, to,
+					now, at, b.E.XferSec(b.E.Cfg.QueryBits), provenance.OpQuerySeg, true)
 				if onArrive != nil {
 					onArrive(to, qc)
 				}
@@ -423,6 +426,7 @@ func (b *Base) sprayQuery(s *sim.Session, from, to trace.NodeID, qc *QueryCarry,
 	if b.CarriesQueryKey(to, qc) {
 		return
 	}
+	now := b.E.Sim.Now()
 	key := inflight{node: from, query: qc.Q.ID, target: qc.Target}
 	if b.inflightQ[key] {
 		return
@@ -442,6 +446,8 @@ func (b *Base) sprayQuery(s *sim.Session, from, to trace.NodeID, qc *QueryCarry,
 				Q: qc.Q, Target: qc.Target, NCL: qc.NCL, Copies: half,
 			}
 			b.CarryQuery(to, copyQC)
+			b.E.Prov.QueryHop(qc.Q.ID, qc.Target, from, to,
+				now, at, b.E.XferSec(b.E.Cfg.QueryBits), provenance.OpQuerySpray, false)
 			if onArrive != nil {
 				onArrive(to, copyQC)
 			}
@@ -495,12 +501,16 @@ func (b *Base) ForwardReplies(s *sim.Session, from trace.NodeID, onDelivered Rep
 						b.E.hQueryDelay.Observe(at - rc.Q.Issued)
 						b.E.Obs.QueryAnswered(at, int32(req), int64(rc.Q.ID), at-rc.Q.Issued)
 					}
+					b.E.Prov.ReplyHop(rc.Q.ID, from, to,
+						now, at, b.E.XferSec(rc.Item.SizeBits), true, first)
 					if onDelivered != nil {
 						onDelivered(rc, first)
 					}
 					return
 				}
 				b.CarryReply(to, rc)
+				b.E.Prov.ReplyHop(rc.Q.ID, from, to,
+					now, at, b.E.XferSec(rc.Item.SizeBits), false, false)
 				if onRelay != nil {
 					onRelay(to, rc)
 				}
@@ -530,16 +540,21 @@ func (b *Base) Respond(n trace.NodeID, qc *QueryCarry, force bool) bool {
 		}
 	}
 	item, ok := e.OwnData(n, qc.Q.Data)
+	utility := 0.0 // source-owned data serves without an Eq. 6 value
 	if !ok {
 		en := e.Buffers[n].Get(qc.Q.Data)
 		if en == nil {
 			return false
 		}
 		item = en.Data
+		if e.Prov != nil {
+			utility = e.Popularity(&en.Requests, item.Expires)
+		}
 	}
 	b.CarryReply(n, &ReplyCarry{Q: qc.Q, Item: item})
 	e.noteResponse(n, qc.Q.ID)
 	e.Obs.Pull(now, int32(n), int32(qc.Q.Requester), int64(qc.Q.ID))
+	e.Prov.Pull(qc.Q.ID, qc.Target, n, now, int64(qc.Q.Data), utility)
 	return true
 }
 

@@ -24,6 +24,7 @@ import (
 	"dtncache/internal/mathx"
 	"dtncache/internal/metrics"
 	"dtncache/internal/obs"
+	"dtncache/internal/provenance"
 	"dtncache/internal/sim"
 	"dtncache/internal/trace"
 	"dtncache/internal/workload"
@@ -146,6 +147,12 @@ type Config struct {
 	// recorder never changes results. Excluded from config digests —
 	// callers must zero it before hashing (see obs.ConfigDigest).
 	Obs *obs.Recorder
+	// SpanRetain keeps the provenance span trees of up to this many
+	// finished queries in memory for live lookup (Env.Prov.SpanTree).
+	// 0 (the default) retains nothing; spans still stream into the
+	// run-trace whenever Obs has a sink. Like Obs, purely
+	// observational: it never changes simulation results.
+	SpanRetain int
 }
 
 // DefaultConfig returns the paper's default parameters for a trace of
@@ -209,6 +216,8 @@ func (c Config) Validate() error {
 		return errors.New("scheme: QueryRetryCapSec must be >= 0")
 	case c.PushRetryBudget < 0:
 		return errors.New("scheme: PushRetryBudget must be >= 0")
+	case c.SpanRetain < 0:
+		return errors.New("scheme: SpanRetain must be >= 0")
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return err
@@ -256,6 +265,10 @@ type Env struct {
 	// Obs is the run's recorder (nil when observability is off); all
 	// obs methods are nil-safe, so schemes use it unconditionally.
 	Obs *obs.Recorder
+	// Prov is the provenance span tracer, nil unless the recorder has a
+	// trace sink or Config.SpanRetain > 0; all its methods are nil-safe,
+	// so instrumentation sites call it unconditionally.
+	Prov *provenance.Tracer
 
 	scheme Scheme
 	sig    *mathx.ResponseSigmoid
@@ -367,6 +380,9 @@ func newEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *kno
 		ownData: make([]map[workload.DataID]workload.DataItem, tr.Nodes),
 	}
 	e.Sim.SetRecorder(cfg.Obs)
+	if cfg.Obs.TraceEnabled() || cfg.SpanRetain > 0 {
+		e.Prov = provenance.NewTracer(cfg.Obs, cfg.Seed, cfg.SpanRetain)
+	}
 	e.cQIssued = cfg.Obs.Counter("query", "issued")
 	e.cQAnswered = cfg.Obs.Counter("query", "answered")
 	e.cQExpired = cfg.Obs.Counter("query", "expired")
@@ -537,6 +553,7 @@ func (e *Env) issueQuery(q workload.Query) bool {
 	e.M.QueryIssued(q)
 	e.cQIssued.Inc()
 	e.Obs.QueryIssued(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(q.Data))
+	e.Prov.QueryIssued(q)
 	e.scheme.OnQuery(q)
 	if e.Cfg.QueryRetrySec > 0 {
 		e.scheduleQueryRetry(q, 1, e.Cfg.QueryRetrySec)
@@ -638,6 +655,7 @@ func (e *Env) sweep() {
 	e.scheme.OnSweep(now)
 	e.sampleCaching(now)
 	e.scanExpiredQueries(now)
+	e.Prov.Sweep(now)
 }
 
 // scanExpiredQueries emits a query-expired event for every registered,
@@ -805,4 +823,12 @@ func (e *Env) ResponseProb(c, requester trace.NodeID, q workload.Query) float64 
 // expires, honoring the configured Eq. (6) variant.
 func (e *Env) Popularity(rs *buffer.RequestStats, expires float64) float64 {
 	return rs.Popularity(e.Sim.Now(), expires, e.Cfg.PopularityFromFirst)
+}
+
+// XferSec returns the link service time of a transfer of the given
+// size: the exact bits/bandwidth division the contact driver performs,
+// so provenance spans attribute transfer time bitwise consistently
+// with the simulated timeline.
+func (e *Env) XferSec(bits float64) float64 {
+	return bits / e.Driver.Bandwidth()
 }

@@ -79,6 +79,7 @@ func (e *Env) scheduleQueryRetry(q workload.Query, attempt int, delay float64) {
 		}
 		e.cQRetries.Inc()
 		e.Obs.QueryRetry(e.Sim.Now(), int32(q.Requester), int64(q.ID), int64(attempt))
+		e.Prov.QueryRetry(q, e.Sim.Now(), attempt)
 		e.scheme.OnQuery(q)
 		factor := e.Cfg.QueryRetryFactor
 		if factor == 0 {

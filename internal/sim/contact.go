@@ -223,6 +223,12 @@ func WithBandwidth(bitsPerSec float64) DriverOption {
 	return func(d *Driver) { d.bandwidth = bitsPerSec }
 }
 
+// Bandwidth returns the link bandwidth in bits/second. Provenance
+// spans divide transfer sizes by this value — the exact float
+// arithmetic the driver uses for link service time — so attributed
+// transfer durations match the simulated ones bitwise.
+func (d *Driver) Bandwidth() float64 { return d.bandwidth }
+
 // WithDropProb enables failure injection: each transfer independently
 // fails with probability p even if it fits in the contact. The driver
 // takes ownership of the stream and draws from it on every transfer.

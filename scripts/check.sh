@@ -63,17 +63,23 @@ go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/si
 
 # Run-trace byte identity: record the same Infocom05 run twice and
 # require identical bytes — the determinism guarantee DESIGN.md's
-# "Observability" section documents. Set CHECK_SKIP_TRACE_ID=1 to skip.
+# "Observability" section documents. T_L=12h so queries are actually
+# issued and the trace carries provenance spans: the identity check
+# then also pins the span encoding, and the grep asserts the spans are
+# really there (an empty-workload run would pass cmp vacuously).
+# Set CHECK_SKIP_TRACE_ID=1 to skip.
 if [[ -z "${CHECK_SKIP_TRACE_ID:-}" ]]; then
-    echo "== run-trace byte identity (Infocom05 x2)"
+    echo "== run-trace byte identity (Infocom05 x2, span-bearing)"
     tmpdir=$(mktemp -d)
     trap 'rm -rf "$tmpdir"' EXIT
-    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional \
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional -tl 12h \
         -trace-out "$tmpdir/t1.ndjson" >/dev/null
-    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional \
+    go run ./cmd/dtnsim -trace Infocom05 -scheme Intentional -tl 12h \
         -trace-out "$tmpdir/t2.ndjson" >/dev/null
     cmp "$tmpdir/t1.ndjson" "$tmpdir/t2.ndjson"
-    echo "trace byte identity: OK ($(wc -l < "$tmpdir/t1.ndjson") lines)"
+    grep -q '"k":"span"' "$tmpdir/t1.ndjson" || {
+        echo "check: no span events in the Infocom05 run-trace" >&2; exit 1; }
+    echo "trace byte identity: OK ($(wc -l < "$tmpdir/t1.ndjson") lines, spans present)"
 
     # Same guarantee under fault injection: a seeded churn + failover run
     # must replay its failure timeline byte-for-byte.
@@ -137,6 +143,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/knapsack FuzzProbabilisticSelect"
         "./internal/sim FuzzEventHeapOrdering"
         "./internal/obs FuzzEncodeEvent"
+        "./internal/obs FuzzEncodeSpan"
         "./internal/analysis FuzzParseMarker"
         "./internal/analysis FuzzParseAllow"
     )
