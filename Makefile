@@ -5,7 +5,7 @@
 GO ?= go
 CMDS := dtnsim nclstat experiments tracegen dtnlint benchjson obsdump dtnserved dtnload
 
-.PHONY: build test check smoke serve-smoke fuzz lint lint-fix-check bench bench-compare clean
+.PHONY: build test check smoke serve-smoke crash-smoke fuzz lint lint-fix-check bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ smoke:
 # batch replay whose /report must byte-match dtnsim -report-json.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Durability gate: kill -9 a WAL-journaling dtnserved mid-load, restart
+# it from the log, and require byte-identical /report + /v1/status
+# against an uninterrupted run; plus the overload-shedding cell.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 # The full benchmark suite, shared by bench and bench-compare: the
 # pooled event-loop microbenchmarks and the city-scale streaming replay

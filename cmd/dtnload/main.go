@@ -61,8 +61,12 @@ func run(args []string) error {
 		advanceEvery = fs.Int("advance-every", 100, "queries between -advance-by virtual-time advances")
 		advanceEnd   = fs.Bool("advance-end", false, "advance virtual time to the trace end after the load completes")
 		reportOut    = fs.String("report-out", "", "fetch /report after the run and write its bytes to this `file` ('-' for stdout)")
+		statusOut    = fs.String("status-out", "", "fetch /v1/status after the run and write its raw bytes to this `file` ('-' for stdout)")
 		verify       = fs.Bool("verify", true, "fail unless /metrics totals match the generator counts and /healthz is green")
 		timeout      = fs.Duration("timeout", 5*time.Minute, "per-request timeout (advances serialize behind the engine and can be slow)")
+		retries      = fs.Int("retries", 0, "retry transient failures (connection errors, 429, 503) up to this many times per request")
+		retryBase    = fs.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt with jitter")
+		retryCap     = fs.Duration("retry-cap", 2*time.Second, "upper bound on one retry backoff sleep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +81,10 @@ func run(args []string) error {
 			Timeout:   *timeout,
 			Transport: &http.Transport{MaxIdleConnsPerHost: *workers + 2},
 		},
+		retries:   *retries,
+		retryBase: *retryBase,
+		retryCap:  *retryCap,
+		rng:       mathx.NewRand(*seed).Derive("client"),
 	}
 
 	// The trace shape comes from the server: node count bounds the
@@ -87,7 +95,7 @@ func run(args []string) error {
 		Trace       string  `json:"trace"`
 		Scheme      string  `json:"scheme"`
 	}
-	if err := c.getJSON("/v1/status", &status); err != nil {
+	if err := c.getJSON(c.rng, "/v1/status", &status); err != nil {
 		return fmt.Errorf("status: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "dtnload: %s on %s, %d nodes, %.0fs trace\n",
@@ -98,14 +106,20 @@ func run(args []string) error {
 	pubRng := mathx.NewRand(*seed).Derive("publish")
 	dataIDs := make([]int, 0, *publishN)
 	for i := 0; i < *publishN; i++ {
-		body := map[string]any{"source": pubRng.Intn(status.Nodes)}
+		// op_id makes retried publishes exactly-once: a retry that races
+		// a server restart replays the original response instead of
+		// creating a second item.
+		body := map[string]any{
+			"op_id":  fmt.Sprintf("p-%d-%d", *seed, i),
+			"source": pubRng.Intn(status.Nodes),
+		}
 		if *lifetime > 0 {
 			body["lifetime_sec"] = lifetime.Seconds()
 		}
 		var resp struct {
 			DataID int `json:"data_id"`
 		}
-		if err := c.postJSON("/v1/publish", body, &resp); err != nil {
+		if err := c.postJSON(pubRng, "/v1/publish", body, &resp); err != nil {
 			return fmt.Errorf("publish %d: %w", i, err)
 		}
 		dataIDs = append(dataIDs, resp.DataID)
@@ -138,8 +152,14 @@ func run(args []string) error {
 				lats := make([]time.Duration, 0, 256)
 				defer func() { perWorker[wi] = lats }()
 				rng := mathx.NewRand(*seed).Derive("worker-" + strconv.Itoa(wi))
-				for range jobs {
+				for k := 0; ; k++ {
+					if _, ok := <-jobs; !ok {
+						return
+					}
 					body := map[string]any{
+						// Unique per (run, worker, sequence): a retried
+						// query is answered exactly once server-side.
+						"op_id":     fmt.Sprintf("q-%d-w%d-%d", *seed, wi, k),
 						"requester": rng.Intn(status.Nodes),
 						"data":      dataIDs[zipf.Sample(rng)-1],
 					}
@@ -150,7 +170,7 @@ func run(args []string) error {
 						Issued bool `json:"issued"`
 					}
 					t0 := time.Now()
-					if err := c.postJSON("/v1/query", body, &resp); err != nil {
+					if err := c.postJSON(rng, "/v1/query", body, &resp); err != nil {
 						select {
 						case errCh <- err:
 						default:
@@ -163,7 +183,11 @@ func run(args []string) error {
 					}
 					n := sent.Add(1)
 					if *advanceBy > 0 && n%int64(*advanceEvery) == 0 {
-						if err := c.advance(0, *advanceBy); err != nil {
+						// Absolute target: retries and racing workers are
+						// no-ops past an already-reached time, so the
+						// virtual clock never double-advances.
+						target := *advanceBy * float64(n/int64(*advanceEvery))
+						if err := c.advance(rng, target, 0); err != nil {
 							select {
 							case errCh <- err:
 							default:
@@ -220,20 +244,26 @@ func run(args []string) error {
 	}
 
 	if *advanceEnd {
-		if err := c.advance(status.DurationSec, 0); err != nil {
+		if err := c.advance(c.rng, status.DurationSec, 0); err != nil {
 			return fmt.Errorf("advance to end: %w", err)
 		}
 	}
 
-	if *reportOut != "" {
-		raw, err := c.getRaw("/report")
-		if err != nil {
-			return fmt.Errorf("report: %w", err)
+	for _, fetch := range []struct{ path, out string }{
+		{"/report", *reportOut},
+		{"/v1/status", *statusOut},
+	} {
+		if fetch.out == "" {
+			continue
 		}
-		if *reportOut == "-" {
+		raw, err := c.getRaw(c.rng, fetch.path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fetch.path, err)
+		}
+		if fetch.out == "-" {
 			_, err = os.Stdout.Write(raw)
 		} else {
-			err = os.WriteFile(*reportOut, raw, 0o644)
+			err = os.WriteFile(fetch.out, raw, 0o644)
 		}
 		if err != nil {
 			return err
@@ -264,52 +294,108 @@ func resolveAddr(addr, addrFile string) (string, error) {
 	return "http://" + strings.TrimSpace(string(b)), nil
 }
 
-// client is a minimal JSON client for the dtnserved API.
+// client is a minimal JSON client for the dtnserved API with transient
+// retries: a connection error, a shed (429) or a server mid-restart
+// (503) backs off and tries again up to -retries times, so the load
+// survives an overloaded or crash-recovering server. Safe for
+// concurrent use as long as each goroutine passes its own jitter rng.
 type client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	retries   int
+	retryBase time.Duration
+	retryCap  time.Duration
+	rng       *mathx.Rand // main-goroutine jitter; workers pass their own
 }
 
-func (c *client) getRaw(path string) ([]byte, error) {
-	resp, err := c.http.Get(c.base + path)
+// transientStatus reports whether a response status is worth retrying:
+// the server shed the request or is briefly unavailable, and the op is
+// safe to repeat (op_id dedupe, absolute advance targets).
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// backoff computes the sleep before retry number attempt (1-based):
+// capped exponential with uniform [0.5, 1.5) jitter so a worker fleet
+// does not retry in lockstep, floored at the server's Retry-After hint
+// (itself capped, in case the server asks for more than we will wait).
+func (c *client) backoff(rng *mathx.Rand, attempt int, retryAfter time.Duration) time.Duration {
+	d := time.Duration(float64(c.retryBase) * math.Pow(2, float64(attempt-1)) * rng.Uniform(0.5, 1.5))
+	if d > c.retryCap {
+		d = c.retryCap
+	}
+	if retryAfter > d {
+		d = min(retryAfter, c.retryCap)
+	}
+	return d
+}
+
+// do issues one request with retries and returns the final response
+// body and status. Failures after the last attempt return the last
+// transport or HTTP error.
+func (c *client) do(rng *mathx.Rand, method, path string, payload []byte) ([]byte, int, error) {
+	for attempt := 0; ; attempt++ {
+		var resp *http.Response
+		var err error
+		if method == http.MethodGet {
+			resp, err = c.http.Get(c.base + path)
+		} else {
+			resp, err = c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+		}
+		var retryAfter time.Duration
+		if err == nil {
+			var b []byte
+			b, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				if !transientStatus(resp.StatusCode) {
+					return b, resp.StatusCode, nil
+				}
+				err = fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(b))
+				if s := resp.Header.Get("Retry-After"); s != "" {
+					if n, aerr := strconv.Atoi(s); aerr == nil && n > 0 {
+						retryAfter = time.Duration(n) * time.Second
+					}
+				}
+			}
+		}
+		if attempt >= c.retries {
+			return nil, 0, err
+		}
+		time.Sleep(c.backoff(rng, attempt+1, retryAfter))
+	}
+}
+
+func (c *client) getRaw(rng *mathx.Rand, path string) ([]byte, error) {
+	b, code, err := c.do(rng, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", path, code, bytes.TrimSpace(b))
 	}
 	return b, nil
 }
 
-func (c *client) getJSON(path string, out any) error {
-	b, err := c.getRaw(path)
+func (c *client) getJSON(rng *mathx.Rand, path string, out any) error {
+	b, err := c.getRaw(rng, path)
 	if err != nil {
 		return err
 	}
 	return json.Unmarshal(b, out)
 }
 
-func (c *client) postJSON(path string, body, out any) error {
+func (c *client) postJSON(rng *mathx.Rand, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	b, code, err := c.do(rng, http.MethodPost, path, payload)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	if code != http.StatusOK {
+		return fmt.Errorf("POST %s: %d: %s", path, code, bytes.TrimSpace(b))
 	}
 	if out == nil {
 		return nil
@@ -318,15 +404,16 @@ func (c *client) postJSON(path string, body, out any) error {
 }
 
 // advance moves virtual time: to an absolute timestamp (to > 0) or by a
-// relative delta.
-func (c *client) advance(to, by float64) error {
+// relative delta. Prefer absolute targets when retries are on — they
+// are idempotent.
+func (c *client) advance(rng *mathx.Rand, to, by float64) error {
 	body := map[string]any{}
 	if to > 0 {
 		body["to_sec"] = to
 	} else {
 		body["by_sec"] = by
 	}
-	return c.postJSON("/v1/advance", body, nil)
+	return c.postJSON(rng, "/v1/advance", body, nil)
 }
 
 // latencyReport formats the merged query-latency percentiles, or ""
@@ -373,14 +460,14 @@ type counterCheck struct {
 // mismatch the error names the first diverging counter with both
 // sides' values, so a failed run is diagnosable from the one line.
 func (c *client) verifyBooks(wantIssued int64) error {
-	metrics, err := c.getRaw("/metrics")
+	metrics, err := c.getRaw(c.rng, "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
 	var rep struct {
 		QueriesIssued int64
 	}
-	if err := c.getJSON("/report", &rep); err != nil {
+	if err := c.getJSON(c.rng, "/report", &rep); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
 	gotIssued, ok := promValue(metrics, "dtn_query_issued_total")
@@ -391,7 +478,7 @@ func (c *client) verifyBooks(wantIssued int64) error {
 	if err := firstDivergence(checks); err != nil {
 		return err
 	}
-	if _, err := c.getRaw("/healthz"); err != nil {
+	if _, err := c.getRaw(c.rng, "/healthz"); err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}
 	return nil

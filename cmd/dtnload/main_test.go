@@ -2,11 +2,15 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"dtncache/internal/mathx"
 )
 
 func TestPercentileNearestRank(t *testing.T) {
@@ -112,5 +116,116 @@ func TestVerifyBooks(t *testing.T) {
 	err = fakeServer(t, 5, 2).verifyBooks(5)
 	if err == nil || !strings.Contains(err.Error(), "QueriesIssued (/report)") {
 		t.Errorf("report divergence = %v, want QueriesIssued named", err)
+	}
+}
+
+// TestBackoffBounds pins the retry delay envelope: capped exponential
+// with [0.5, 1.5) jitter, Retry-After honored as a floor but never past
+// the cap.
+func TestBackoffBounds(t *testing.T) {
+	c := &client{retryBase: 100 * time.Millisecond, retryCap: 2 * time.Second}
+	rng := mathx.NewRand(7).Derive("test")
+	for attempt := 1; attempt <= 8; attempt++ {
+		ideal := time.Duration(float64(c.retryBase) * math.Pow(2, float64(attempt-1)))
+		for i := 0; i < 50; i++ {
+			d := c.backoff(rng, attempt, 0)
+			lo, hi := ideal/2, ideal+ideal/2
+			if lo > c.retryCap {
+				lo = c.retryCap
+			}
+			if hi > c.retryCap {
+				hi = c.retryCap
+			}
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: backoff %s outside [%s, %s]", attempt, d, lo, hi)
+			}
+		}
+	}
+	// Retry-After floors the delay...
+	if d := c.backoff(rng, 1, time.Second); d < time.Second {
+		t.Errorf("Retry-After 1s ignored: slept %s", d)
+	}
+	// ...but never past the cap.
+	if d := c.backoff(rng, 1, time.Minute); d != c.retryCap {
+		t.Errorf("Retry-After 1m not capped: slept %s", d)
+	}
+}
+
+// TestRetryTransient drives the client against a flaky server: two
+// sheds (429 with Retry-After, then 503), then success. With retries
+// the call succeeds exactly once server-side; without, it fails fast.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/publish", func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error": "server saturated; retry after backoff"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error": "engine closed"}`, http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, `{"data_id": 0}`)
+		}
+	})
+	mux.HandleFunc("/v1/bad", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error": "no"}`, http.StatusBadRequest)
+	})
+	s := httptest.NewServer(mux)
+	t.Cleanup(s.Close)
+
+	c := &client{
+		base: s.URL, http: s.Client(),
+		retries:   5,
+		retryBase: time.Millisecond, retryCap: 5 * time.Millisecond,
+		rng: mathx.NewRand(1).Derive("client"),
+	}
+	var resp struct {
+		DataID int `json:"data_id"`
+	}
+	if err := c.postJSON(c.rng, "/v1/publish", map[string]any{"op_id": "p-1"}, &resp); err != nil {
+		t.Fatalf("retried publish failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two sheds + one success)", got)
+	}
+
+	// Non-transient errors do not retry.
+	calls.Store(0)
+	if err := c.postJSON(c.rng, "/v1/bad", map[string]any{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "400") {
+		t.Errorf("bad request = %v, want a 400 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("400 retried: server saw %d calls, want 1", got)
+	}
+
+	// Retries off: the first shed is the answer.
+	calls.Store(0)
+	c0 := &client{base: s.URL, http: s.Client(), rng: mathx.NewRand(1)}
+	err := c0.postJSON(c0.rng, "/v1/publish", map[string]any{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Errorf("unretried shed = %v, want a 429 error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("retries=0 still retried: %d calls", got)
+	}
+
+	// Connection errors are transient too: a server that is briefly
+	// down during restart is retried until it answers.
+	down := httptest.NewServer(mux)
+	downURL := down.URL
+	down.Close()
+	cDead := &client{
+		base: downURL, http: &http.Client{},
+		retries:   2,
+		retryBase: time.Millisecond, retryCap: 2 * time.Millisecond,
+		rng: mathx.NewRand(1),
+	}
+	if err := cDead.postJSON(cDead.rng, "/v1/publish", map[string]any{}, nil); err == nil {
+		t.Error("dead server eventually succeeded?")
+	} else if !strings.Contains(err.Error(), "connection refused") {
+		t.Logf("dead server error (platform-dependent): %v", err)
 	}
 }

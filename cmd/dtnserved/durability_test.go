@@ -1,0 +1,350 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtncache/internal/cli"
+	"dtncache/internal/engine"
+	"dtncache/internal/obs"
+	"dtncache/internal/trace"
+)
+
+// TestContactsEndpoint pins the live contact-ingestion surface: the
+// exact validation errors (shared with trace-file parsing), the 202
+// accept, and that a drained batch reaches the scheme's deterministic
+// ingest counters.
+func TestContactsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	steps := []struct {
+		name       string
+		method     string
+		body       string
+		wantStatus int
+		wantBody   string
+	}{
+		{
+			name: "wrong method", method: "GET",
+			wantStatus: 405,
+			wantBody:   "{\n  \"error\": \"method GET not allowed\"\n}\n",
+		},
+		{
+			name: "malformed body", method: "POST", body: "{nope",
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"malformed JSON body\"\n}\n",
+		},
+		{
+			name: "empty batch", method: "POST", body: `{"contacts": []}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contacts batch is empty\"\n}\n",
+		},
+		{
+			name: "self contact", method: "POST",
+			body:       `{"contacts": [{"a": 3, "b": 3, "start_sec": 10, "end_sec": 20}]}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contact 0: node 3 in contact with itself\"\n}\n",
+		},
+		{
+			name: "node out of range", method: "POST",
+			body:       `{"contacts": [{"a": 1, "b": 99, "start_sec": 10, "end_sec": 20}]}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contact 0: node ID outside declared range 0..40\"\n}\n",
+		},
+		{
+			name: "end before start", method: "POST",
+			body:       `{"contacts": [{"a": 1, "b": 2, "start_sec": 20, "end_sec": 10}]}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contact 0: contact end 10 not after start 20\"\n}\n",
+		},
+		{
+			name: "past trace end", method: "POST",
+			body:       `{"contacts": [{"a": 1, "b": 2, "start_sec": 10, "end_sec": 1e9}]}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contact 0: contact end 1e+09 after trace duration 259200\"\n}\n",
+		},
+		{
+			name: "atomic batch: second contact bad", method: "POST",
+			body: `{"contacts": [{"a": 1, "b": 2, "start_sec": 10, "end_sec": 20},
+				{"a": 4, "b": 4, "start_sec": 10, "end_sec": 20}]}`,
+			wantStatus: 400,
+			wantBody:   "{\n  \"error\": \"contact 1: node 4 in contact with itself\"\n}\n",
+		},
+		{
+			name: "valid batch", method: "POST",
+			body: `{"contacts": [{"a": 1, "b": 2, "start_sec": 10, "end_sec": 20},
+				{"a": 3, "b": 5, "start_sec": 30, "end_sec": 40}]}`,
+			wantStatus: 202,
+			wantBody:   "{\n  \"queued\": 2\n}\n",
+		},
+	}
+	for _, st := range steps {
+		w := do(s, st.method, "/v1/contacts", st.body)
+		if w.Code != st.wantStatus {
+			t.Errorf("%s: status %d, want %d (body %q)", st.name, w.Code, st.wantStatus, w.Body.String())
+			continue
+		}
+		if w.Body.String() != st.wantBody {
+			t.Errorf("%s: body mismatch\ngot:  %q\nwant: %q", st.name, w.Body.String(), st.wantBody)
+		}
+	}
+
+	// Drain the queued batch and pin that it reached the scheme's
+	// deterministic ingest counters.
+	s.startIngest()
+	s.stopIngest()
+	body := do(s, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(body, "dtn_contact_ingested_total 2\n") {
+		t.Errorf("ingested batch missing from /metrics:\n%s", body)
+	}
+}
+
+// TestBodyLimit pins the 413 response for an oversized POST body.
+func TestBodyLimit(t *testing.T) {
+	s := newTestServer(t)
+	s.maxBody = 128
+	big := fmt.Sprintf(`{"op_id": %q, "source": 3}`, strings.Repeat("x", 200))
+	w := do(s, "POST", "/v1/publish", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", w.Code)
+	}
+	if want := "{\n  \"error\": \"request body exceeds 128 bytes\"\n}\n"; w.Body.String() != want {
+		t.Errorf("413 body mismatch\ngot:  %q\nwant: %q", w.Body.String(), want)
+	}
+	// A body under the cap still works.
+	if w := do(s, "POST", "/v1/publish", `{"source": 3}`); w.Code != 200 {
+		t.Errorf("small body after 413: status %d (%s)", w.Code, w.Body.String())
+	}
+}
+
+// TestLoadShedding saturates the admission gate and pins the shed
+// response: mutating endpoints get 429 + Retry-After while the
+// monitoring surface stays live.
+func TestLoadShedding(t *testing.T) {
+	tr, err := trace.GeneratePreset(trace.Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	eng, err := engine.New(engine.Config{Trace: tr, Live: true, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	sc := defaultServeConfig()
+	sc.maxInflight = 1
+	sc.shedWait = 0
+	s := newServer(eng, rec.Registry(), nil, sc)
+
+	// Occupy the only admission slot, as a stuck in-flight op would.
+	if !s.gate.enter() {
+		t.Fatal("empty gate refused entry")
+	}
+	for _, target := range []string{"/v1/publish", "/v1/query", "/v1/advance", "/v1/contacts"} {
+		w := do(s, "POST", target, `{}`)
+		if w.Code != http.StatusTooManyRequests {
+			t.Errorf("%s under saturation: status %d, want 429 (%s)", target, w.Code, w.Body.String())
+			continue
+		}
+		if ra := w.Header().Get("Retry-After"); ra != "1" {
+			t.Errorf("%s: Retry-After %q, want \"1\"", target, ra)
+		}
+		if want := "{\n  \"error\": \"server saturated; retry after backoff\"\n}\n"; w.Body.String() != want {
+			t.Errorf("%s: shed body %q, want %q", target, w.Body.String(), want)
+		}
+	}
+	if got := s.gate.sheds(); got != 4 {
+		t.Errorf("shed count %d, want 4", got)
+	}
+	// The monitoring surface bypasses the gate entirely.
+	for _, target := range []string{"/healthz", "/v1/status", "/metrics", "/report"} {
+		if w := do(s, "GET", target, ""); w.Code != 200 {
+			t.Errorf("%s under saturation: status %d, want 200", target, w.Code)
+		}
+	}
+	// Releasing the slot admits requests again.
+	s.gate.leave()
+	if w := do(s, "POST", "/v1/publish", `{"source": 3}`); w.Code != 200 {
+		t.Errorf("publish after release: status %d (%s)", w.Code, w.Body.String())
+	}
+}
+
+// TestDedupe pins exactly-once semantics for retried op_ids: the retry
+// returns the original bytes (success or deterministic rejection), the
+// engine applies the op once, and an op_id cannot switch kinds.
+func TestDedupe(t *testing.T) {
+	s := newTestServer(t)
+	first := do(s, "POST", "/v1/publish", `{"op_id": "pub-1", "source": 3}`)
+	if first.Code != 200 {
+		t.Fatalf("publish: %d %s", first.Code, first.Body.String())
+	}
+	retry := do(s, "POST", "/v1/publish", `{"op_id": "pub-1", "source": 3}`)
+	if retry.Body.String() != first.Body.String() {
+		t.Errorf("publish retry diverged:\ngot:  %q\nwant: %q", retry.Body.String(), first.Body.String())
+	}
+	// Applied once: the next distinct publish gets data_id 1, not 2.
+	next := do(s, "POST", "/v1/publish", `{"op_id": "pub-2", "source": 4}`)
+	if !strings.Contains(next.Body.String(), "\"data_id\": 1,") {
+		t.Errorf("retried publish double-applied: %s", next.Body.String())
+	}
+
+	q1 := do(s, "POST", "/v1/query", `{"op_id": "q-1", "requester": 2, "data": 0}`)
+	if q1.Code != 200 {
+		t.Fatalf("query: %d %s", q1.Code, q1.Body.String())
+	}
+	if q2 := do(s, "POST", "/v1/query", `{"op_id": "q-1", "requester": 2, "data": 0}`); q2.Body.String() != q1.Body.String() {
+		t.Errorf("query retry diverged:\ngot:  %q\nwant: %q", q2.Body.String(), q1.Body.String())
+	}
+
+	// Deterministic rejections replay too.
+	bad := do(s, "POST", "/v1/query", `{"op_id": "q-bad", "requester": 2, "data": 99}`)
+	if bad.Code != 400 {
+		t.Fatalf("bad query: %d", bad.Code)
+	}
+	if again := do(s, "POST", "/v1/query", `{"op_id": "q-bad", "requester": 2, "data": 99}`); again.Body.String() != bad.Body.String() || again.Code != 400 {
+		t.Errorf("rejected retry diverged: %d %q vs %q", again.Code, again.Body.String(), bad.Body.String())
+	}
+
+	// An op_id pinned to one kind cannot be replayed as another.
+	if w := do(s, "POST", "/v1/query", `{"op_id": "pub-1", "requester": 2, "data": 0}`); w.Code != 400 ||
+		!strings.Contains(w.Body.String(), "already used by a publish op") {
+		t.Errorf("cross-kind op_id reuse: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// durableServer builds a dtnserved stack with a WAL at path through the
+// same openWAL path main uses, so recovery behavior is tested end to
+// end (digest pinning included).
+func durableServer(t *testing.T, path, digest string) *server {
+	t.Helper()
+	tr, err := trace.GeneratePreset(trace.Infocom05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(nil)
+	eng, err := engine.New(engine.Config{Trace: tr, Live: true, Obs: rec, SpanRetain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	sync, every := "none", 4
+	wf := &cli.WALFlags{Path: &path, Sync: &sync, CheckpointEvery: &every}
+	j := newJournal(eng, 1024, every)
+	w, err := openWAL(eng, j, wf, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.attach(w)
+	return newServer(eng, rec.Registry(), j, defaultServeConfig())
+}
+
+// TestWALRecovery is the in-process kill-and-restore pin: a server
+// journaling to a WAL "crashes" (the log is abandoned without the
+// clean-shutdown checkpoint), a second server recovers from the file,
+// and /v1/status, /report and the idempotency cache are byte-identical
+// to the pre-crash capture.
+func TestWALRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	a := durableServer(t, path, "digest-a")
+
+	pub := do(a, "POST", "/v1/publish", `{"op_id": "p1", "source": 3}`)
+	if pub.Code != 200 {
+		t.Fatalf("publish: %d %s", pub.Code, pub.Body.String())
+	}
+	if w := do(a, "POST", "/v1/query", `{"op_id": "q1", "requester": 2, "data": 0}`); w.Code != 200 {
+		t.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(a, "POST", "/v1/advance", `{"to_sec": 600}`); w.Code != 200 {
+		t.Fatalf("advance: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(a, "POST", "/v1/contacts",
+		`{"contacts": [{"a": 1, "b": 2, "start_sec": 700, "end_sec": 900}]}`); w.Code != 202 {
+		t.Fatalf("contacts: %d %s", w.Code, w.Body.String())
+	}
+	a.startIngest()
+	a.stopIngest() // drain the batch into the journal
+	if w := do(a, "POST", "/v1/advance", `{"to_sec": 1200}`); w.Code != 200 {
+		t.Fatalf("advance 2: %d %s", w.Code, w.Body.String())
+	}
+	wantStatus := do(a, "GET", "/v1/status", "").Body.String()
+	wantReport := do(a, "GET", "/report", "").Body.String()
+	// Crash: abandon the log mid-flight — no final checkpoint.
+	if err := a.j.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarting under different flags must refuse to replay.
+	sync, every := "none", 4
+	badPath := path
+	wf := &cli.WALFlags{Path: &badPath, Sync: &sync, CheckpointEvery: &every}
+	tr, _ := trace.GeneratePreset(trace.Infocom05, 1)
+	eng2, err := engine.New(engine.Config{Trace: tr, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if _, err := openWAL(eng2, newJournal(eng2, 16, 0), wf, "digest-other"); err == nil ||
+		!strings.Contains(err.Error(), "config digest") {
+		t.Errorf("digest mismatch not caught: %v", err)
+	}
+
+	// Restart with the original flags: byte-identical state.
+	b := durableServer(t, path, "digest-a")
+	if got := do(b, "GET", "/v1/status", "").Body.String(); got != wantStatus {
+		t.Errorf("recovered /v1/status diverged:\ngot:  %q\nwant: %q", got, wantStatus)
+	}
+	if got := do(b, "GET", "/report", "").Body.String(); got != wantReport {
+		t.Errorf("recovered /report diverged:\ngot:  %q\nwant: %q", got, wantReport)
+	}
+	// The idempotency cache was rebuilt during replay: a retry of the
+	// pre-crash publish answers the original bytes without re-applying.
+	if got := do(b, "POST", "/v1/publish", `{"op_id": "p1", "source": 3}`); got.Body.String() != pub.Body.String() {
+		t.Errorf("recovered dedupe diverged:\ngot:  %q\nwant: %q", got.Body.String(), pub.Body.String())
+	}
+	// And the recovered server keeps journaling: one more op, one more
+	// restart, still consistent.
+	if w := do(b, "POST", "/v1/advance", `{"to_sec": 1800}`); w.Code != 200 {
+		t.Fatalf("post-recovery advance: %d %s", w.Code, w.Body.String())
+	}
+	nowB := do(b, "GET", "/v1/status", "").Body.String()
+	if err := b.j.w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := durableServer(t, path, "digest-a")
+	if got := do(c, "GET", "/v1/status", "").Body.String(); got != nowB {
+		t.Errorf("second recovery diverged:\ngot:  %q\nwant: %q", got, nowB)
+	}
+}
+
+// TestWALGateDigest pins that the WAL gate digest separates serving
+// setups the manifest ConfigDigest cannot: same scalar knobs on a
+// different trace or seed must yield a different digest, or a restart
+// under the wrong preset would silently replay into a diverged engine.
+func TestWALGateDigest(t *testing.T) {
+	base := &trace.Trace{Name: "Infocom05", Nodes: 41, Duration: 259200,
+		Contacts: make([]trace.Contact, 100)}
+	ref := walGateDigest(base, 1, "cfg-digest")
+	if got := walGateDigest(base, 1, "cfg-digest"); got != ref {
+		t.Errorf("digest not deterministic: %s vs %s", got, ref)
+	}
+	diffs := []struct {
+		name string
+		tr   trace.Trace
+		seed int64
+		cfg  string
+	}{
+		{"trace name", trace.Trace{Name: "Infocom06", Nodes: 41, Duration: 259200, Contacts: base.Contacts}, 1, "cfg-digest"},
+		{"node count", trace.Trace{Name: "Infocom05", Nodes: 98, Duration: 259200, Contacts: base.Contacts}, 1, "cfg-digest"},
+		{"duration", trace.Trace{Name: "Infocom05", Nodes: 41, Duration: 3600, Contacts: base.Contacts}, 1, "cfg-digest"},
+		{"contact count", trace.Trace{Name: "Infocom05", Nodes: 41, Duration: 259200, Contacts: base.Contacts[:50]}, 1, "cfg-digest"},
+		{"seed", *base, 2, "cfg-digest"},
+		{"config digest", *base, 1, "other-cfg"},
+	}
+	for _, d := range diffs {
+		if got := walGateDigest(&d.tr, d.seed, d.cfg); got == ref {
+			t.Errorf("%s change did not change the WAL gate digest", d.name)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dtncache/internal/engine"
+	"dtncache/internal/obs"
+	"dtncache/internal/scheme"
+	"dtncache/internal/trace"
+	"dtncache/internal/wal"
+	"dtncache/internal/workload"
+)
+
+// opResult is the cached outcome of a deduplicated op: the exact values
+// (or the exact validation error) the first attempt produced, so a
+// retried op_id answers byte-identically without touching the engine.
+type opResult struct {
+	kind   wal.Kind
+	item   workload.DataItem
+	query  engine.QueryResult
+	errMsg string // deterministic validation failure; "" on success
+}
+
+func (r opResult) err() error {
+	if r.errMsg == "" {
+		return nil
+	}
+	return errors.New(r.errMsg)
+}
+
+// dedupeCache is a bounded FIFO op_id → result map. Eviction order is
+// insertion order (a ring over keys), so for a client that retries
+// within the retention window, replays are exact; beyond it, the op
+// applies again — harmless for advance (absolute target) and contacts
+// (coalesced), and the window is sized far above any sane retry horizon
+// for publish/query.
+type dedupeCache struct {
+	cap  int
+	keys []string
+	head int
+	m    map[string]opResult
+}
+
+func newDedupeCache(capacity int) *dedupeCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &dedupeCache{cap: capacity, m: make(map[string]opResult, capacity)}
+}
+
+func (c *dedupeCache) get(id string) (opResult, bool) {
+	if c == nil || id == "" {
+		return opResult{}, false
+	}
+	r, ok := c.m[id]
+	return r, ok
+}
+
+func (c *dedupeCache) put(id string, r opResult) {
+	if c == nil || id == "" {
+		return
+	}
+	if _, ok := c.m[id]; ok {
+		return
+	}
+	if len(c.m) >= c.cap {
+		delete(c.m, c.keys[c.head])
+		c.keys[c.head] = id
+		c.head = (c.head + 1) % c.cap
+	} else {
+		c.keys = append(c.keys, id)
+	}
+	c.m[id] = r
+}
+
+// walAppendError marks an op that failed before reaching the engine:
+// the WAL write did not land, so the op was neither logged nor applied
+// and the client must retry. Handlers map it to 500, never 400.
+type walAppendError struct{ err error }
+
+func (e *walAppendError) Error() string { return "op not logged: " + e.err.Error() }
+func (e *walAppendError) Unwrap() error { return e.err }
+
+// journal serializes every mutating op through log-then-apply: under
+// one lock the op is appended to the WAL (when durability is on), then
+// applied to the engine, then its outcome is cached under the client's
+// op_id. The WAL therefore records requests accepted for processing —
+// engine validation is deterministic, so replay re-rejects exactly the
+// ops the live run rejected. Checkpoints are cut after the apply, so
+// the logged virtual time is the post-op engine clock that replay will
+// observe at the same record boundary.
+type journal struct {
+	mu              sync.Mutex
+	eng             *engine.Engine
+	w               *wal.Writer // nil: durability off, ops apply directly
+	checkpointEvery uint64      // 0: checkpoint only on close
+	dedupe          *dedupeCache
+
+	cAppends     *obs.Counter
+	cCheckpoints *obs.Counter
+	cDeduped     *obs.Counter
+	cWALErrors   *obs.Counter
+}
+
+func newJournal(eng *engine.Engine, dedupeRetain, checkpointEvery int) *journal {
+	j := &journal{
+		eng:    eng,
+		dedupe: newDedupeCache(dedupeRetain),
+	}
+	if checkpointEvery > 0 {
+		j.checkpointEvery = uint64(checkpointEvery)
+	}
+	return j
+}
+
+// bindMetrics registers the journal's operational counters on the
+// server's runtime registry (wal writes and dedupe hits depend on
+// client retry timing, so they live on the wall-clock surface, not the
+// deterministic /metrics). Until bound, the nil counters no-op.
+func (j *journal) bindMetrics(reg *obs.Registry) {
+	j.cAppends = reg.Counter("wal", "appends")
+	j.cCheckpoints = reg.Counter("wal", "checkpoints")
+	j.cDeduped = reg.Counter("wal", "deduped")
+	j.cWALErrors = reg.Counter("wal", "errors")
+}
+
+// attach hands the journal its WAL writer after recovery has replayed
+// the log; from here on every op is logged before it is applied.
+func (j *journal) attach(w *wal.Writer) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w = w
+}
+
+// log appends one op record; callers hold j.mu. An append failure
+// aborts the op before it touches the engine: a disk that cannot take
+// the record must not accept state the log cannot replay.
+func (j *journal) log(rec wal.Record) error {
+	if j.w == nil {
+		return nil
+	}
+	if err := j.w.Append(rec); err != nil {
+		j.cWALErrors.Inc()
+		return &walAppendError{err}
+	}
+	j.cAppends.Inc()
+	return nil
+}
+
+// maybeCheckpoint cuts a checkpoint every checkpointEvery ops, after
+// the op has been applied, so the logged clock matches what replay sees
+// at that record boundary. Callers hold j.mu.
+func (j *journal) maybeCheckpoint() {
+	if j.w == nil || j.checkpointEvery == 0 || j.w.Ops()%j.checkpointEvery != 0 {
+		return
+	}
+	if err := j.w.Checkpoint(j.eng.Now()); err != nil {
+		j.cWALErrors.Inc()
+		return
+	}
+	j.cCheckpoints.Inc()
+}
+
+// cache remembers the op's outcome under its op_id. A closed engine is
+// the one non-deterministic failure (it depends on shutdown timing, not
+// the op), so it is never cached: the retry after restart must reach
+// the recovered engine.
+func (j *journal) cache(opID string, r opResult, err error) {
+	if errors.Is(err, engine.ErrClosed) {
+		return
+	}
+	if err != nil {
+		r.errMsg = err.Error()
+	}
+	j.dedupe.put(opID, r)
+}
+
+func (j *journal) publish(opID string, spec engine.PublishSpec) (workload.DataItem, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r, ok := j.dedupe.get(opID); ok {
+		if r.kind != wal.KindPublish {
+			return workload.DataItem{}, fmt.Errorf("op_id %q already used by a %s op", opID, r.kind)
+		}
+		j.cDeduped.Inc()
+		return r.item, r.err()
+	}
+	if err := j.log(wal.PublishRecord(opID, spec.Source, spec.SizeBits, spec.LifetimeSec)); err != nil {
+		return workload.DataItem{}, err
+	}
+	item, err := j.eng.Publish(spec)
+	j.cache(opID, opResult{kind: wal.KindPublish, item: item}, err)
+	j.maybeCheckpoint()
+	return item, err
+}
+
+func (j *journal) query(opID string, spec engine.QuerySpec) (engine.QueryResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r, ok := j.dedupe.get(opID); ok {
+		if r.kind != wal.KindQuery {
+			return engine.QueryResult{}, fmt.Errorf("op_id %q already used by a %s op", opID, r.kind)
+		}
+		j.cDeduped.Inc()
+		return r.query, r.err()
+	}
+	if err := j.log(wal.QueryRecord(opID, spec.Requester, int(spec.Data), spec.ConstraintSec)); err != nil {
+		return engine.QueryResult{}, err
+	}
+	res, err := j.eng.Query(spec)
+	j.cache(opID, opResult{kind: wal.KindQuery, query: res}, err)
+	j.maybeCheckpoint()
+	return res, err
+}
+
+// advance needs no op_id: targets are absolute, so a retried advance is
+// a no-op against an engine that already reached the target.
+func (j *journal) advance(to float64) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.log(wal.AdvanceRecord(to)); err != nil {
+		return 0, err
+	}
+	n, err := j.eng.Advance(to)
+	j.maybeCheckpoint()
+	return n, err
+}
+
+// ingest needs no op_id either: a duplicated contact batch re-injects
+// contacts whose sessions are already open, and the driver coalesces
+// those into the live session.
+func (j *journal) ingest(cs []trace.Contact) (scheme.IngestResult, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.log(wal.ContactsRecord(cs)); err != nil {
+		return scheme.IngestResult{}, err
+	}
+	res, err := j.eng.IngestContacts(cs)
+	j.maybeCheckpoint()
+	return res, err
+}
+
+// rebuild is the wal.Replay callback that reconstructs the idempotency
+// cache during recovery: a client that retries an op_id across the
+// server's crash still gets the original answer.
+func (j *journal) rebuild(rec wal.Record, res wal.ApplyResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch rec.Kind {
+	case wal.KindPublish:
+		j.cache(rec.OpID, opResult{kind: rec.Kind, item: res.Item}, err)
+	case wal.KindQuery:
+		j.cache(rec.OpID, opResult{kind: rec.Kind, query: res.Query}, err)
+	}
+}
+
+// close seals the log: one final checkpoint pinning the shutdown state
+// (so a clean restart verifies the full replay), then sync and close.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	if err := j.w.Checkpoint(j.eng.Now()); err != nil {
+		j.w.Close()
+		return fmt.Errorf("wal: final checkpoint: %w", err)
+	}
+	return j.w.Close()
+}

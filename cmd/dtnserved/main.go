@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +40,8 @@ import (
 	"dtncache/internal/cli"
 	"dtncache/internal/engine"
 	"dtncache/internal/obs"
+	"dtncache/internal/trace"
+	"dtncache/internal/wal"
 )
 
 func main() {
@@ -66,6 +69,14 @@ func run(args []string) error {
 		spanRetain = fs.Int("span-retain", 1024, "finished queries whose provenance span trees stay queryable via GET /v1/trace/{id} (0 = off)")
 		rate       = fs.Float64("rate", 0, "real-time replay rate: virtual seconds advanced per wall second (0 = manual pacing via POST /v1/advance)")
 		live       = fs.Bool("live", true, "live workload: data and queries enter only through the API (false replays the generated batch workload)")
+
+		wf           = cli.AddWALFlags(fs)
+		maxInflight  = fs.Int("max-inflight", 64, "mutating requests admitted at once before load shedding with 429 (0 = unbounded)")
+		shedWait     = fs.Duration("shed-wait", 50*time.Millisecond, "how long a mutating request waits for admission before being shed")
+		reqTimeout   = fs.Duration("request-timeout", time.Minute, "per-request deadline; slower requests are cut off with 503 (0 = none)")
+		maxBody      = fs.Int64("max-body", 1<<20, "largest accepted POST body in `bytes` (413 past the cap)")
+		contactQueue = fs.Int("contact-queue", 4096, "bound on live contacts queued for ingestion via POST /v1/contacts")
+		dedupeRetain = fs.Int("dedupe-retain", 8192, "op IDs remembered for idempotent retries (0 = dedupe off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +114,26 @@ func run(args []string) error {
 		return err
 	}
 
-	srv := newServer(eng, rec.Registry())
+	// Recover-then-attach: with -wal set, an existing log is replayed
+	// into the fresh engine before the listener opens, then the writer
+	// journals every new op. The config digest pins recovery to the
+	// same flags the log was written under.
+	j := newJournal(eng, *dedupeRetain, *wf.CheckpointEvery)
+	if *wf.Path != "" {
+		w, err := openWAL(eng, j, wf, walGateDigest(tr, *ef.Seed, manifest.ConfigDigest))
+		if err != nil {
+			return err
+		}
+		j.attach(w)
+	}
+
+	srv := newServer(eng, rec.Registry(), j, serveConfig{
+		maxBody:      *maxBody,
+		maxInflight:  *maxInflight,
+		shedWait:     *shedWait,
+		contactQueue: *contactQueue,
+	})
+	srv.startIngest()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -119,7 +149,14 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	hs := &http.Server{Handler: srv}
+	// Per-request deadline: a handler stuck behind a long advance is cut
+	// off with 503 instead of holding the connection forever. The body
+	// is JSON to match every other error this API serves.
+	var handler http.Handler = srv
+	if *reqTimeout > 0 {
+		handler = http.TimeoutHandler(srv, *reqTimeout, "{\n  \"error\": \"request deadline exceeded\"\n}\n")
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	if *debugAddr != "" {
@@ -133,7 +170,7 @@ func run(args []string) error {
 		go func() { _ = dbg.Serve(dln) }()
 	}
 	if *rate > 0 {
-		go pace(ctx, eng, *rate)
+		go pace(ctx, eng, j, *rate)
 	}
 
 	select {
@@ -148,9 +185,16 @@ func run(args []string) error {
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	// Final flush: dump the flight-recorder ring if one was kept, close
-	// the engine (which closes the recorder's trace sink), and print the
-	// observability summary.
+	// Drain order matters: stop accepting requests (done), drain the
+	// contact-ingest backlog into the journal, seal the WAL with a final
+	// checkpoint, then close the engine. Final flush after that: dump
+	// the flight-recorder ring if one was kept, close the engine (which
+	// closes the recorder's trace sink), and print the observability
+	// summary.
+	srv.stopIngest()
+	if err := j.close(); err != nil {
+		return err
+	}
 	if ring != nil && *of.TraceOut != "" {
 		w, werr := cli.OpenTraceOut(*of.TraceOut)
 		if werr != nil {
@@ -167,15 +211,70 @@ func run(args []string) error {
 		_ = manifest.WriteSummary(os.Stderr)
 		_ = rec.WriteSummary(os.Stderr)
 	}
+	if n := srv.gate.sheds(); n > 0 {
+		fmt.Fprintf(os.Stderr, "dtnserved: shed %d requests under load\n", n)
+	}
 	fmt.Fprintln(os.Stderr, "dtnserved: shut down cleanly")
 	return nil
 }
 
+// openWAL creates or resumes the write-ahead log: a fresh (or empty)
+// file gets a header stamped with the config digest; an existing log is
+// verified against that digest — restoring under different flags would
+// replay into a different engine — truncated past any torn tail, and
+// replayed into the fresh engine before the server starts listening.
+// walGateDigest derives the digest that pins a WAL to its serving
+// setup. The manifest's ConfigDigest deliberately excludes the trace
+// (cli.Digestable zeroes the pointer fields) and the seed travels as a
+// separate manifest field, so two presets with identical scalar knobs
+// share a ConfigDigest — but replaying an Infocom05 op log into an
+// Infocom06 engine would silently diverge. Fold the trace identity
+// (name, shape) and seed in on top.
+func walGateDigest(tr *trace.Trace, seed int64, configDigest string) string {
+	return obs.ConfigDigest(struct {
+		Trace    string
+		Nodes    int
+		Duration float64
+		Contacts int
+		Seed     int64
+		Config   string
+	}{tr.Name, tr.Nodes, tr.Duration, len(tr.Contacts), seed, configDigest})
+}
+
+func openWAL(eng *engine.Engine, j *journal, wf *cli.WALFlags, digest string) (*wal.Writer, error) {
+	policy, err := wal.ParseSyncPolicy(*wf.Sync)
+	if err != nil {
+		return nil, err
+	}
+	w, recov, err := wal.Resume(*wf.Path, policy)
+	switch {
+	case errors.Is(err, fs.ErrNotExist) || errors.Is(err, wal.ErrEmpty):
+		return wal.Create(*wf.Path, digest, policy)
+	case err != nil:
+		return nil, err
+	}
+	if got := w.Digest(); got != digest {
+		w.Close()
+		return nil, fmt.Errorf("wal: %s was written under config digest %s, flags give %s: restart with the original flags or remove the log", *wf.Path, got, digest)
+	}
+	if recov.Torn != nil {
+		fmt.Fprintf(os.Stderr, "dtnserved: wal: dropped torn tail: %v\n", recov.Torn)
+	}
+	st, err := wal.Replay(eng, recov.Records, j.rebuild)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "dtnserved: wal: restored %d ops (%d rejected, %d checkpoints verified) from %s, now %gs\n",
+		st.Applied, st.Rejected, st.Checkpoints, *wf.Path, eng.Now())
+	return w, nil
+}
+
 // pace advances virtual time against the wall clock: rate virtual
-// seconds per elapsed wall second, capped at the trace end. The engine
-// serializes Advance against concurrent API calls, so the pacer is just
-// another client.
-func pace(ctx context.Context, eng *engine.Engine, rate float64) {
+// seconds per elapsed wall second, capped at the trace end. Paced
+// advances go through the journal like any API client, so a WAL replay
+// reproduces them.
+func pace(ctx context.Context, eng *engine.Engine, j *journal, rate float64) {
 	start := time.Now()
 	base := eng.Now()
 	end := eng.Duration()
@@ -190,8 +289,8 @@ func pace(ctx context.Context, eng *engine.Engine, rate float64) {
 			if target > end {
 				target = end
 			}
-			if _, err := eng.Advance(target); err != nil {
-				return // engine closed
+			if _, err := j.advance(target); err != nil {
+				return // engine closed or WAL dead
 			}
 			if target >= end {
 				return

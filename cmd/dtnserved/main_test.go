@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) *server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = eng.Close() })
-	return newServer(eng, rec.Registry())
+	return newServer(eng, rec.Registry(), nil, defaultServeConfig())
 }
 
 func do(s *server, method, target, body string) *httptest.ResponseRecorder {

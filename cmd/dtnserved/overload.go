@@ -1,0 +1,187 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"dtncache/internal/obs"
+	"dtncache/internal/trace"
+)
+
+// gate is the admission control for mutating endpoints: a semaphore of
+// maxInflight slots. A request that cannot take a slot within wait is
+// shed with 429 + Retry-After instead of queueing unboundedly — the
+// engine lock serializes ops anyway, so a deep queue only adds latency.
+// Read endpoints (/healthz, /metrics, /v1/status, /report, /v1/trace)
+// bypass the gate entirely and stay live under overload.
+type gate struct {
+	sem  chan struct{}
+	wait time.Duration
+
+	cShed     *obs.Counter
+	gInflight *obs.Gauge
+}
+
+// newGate returns nil (admit everything) when maxInflight <= 0.
+func newGate(maxInflight int, wait time.Duration, reg *obs.Registry) *gate {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return &gate{
+		sem:       make(chan struct{}, maxInflight),
+		wait:      wait,
+		cShed:     reg.Counter("http", "shed"),
+		gInflight: reg.Gauge("http", "inflight"),
+	}
+}
+
+// enter tries to take an admission slot: immediately, then for at most
+// g.wait. It reports false — and counts a shed — when the server is
+// saturated.
+func (g *gate) enter() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+	default:
+		if g.wait <= 0 {
+			g.cShed.Inc()
+			return false
+		}
+		t := time.NewTimer(g.wait)
+		defer t.Stop()
+		select {
+		case g.sem <- struct{}{}:
+		case <-t.C:
+			g.cShed.Inc()
+			return false
+		}
+	}
+	g.gInflight.Add(1)
+	return true
+}
+
+func (g *gate) leave() {
+	if g == nil {
+		return
+	}
+	g.gInflight.Add(-1)
+	<-g.sem
+}
+
+// sheds reports how many requests were load-shed so far.
+func (g *gate) sheds() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.cShed.Value()
+}
+
+// shedResponse is the 429 every saturated mutating endpoint returns;
+// Retry-After tells well-behaved clients (dtnload -retries) to back
+// off for at least a second.
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "server saturated; retry after backoff")
+}
+
+// ingestQueue decouples POST /v1/contacts from the engine lock: the
+// handler validates and enqueues, a single ingester goroutine drains
+// batches through the journal in arrival order. The bound counts
+// contacts (not batches); a full queue sheds the batch with 429 so
+// memory stays bounded no matter how fast contacts arrive.
+type ingestQueue struct {
+	mu      sync.Mutex
+	closed  bool
+	pending int // contacts queued but not yet applied
+	limit   int
+	ch      chan []trace.Contact
+	done    chan struct{}
+
+	cQueued   *obs.Counter
+	cShed     *obs.Counter
+	cRejected *obs.Counter
+	gDepth    *obs.Gauge
+}
+
+func newIngestQueue(limit int, reg *obs.Registry) *ingestQueue {
+	if limit <= 0 {
+		limit = 1
+	}
+	return &ingestQueue{
+		limit: limit,
+		// Every batch holds at least one contact, so limit batches can
+		// never be outnumbered by limit queued contacts.
+		ch:   make(chan []trace.Contact, limit),
+		done: make(chan struct{}),
+
+		cQueued:   reg.Counter("contact", "queued"),
+		cShed:     reg.Counter("contact", "shed"),
+		cRejected: reg.Counter("contact", "rejected"),
+		gDepth:    reg.Gauge("contact", "queue_depth"),
+	}
+}
+
+// offer enqueues a validated batch, or reports false when the queue is
+// full (shed) or the server is draining.
+func (q *ingestQueue) offer(cs []trace.Contact) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.pending+len(cs) > q.limit {
+		q.cShed.Inc()
+		return false
+	}
+	q.pending += len(cs)
+	q.ch <- cs // cannot block: pending <= limit == cap(ch) in batches
+	q.gDepth.Set(int64(q.pending))
+	q.cQueued.Add(uint64(len(cs)))
+	return true
+}
+
+// drained marks one batch applied.
+func (q *ingestQueue) drained(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending -= n
+	q.gDepth.Set(int64(q.pending))
+}
+
+// close stops accepting batches and closes the channel so the ingester
+// loop exits after draining what is already queued. Safe against
+// concurrent offer calls (straggler handlers get a shed).
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// runIngest is the single ingester goroutine: batches apply in arrival
+// order through the journal, so live contacts land in the WAL exactly
+// like API ops. Runs until the queue is closed and drained.
+func (s *server) runIngest() {
+	defer close(s.ingest.done)
+	for cs := range s.ingest.ch {
+		if _, err := s.j.ingest(cs); err != nil {
+			// Validated at the HTTP edge, so only a closed engine or a
+			// dead WAL lands here; the batch is dropped either way.
+			s.ingest.cRejected.Add(uint64(len(cs)))
+		}
+		s.ingest.drained(len(cs))
+	}
+}
+
+// startIngest launches the ingester; stopIngest (after the HTTP server
+// has stopped accepting requests) closes the queue and waits for the
+// backlog to drain into the journal before the WAL is sealed.
+func (s *server) startIngest() { go s.runIngest() }
+
+func (s *server) stopIngest() {
+	s.ingest.close()
+	<-s.ingest.done
+}

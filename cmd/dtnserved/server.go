@@ -15,6 +15,7 @@ import (
 	"dtncache/internal/engine"
 	"dtncache/internal/obs"
 	"dtncache/internal/provenance"
+	"dtncache/internal/trace"
 	"dtncache/internal/workload"
 )
 
@@ -39,13 +40,53 @@ type server struct {
 	reg     *obs.Registry
 	runtime *obs.Registry
 	mux     *http.ServeMux
+
+	j       *journal
+	gate    *gate
+	ingest  *ingestQueue
+	maxBody int64
 }
 
-func newServer(eng *engine.Engine, reg *obs.Registry) *server {
-	s := &server{eng: eng, reg: reg, runtime: obs.NewRegistry(), mux: http.NewServeMux()}
+// serveConfig bundles the overload-protection knobs so tests can dial
+// them without flag plumbing.
+type serveConfig struct {
+	maxBody      int64         // largest accepted POST body, bytes
+	maxInflight  int           // mutating requests admitted at once (0 = unbounded)
+	shedWait     time.Duration // admission wait before shedding with 429
+	contactQueue int           // live contact-ingest queue bound, contacts
+}
+
+func defaultServeConfig() serveConfig {
+	return serveConfig{
+		maxBody:      1 << 20,
+		maxInflight:  64,
+		shedWait:     50 * time.Millisecond,
+		contactQueue: 4096,
+	}
+}
+
+func newServer(eng *engine.Engine, reg *obs.Registry, j *journal, sc serveConfig) *server {
+	if j == nil {
+		j = newJournal(eng, 8192, 0)
+	}
+	if sc.maxBody <= 0 {
+		sc.maxBody = 1 << 20
+	}
+	s := &server{
+		eng: eng, reg: reg, runtime: obs.NewRegistry(), mux: http.NewServeMux(),
+		j:       j,
+		maxBody: sc.maxBody,
+	}
+	// Admission, queueing and journaling counters are operational (they
+	// track wall-clock client behavior, not simulation results), so they
+	// live on the runtime registry and never taint /metrics.
+	s.gate = newGate(sc.maxInflight, sc.shedWait, s.runtime)
+	s.ingest = newIngestQueue(sc.contactQueue, s.runtime)
+	j.bindMetrics(s.runtime)
 	s.handle("/v1/publish", "publish", s.handlePublish)
 	s.handle("/v1/query", "query", s.handleQuery)
 	s.handle("/v1/advance", "advance", s.handleAdvance)
+	s.handle("/v1/contacts", "contacts", s.handleContacts)
 	s.handle("/v1/satisfied", "satisfied", s.handleSatisfied)
 	s.handle("/v1/status", "status", s.handleStatus)
 	s.handle("/v1/trace/", "trace", s.handleTrace)
@@ -96,12 +137,33 @@ func engineError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, err.Error())
 }
 
+// opError extends engineError for journaled ops: a WAL append failure
+// means the op was neither logged nor applied — a server-side fault the
+// client should retry, not a caller mistake.
+func opError(w http.ResponseWriter, err error) {
+	var we *walAppendError
+	if errors.As(err, &we) {
+		writeError(w, http.StatusInternalServerError, we.Error())
+		return
+	}
+	engineError(w, err)
+}
+
 // decodeBody strictly parses one JSON object into v: unknown fields and
-// trailing data are rejected so malformed clients fail loudly.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+// trailing data are rejected so malformed clients fail loudly, and the
+// body is capped at maxBody bytes (413 past the cap) so one request
+// cannot balloon server memory.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "malformed JSON body")
 		return false
 	}
@@ -122,6 +184,9 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 type publishRequest struct {
+	// OpID (optional) makes the publish idempotent: retries carrying the
+	// same op_id get the original response instead of a second item.
+	OpID        string  `json:"op_id"`
 	Source      int     `json:"source"`
 	SizeBits    float64 `json:"size_bits"`
 	LifetimeSec float64 `json:"lifetime_sec"`
@@ -139,17 +204,22 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req publishRequest
-	if !decodeBody(w, r, &req) {
+	if !s.gate.enter() {
+		shedResponse(w)
 		return
 	}
-	item, err := s.eng.Publish(engine.PublishSpec{
+	defer s.gate.leave()
+	var req publishRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	item, err := s.j.publish(req.OpID, engine.PublishSpec{
 		Source:      req.Source,
 		SizeBits:    req.SizeBits,
 		LifetimeSec: req.LifetimeSec,
 	})
 	if err != nil {
-		engineError(w, err)
+		opError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, publishResponse{
@@ -162,6 +232,8 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 }
 
 type queryRequest struct {
+	// OpID (optional) makes the query idempotent across retries.
+	OpID          string  `json:"op_id"`
 	Requester     int     `json:"requester"`
 	Data          int     `json:"data"`
 	ConstraintSec float64 `json:"constraint_sec"`
@@ -180,17 +252,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.gate.enter() {
+		shedResponse(w)
 		return
 	}
-	res, err := s.eng.Query(engine.QuerySpec{
+	defer s.gate.leave()
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.j.query(req.OpID, engine.QuerySpec{
 		Requester:     req.Requester,
 		Data:          workload.DataID(req.Data),
 		ConstraintSec: req.ConstraintSec,
 	})
 	if err != nil {
-		engineError(w, err)
+		opError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
@@ -219,8 +296,13 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
+	if !s.gate.enter() {
+		shedResponse(w)
+		return
+	}
+	defer s.gate.leave()
 	var req advanceRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if (req.ToSec <= 0) == (req.BySec <= 0) {
@@ -234,12 +316,74 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if end := s.eng.Duration(); target > end {
 		target = end
 	}
-	n, err := s.eng.Advance(target)
+	n, err := s.j.advance(target)
 	if err != nil {
-		engineError(w, err)
+		opError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, advanceResponse{NowSec: s.eng.Now(), Events: n})
+}
+
+type contactJSON struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+type contactsRequest struct {
+	Contacts []contactJSON `json:"contacts"`
+}
+
+type contactsResponse struct {
+	Queued int `json:"queued"`
+}
+
+// handleContacts accepts a batch of live contacts for injection into
+// the running simulation. The batch is validated synchronously — the
+// same rules as trace-file parsing, plus the trace-duration bound — and
+// rejected atomically on the first bad contact; a valid batch is
+// enqueued for the single ingester goroutine and answered 202. A full
+// queue sheds with 429 like any other saturated mutating endpoint.
+func (s *server) handleContacts(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.gate.enter() {
+		shedResponse(w)
+		return
+	}
+	defer s.gate.leave()
+	var req contactsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Contacts) == 0 {
+		writeError(w, http.StatusBadRequest, "contacts batch is empty")
+		return
+	}
+	cfg := s.eng.Config()
+	cs := make([]trace.Contact, len(req.Contacts))
+	for i, c := range req.Contacts {
+		cs[i] = trace.Contact{
+			A: trace.NodeID(c.A), B: trace.NodeID(c.B),
+			Start: c.StartSec, End: c.EndSec,
+		}
+		if err := trace.CheckContact(cfg.Trace.Nodes, cs[i]); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("contact %d: %s", i, err))
+			return
+		}
+		if cs[i].End > cfg.Trace.Duration {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("contact %d: contact end %g after trace duration %g", i, cs[i].End, cfg.Trace.Duration))
+			return
+		}
+	}
+	if !s.ingest.offer(cs) {
+		shedResponse(w)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, contactsResponse{Queued: len(cs)})
 }
 
 type satisfiedResponse struct {

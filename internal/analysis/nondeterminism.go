@@ -41,6 +41,11 @@ var DeterministicPackages = []string{
 	// its concurrent request surface is lock-serialized, never
 	// goroutine-spawning.
 	"dtncache/internal/engine",
+	// The write-ahead log must replay an op sequence bit-identically:
+	// its framing, recovery and replay code may not consult the wall
+	// clock or global rand — fsync timing is the only wall-clock
+	// interaction, and it never influences record contents.
+	"dtncache/internal/wal",
 }
 
 // Nondeterminism flags wall-clock reads and ad-hoc math/rand usage in

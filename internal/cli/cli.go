@@ -298,6 +298,25 @@ func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
 	}
 }
 
+// WALFlags configures the dtnserved write-ahead log: where live ops
+// are journaled, how eagerly the file is fsynced, and how often a
+// checkpoint record pins the replay state.
+type WALFlags struct {
+	Path            *string
+	Sync            *string
+	CheckpointEvery *int
+}
+
+// AddWALFlags registers -wal, -wal-sync and -wal-checkpoint on fs.
+func AddWALFlags(fs *flag.FlagSet) *WALFlags {
+	return &WALFlags{
+		Path: fs.String("wal", "", "journal live ops to this write-ahead log `file`; on restart the engine is restored by replaying it"),
+		Sync: fs.String("wal-sync", "checkpoint", "WAL fsync policy: none, checkpoint or always"),
+		CheckpointEvery: fs.Int("wal-checkpoint", 1024,
+			"ops between WAL checkpoint records (0 = checkpoint only on clean shutdown)"),
+	}
+}
+
 // Enabled reports whether any observability output was requested.
 func (o *ObsFlags) Enabled() bool {
 	return *o.TraceOut != "" || *o.FlightN > 0 || *o.Summary

@@ -271,6 +271,24 @@ func (e *Engine) Query(spec QuerySpec) (QueryResult, error) {
 	return QueryResult{Query: q, Issued: issued}, nil
 }
 
+// IngestContacts feeds live contacts into the running replay at the
+// current virtual time — the path a real (non-preset) contact stream
+// enters a serving engine by. The batch is validated atomically (a
+// rejected batch schedules nothing); accepted contacts already in
+// progress are clamped to start now, fully elapsed ones are counted
+// stale and skipped, and a contact whose pair is already connected when
+// its begin event fires coalesces into the open session. Like every
+// other mutating op, the result is a deterministic function of the
+// applied op sequence.
+func (e *Engine) IngestContacts(cs []trace.Contact) (scheme.IngestResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return scheme.IngestResult{}, ErrClosed
+	}
+	return e.env.IngestContacts(cs)
+}
+
 // Satisfied reports whether the query was answered before its deadline.
 func (e *Engine) Satisfied(id workload.QueryID) bool {
 	e.mu.Lock()

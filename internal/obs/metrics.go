@@ -62,6 +62,17 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add adjusts the gauge by delta — the in-flight/queue-depth usage,
+// where concurrent enters and leaves would race a read-modify-Set.
+//
+//dtn:allocfree
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // Value returns the latest value (0 on nil).
 //
 //dtn:allocfree

@@ -279,6 +279,9 @@ type Env struct {
 	cQAnswered  *obs.Counter
 	cQExpired   *obs.Counter
 	cQRetries   *obs.Counter
+	cCIngested  *obs.Counter
+	cCClamped   *obs.Counter
+	cCStale     *obs.Counter
 	hQueryDelay *obs.Histogram
 	expiredSeen []bool
 
@@ -387,6 +390,9 @@ func newEnv(tr *trace.Trace, w *workload.Workload, cfg Config, s Scheme, kb *kno
 	e.cQAnswered = cfg.Obs.Counter("query", "answered")
 	e.cQExpired = cfg.Obs.Counter("query", "expired")
 	e.cQRetries = cfg.Obs.Counter("query", "retries")
+	e.cCIngested = cfg.Obs.Counter("contact", "ingested")
+	e.cCClamped = cfg.Obs.Counter("contact", "ingest_clamped")
+	e.cCStale = cfg.Obs.Counter("contact", "ingest_stale")
 	e.hQueryDelay = cfg.Obs.Histogram("query", "delay_seconds", QueryDelayBounds)
 	bufRng := e.Rng.Derive("buffers")
 	e.Buffers = make([]*buffer.Buffer, e.N)
@@ -612,6 +618,56 @@ func (e *Env) InjectQuery(requester trace.NodeID, id workload.DataID, constraint
 	}
 	e.W.Queries = append(e.W.Queries, q)
 	return q, e.issueQuery(q), nil
+}
+
+// IngestResult summarizes one live contact-ingest batch: Scheduled
+// contacts entered the event heap, Clamped ones had a start in the past
+// moved up to the current virtual time, Stale ones had already ended
+// and were skipped.
+type IngestResult struct {
+	Scheduled int
+	Clamped   int
+	Stale     int
+}
+
+// IngestContacts feeds live contacts into the replay at the current
+// virtual time — the path a real (non-preset) contact stream enters the
+// engine by. The whole batch is validated first against the shared
+// trace.CheckContact rules plus the trace window (end must not pass the
+// trace duration), so a rejected batch schedules nothing. Accepted
+// contacts whose start is already in the past are clamped to now;
+// contacts that have entirely ended are counted stale and skipped. The
+// outcome is a deterministic function of the applied op sequence, which
+// is what lets a write-ahead log replay ingests bit-identically.
+func (e *Env) IngestContacts(cs []trace.Contact) (IngestResult, error) {
+	for i, c := range cs {
+		if err := trace.CheckContact(e.N, c); err != nil {
+			return IngestResult{}, fmt.Errorf("scheme: ingest contact %d: %w", i, err)
+		}
+		if c.End > e.Trace.Duration {
+			return IngestResult{}, fmt.Errorf("scheme: ingest contact %d: contact end %g after trace duration %g", i, c.End, e.Trace.Duration)
+		}
+	}
+	var res IngestResult
+	now := e.Sim.Now()
+	for _, c := range cs {
+		if c.End <= now {
+			res.Stale++
+			continue
+		}
+		if c.Start < now {
+			c.Start = now
+			res.Clamped++
+		}
+		if err := e.Driver.InjectContact(c); err != nil {
+			return res, err
+		}
+		res.Scheduled++
+	}
+	e.cCIngested.Add(uint64(res.Scheduled))
+	e.cCClamped.Add(uint64(res.Clamped))
+	e.cCStale.Add(uint64(res.Stale))
+	return res, nil
 }
 
 func (e *Env) scheduleMaintenance() error {

@@ -312,6 +312,8 @@ type Driver struct {
 	droppedTransfers   int
 	mergedContacts     int
 	skippedContacts    int
+	injectedContacts   int
+	injectedCoalesced  int
 	deliveredByLabel   map[string]int
 	bitsByLabel        map[string]float64
 
@@ -468,6 +470,40 @@ func (d *Driver) feedStep() {
 		d.sim.Stop()
 	}
 	d.beginContact(c)
+}
+
+// InjectContact schedules a live contact outside the loaded feed: the
+// begin event enters the heap at c.Start under an ordinary (non-
+// reserved) sequence number, so it dispatches after any feed contact at
+// the same instant. An injected contact whose pair already has an open
+// session when its begin event fires is dropped and counted as
+// coalesced — it does not extend the active session — which makes
+// re-ingesting a duplicate of an in-progress contact harmless. c.Start
+// must not be in the past (the scheduler rejects it).
+func (d *Driver) InjectContact(c trace.Contact) error {
+	if c.A > c.B {
+		// Normalize like SortContacts so pair keys agree with the feed.
+		c.A, c.B = c.B, c.A
+	}
+	return d.sim.Schedule(c.Start, func() { d.beginInjected(c) })
+}
+
+// beginInjected opens an injected contact's session unless its pair is
+// already connected.
+func (d *Driver) beginInjected(c trace.Contact) {
+	if s := d.active[pairKey(c.A, c.B)]; s != nil && !s.closed {
+		d.injectedCoalesced++
+		return
+	}
+	d.injectedContacts++
+	d.beginContact(c)
+}
+
+// InjectedStats returns the number of injected contacts that opened a
+// session and the number coalesced into an already-active same-pair
+// session.
+func (d *Driver) InjectedStats() (opened, coalesced int) {
+	return d.injectedContacts, d.injectedCoalesced
 }
 
 func (d *Driver) beginContact(c trace.Contact) {

@@ -104,21 +104,35 @@ func parseContact(nodes, lineNo int, fields []string) (Contact, error) {
 	if err != nil {
 		return Contact{}, fmt.Errorf("trace: line %d: end: %w", lineNo, err)
 	}
-	switch {
-	case math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0):
-		return Contact{}, fmt.Errorf("trace: line %d: non-finite contact time", lineNo)
-	case start < 0:
-		return Contact{}, fmt.Errorf("trace: line %d: negative start time %g", lineNo, start)
-	case end <= start:
-		return Contact{}, fmt.Errorf("trace: line %d: contact end %g not after start %g", lineNo, end, start)
-	case a < 0 || b < 0:
-		return Contact{}, fmt.Errorf("trace: line %d: negative node ID", lineNo)
-	case a == b:
-		return Contact{}, fmt.Errorf("trace: line %d: node %d in contact with itself", lineNo, a)
-	case nodes > 0 && (a >= nodes || b >= nodes):
-		return Contact{}, fmt.Errorf("trace: line %d: node ID outside declared range 0..%d", lineNo, nodes-1)
+	c := Contact{A: NodeID(a), B: NodeID(b), Start: start, End: end}
+	if err := CheckContact(nodes, c); err != nil {
+		return Contact{}, fmt.Errorf("trace: line %d: %w", lineNo, err)
 	}
-	return Contact{A: NodeID(a), B: NodeID(b), Start: start, End: end}, nil
+	return c, nil
+}
+
+// CheckContact validates one contact's semantic invariants — non-finite
+// or negative timestamps, end-before-begin intervals, negative/self/
+// out-of-range node IDs. nodes is the declared node count, 0 when not
+// (yet) known. It is the shared rule set of every contact entry path:
+// the text parser, the chunked stream codec and live API ingestion all
+// reject the same garbage with the same wording.
+func CheckContact(nodes int, c Contact) error {
+	switch {
+	case math.IsNaN(c.Start) || math.IsInf(c.Start, 0) || math.IsNaN(c.End) || math.IsInf(c.End, 0):
+		return fmt.Errorf("non-finite contact time")
+	case c.Start < 0:
+		return fmt.Errorf("negative start time %g", c.Start)
+	case c.End <= c.Start:
+		return fmt.Errorf("contact end %g not after start %g", c.End, c.Start)
+	case c.A < 0 || c.B < 0:
+		return fmt.Errorf("negative node ID")
+	case c.A == c.B:
+		return fmt.Errorf("node %d in contact with itself", c.A)
+	case nodes > 0 && (int(c.A) >= nodes || int(c.B) >= nodes):
+		return fmt.Errorf("node ID outside declared range 0..%d", nodes-1)
+	}
+	return nil
 }
 
 // finishTrace applies the shared reader tail: infer missing metadata,

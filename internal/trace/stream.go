@@ -198,24 +198,14 @@ func (sw *StreamWriter) flushChunk() error {
 	return nil
 }
 
-// checkStreamRecord mirrors parseContact's hardening for binary
-// records: non-finite or negative times, reversed intervals, self
-// contacts, out-of-range endpoints, and (extra, because the header
-// always declares them) duration overruns and unsorted starts.
+// checkStreamRecord applies CheckContact's shared hardening to binary
+// records plus the stream-only invariants the header makes checkable:
+// duration overruns and unsorted starts.
 func checkStreamRecord(meta StreamMeta, c Contact, prevStart float64) error {
+	if err := CheckContact(meta.Nodes, c); err != nil {
+		return err
+	}
 	switch {
-	case math.IsNaN(c.Start) || math.IsInf(c.Start, 0) || math.IsNaN(c.End) || math.IsInf(c.End, 0):
-		return fmt.Errorf("non-finite contact time")
-	case c.Start < 0:
-		return fmt.Errorf("negative start time %g", c.Start)
-	case c.End <= c.Start:
-		return fmt.Errorf("contact end %g not after start %g", c.End, c.Start)
-	case c.A < 0 || c.B < 0:
-		return fmt.Errorf("negative node ID")
-	case c.A == c.B:
-		return fmt.Errorf("node %d in contact with itself", c.A)
-	case int(c.A) >= meta.Nodes || int(c.B) >= meta.Nodes:
-		return fmt.Errorf("node ID outside declared range 0..%d", meta.Nodes-1)
 	case c.End > meta.Duration:
 		return fmt.Errorf("contact end %g after trace duration %g", c.End, meta.Duration)
 	case c.Start < prevStart:

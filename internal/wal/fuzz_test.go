@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadWAL feeds arbitrary bytes through the reader: it must never
+// panic, never loop, and classify every failure as either a hard header
+// error or a recoverable torn tail whose offset lies inside the input.
+func FuzzReadWAL(f *testing.F) {
+	valid := header("digest-abc")
+	valid = append(valid, frame(byte(KindPublish), func() []byte {
+		var p []byte
+		p = appendUint32(p, 3)
+		p = appendFloat64(p, 25e6)
+		p = appendFloat64(p, 86400)
+		p = appendUint16(p, 4)
+		p = append(p, "op-1"...)
+		return p
+	}())...)
+	valid = append(valid, frame(byte(KindAdvance), appendFloat64(nil, 1800))...)
+	valid = append(valid, frame(byte(KindCheckpoint), appendUint64(appendFloat64(nil, 1800), 2))...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:11])
+	f.Add([]byte("DTNWAL"))
+	f.Add([]byte{})
+	corrupted := bytes.Clone(valid)
+	corrupted[len(corrupted)-6] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // hard header error: fine, as long as it didn't panic
+		}
+		prevOff := rd.Offset()
+		for {
+			_, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var torn *TornTailError
+				if !errors.As(err, &torn) {
+					t.Fatalf("record error is neither EOF nor torn tail: %v", err)
+				}
+				if torn.Offset < prevOff || torn.Offset > int64(len(data)) {
+					t.Fatalf("torn offset %d outside [%d, %d]", torn.Offset, prevOff, len(data))
+				}
+				// Sticky: a second Next returns the same error.
+				if _, err2 := rd.Next(); err2 != err {
+					t.Fatalf("error not sticky: %v then %v", err, err2)
+				}
+				break
+			}
+			if rd.Offset() <= prevOff {
+				t.Fatal("reader did not advance")
+			}
+			prevOff = rd.Offset()
+		}
+	})
+}

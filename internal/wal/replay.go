@@ -1,0 +1,103 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"dtncache/internal/engine"
+	"dtncache/internal/scheme"
+	"dtncache/internal/workload"
+)
+
+// ApplyResult carries what applying one record produced — the same
+// values the original API call returned, which is what lets a server
+// rebuild its idempotency cache during replay.
+type ApplyResult struct {
+	// Item is the published item (KindPublish).
+	Item workload.DataItem
+	// Query is the query outcome (KindQuery).
+	Query engine.QueryResult
+	// Events is the number of events dispatched (KindAdvance).
+	Events int
+	// Ingest summarizes the contact batch (KindContacts).
+	Ingest scheme.IngestResult
+}
+
+// Apply replays one op record against the engine through the same API
+// the original request used, so defaulting, validation and event
+// scheduling are bit-identical to the live run.
+func Apply(eng *engine.Engine, rec Record) (ApplyResult, error) {
+	switch rec.Kind {
+	case KindPublish:
+		item, err := eng.Publish(engine.PublishSpec{
+			Source:      int(rec.Source),
+			SizeBits:    rec.SizeBits,
+			LifetimeSec: rec.LifetimeSec,
+		})
+		return ApplyResult{Item: item}, err
+	case KindQuery:
+		res, err := eng.Query(engine.QuerySpec{
+			Requester:     int(rec.Requester),
+			Data:          workload.DataID(rec.Data),
+			ConstraintSec: rec.ConstraintSec,
+		})
+		return ApplyResult{Query: res}, err
+	case KindAdvance:
+		n, err := eng.Advance(rec.To)
+		return ApplyResult{Events: n}, err
+	case KindContacts:
+		res, err := eng.IngestContacts(rec.Contacts)
+		return ApplyResult{Ingest: res}, err
+	default:
+		return ApplyResult{}, fmt.Errorf("wal: apply: unexpected %s record", rec.Kind)
+	}
+}
+
+// Stats summarizes a replay.
+type Stats struct {
+	// Applied ops succeeded; Rejected ops failed engine validation —
+	// deterministically, exactly as they did when first logged (the log
+	// records requests accepted for processing, not requests that
+	// succeeded).
+	Applied, Rejected int
+	// Checkpoints verified.
+	Checkpoints int
+}
+
+// Replay applies the recovered records in order against a fresh engine
+// built from the same flags the log was written under. Checkpoint
+// records are verified — virtual time and op count must match what the
+// writer saw — so config drift or nondeterministic replay fails loudly
+// instead of silently serving a diverged engine. onApplied (optional)
+// observes every op with its result and error, in log order; servers
+// use it to rebuild the op-ID idempotency cache.
+func Replay(eng *engine.Engine, recs []Record, onApplied func(Record, ApplyResult, error)) (Stats, error) {
+	var st Stats
+	var ops uint64
+	for i, rec := range recs {
+		if rec.Kind == KindCheckpoint {
+			if now := eng.Now(); now != rec.Now {
+				return st, fmt.Errorf("wal: checkpoint at record %d: virtual time %g != logged %g (config drift or nondeterministic replay)", i, now, rec.Now)
+			}
+			if ops != rec.Ops {
+				return st, fmt.Errorf("wal: checkpoint at record %d: op count %d != logged %d", i, ops, rec.Ops)
+			}
+			st.Checkpoints++
+			continue
+		}
+		ops++
+		res, err := Apply(eng, rec)
+		if errors.Is(err, engine.ErrClosed) {
+			return st, fmt.Errorf("wal: replay: %w", err)
+		}
+		if err != nil {
+			st.Rejected++
+		} else {
+			st.Applied++
+		}
+		if onApplied != nil {
+			onApplied(rec, res, err)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtncache/internal/engine"
+	"dtncache/internal/trace"
+)
+
+// tinyTrace is a small deterministic contact trace so replay tests run
+// in milliseconds instead of regenerating a preset.
+func tinyTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{
+		Name:        "tiny",
+		Nodes:       6,
+		Duration:    4000,
+		Granularity: 1,
+		Contacts: []trace.Contact{
+			{A: 0, B: 1, Start: 100, End: 700},
+			{A: 1, B: 2, Start: 250, End: 900},
+			{A: 2, B: 3, Start: 400, End: 1200},
+			{A: 0, B: 4, Start: 900, End: 1600},
+			{A: 3, B: 5, Start: 1500, End: 2400},
+			{A: 1, B: 4, Start: 2200, End: 3100},
+			{A: 2, B: 5, Start: 2800, End: 3600},
+		},
+	}
+	tr.SortContacts()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func tinyEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Trace: tinyTrace(t), Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// liveOps is the logged op sequence: every kind, a mid-sequence
+// checkpoint, and one deterministically rejected op (unknown data ID).
+func liveOps() []Record {
+	return []Record{
+		PublishRecord("p1", 0, 2e6, 3000),
+		PublishRecord("p2", 2, 0, 0),
+		AdvanceRecord(500),
+		QueryRecord("q1", 3, 0, 2000),
+		QueryRecord("q-bad", 1, 99, 0), // unknown data ID: rejected
+		ContactsRecord([]trace.Contact{
+			{A: 0, B: 5, Start: 800, End: 1400},
+			{A: 4, B: 5, Start: 300, End: 450}, // already stale after advance(500)
+		}),
+		AdvanceRecord(1500),
+		QueryRecord("q2", 5, 1, 1500),
+		AdvanceRecord(3000),
+	}
+}
+
+// TestReplayReproducesEngine is the state-machine-replication pin: a
+// live engine driven through an op sequence and a fresh engine replayed
+// from the WAL of that sequence end in identical observable state.
+func TestReplayReproducesEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	w, err := Create(path, "cfg", SyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := tinyEngine(t)
+	var liveResults []ApplyResult
+	var liveErrs []string
+	wantRejected := 0
+	for i, rec := range liveOps() {
+		// Log-then-apply, the journal discipline.
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		res, err := Apply(live, rec)
+		liveResults = append(liveResults, res)
+		if err != nil {
+			liveErrs = append(liveErrs, err.Error())
+			wantRejected++
+		} else {
+			liveErrs = append(liveErrs, "")
+		}
+		if i == 4 {
+			if err := w.Checkpoint(live.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Checkpoint(live.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec, err := Resume(path, SyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Torn != nil {
+		t.Fatalf("clean shutdown recovered torn: %v", rec.Torn)
+	}
+	restored := tinyEngine(t)
+	var gotResults []ApplyResult
+	var gotErrs []string
+	st, err := Replay(restored, rec.Records, func(_ Record, res ApplyResult, err error) {
+		gotResults = append(gotResults, res)
+		if err != nil {
+			gotErrs = append(gotErrs, err.Error())
+		} else {
+			gotErrs = append(gotErrs, "")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 2 {
+		t.Errorf("verified %d checkpoints, want 2", st.Checkpoints)
+	}
+	if st.Rejected != wantRejected || st.Applied != len(liveOps())-wantRejected {
+		t.Errorf("stats %+v, want %d applied / %d rejected", st, len(liveOps())-wantRejected, wantRejected)
+	}
+	if !reflect.DeepEqual(gotResults, liveResults) {
+		t.Errorf("replayed op results diverge:\n got %+v\nwant %+v", gotResults, liveResults)
+	}
+	if !reflect.DeepEqual(gotErrs, liveErrs) {
+		t.Errorf("replayed op errors diverge: %v vs %v", gotErrs, liveErrs)
+	}
+	if got, want := restored.Now(), live.Now(); got != want {
+		t.Errorf("Now: %g vs %g", got, want)
+	}
+	if got, want := restored.Pending(), live.Pending(); got != want {
+		t.Errorf("Pending: %d vs %d", got, want)
+	}
+	if got, want := restored.Processed(), live.Processed(); got != want {
+		t.Errorf("Processed: %d vs %d", got, want)
+	}
+	if got, want := restored.Report(), live.Report(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reports diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReplayChecksCheckpointTime(t *testing.T) {
+	recs := []Record{
+		AdvanceRecord(100),
+		{Kind: KindCheckpoint, Now: 999, Ops: 1},
+	}
+	_, err := Replay(tinyEngine(t), recs, nil)
+	if err == nil || !strings.Contains(err.Error(), "virtual time 100 != logged 999") {
+		t.Fatalf("checkpoint time drift not caught: %v", err)
+	}
+}
+
+func TestReplayChecksCheckpointOps(t *testing.T) {
+	recs := []Record{
+		AdvanceRecord(100),
+		{Kind: KindCheckpoint, Now: 100, Ops: 7},
+	}
+	_, err := Replay(tinyEngine(t), recs, nil)
+	if err == nil || !strings.Contains(err.Error(), "op count 1 != logged 7") {
+		t.Fatalf("checkpoint op-count drift not caught: %v", err)
+	}
+}
+
+func TestReplayClosedEngine(t *testing.T) {
+	eng := tinyEngine(t)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(eng, []Record{AdvanceRecord(1)}, nil)
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("replay into a closed engine: %v", err)
+	}
+}
+
+func TestApplyUnknownKind(t *testing.T) {
+	if _, err := Apply(tinyEngine(t), Record{Kind: 42}); err == nil {
+		t.Fatal("unknown kind applied")
+	}
+}

@@ -1,0 +1,641 @@
+// Package wal is the write-ahead op log behind a durable dtnserved: a
+// deterministic, CRC-framed, length-prefixed binary log of the live
+// mutating ops (publish / query / advance / contact-ingest) applied to
+// an engine. Because the engine is a deterministic state machine — any
+// engine state is a pure function of its config and the applied op
+// sequence — replaying the log against a fresh engine built from the
+// same flags reproduces /v1/status counters and /report byte-
+// identically. The file layout (all integers little-endian):
+//
+//	magic     [6]byte  "DTNWAL"
+//	version   uint16   currently 1
+//	digestLen uint16
+//	digest    [digestLen]byte   config digest of the serving flags
+//	record*
+//
+// Each record is:
+//
+//	kind       uint8
+//	payloadLen uint32   bounded by maxRecordBytes
+//	payload    [payloadLen]byte
+//	crc        uint32   IEEE CRC-32 of kind || payloadLen || payload
+//
+// There is no trailer: an append-only log is by construction cut off at
+// an arbitrary point by a crash, so a clean EOF at a record boundary is
+// a clean end, and anything else — a partial record, a checksum
+// mismatch, a corrupt length or kind — is a torn tail. Torn tails are
+// recoverable (Resume truncates the file at the last valid record and
+// appends from there); header corruption is not, because the config
+// digest that gates recovery is no longer trustworthy.
+//
+// Checkpoint records are consistency markers, not state snapshots: they
+// carry the virtual time and op count at the moment they were written,
+// and replay verifies both, so config drift or nondeterministic replay
+// is detected instead of silently producing a diverged engine.
+//
+//dtn:determinism
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"dtncache/internal/trace"
+)
+
+const (
+	walMagic   = "DTNWAL"
+	walVersion = 1
+
+	// headBytes is the fixed record prefix: kind u8 + payloadLen u32.
+	headBytes = 5
+
+	// maxRecordBytes bounds a single record payload so a corrupt length
+	// field cannot make recovery allocate gigabytes.
+	maxRecordBytes = 1 << 24
+
+	// maxOpIDLen bounds the client-chosen idempotency key.
+	maxOpIDLen = 256
+
+	// contactBytes is the per-contact payload cost in a contacts
+	// record: u32 a + u32 b + f64 start + f64 end (the chunked-trace
+	// columnar layout).
+	contactBytes = 24
+
+	// maxContactsPerRecord is the largest batch one contacts record
+	// holds, derived from maxRecordBytes.
+	maxContactsPerRecord = (maxRecordBytes - 4) / contactBytes
+)
+
+// Kind identifies a record type.
+type Kind uint8
+
+// Record kinds. Checkpoints are written by Writer.Checkpoint, never
+// appended directly.
+const (
+	KindPublish Kind = iota + 1
+	KindQuery
+	KindAdvance
+	KindContacts
+	KindCheckpoint
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindPublish:
+		return "publish"
+	case KindQuery:
+		return "query"
+	case KindAdvance:
+		return "advance"
+	case KindContacts:
+		return "contacts"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logged op. Only the fields of its Kind are meaningful:
+// publish uses Source/SizeBits/LifetimeSec (+OpID), query uses
+// Requester/Data/ConstraintSec (+OpID), advance uses To (an absolute
+// virtual-time target, which is what makes a retried advance
+// idempotent), contacts uses Contacts, and checkpoint uses Now/Ops.
+type Record struct {
+	Kind Kind
+
+	// OpID is the client idempotency key of a publish/query ("" = none).
+	OpID string
+
+	// Publish fields. Zero SizeBits/LifetimeSec mean "engine default",
+	// exactly as in the API request they were logged from.
+	Source      int32
+	SizeBits    float64
+	LifetimeSec float64
+
+	// Query fields.
+	Requester     int32
+	Data          int32
+	ConstraintSec float64
+
+	// Advance target (absolute virtual seconds).
+	To float64
+
+	// Contact-ingest batch.
+	Contacts []trace.Contact
+
+	// Checkpoint marker: virtual time and the count of non-checkpoint
+	// records preceding it.
+	Now float64
+	Ops uint64
+}
+
+// PublishRecord builds a publish op record.
+func PublishRecord(opID string, source int, sizeBits, lifetimeSec float64) Record {
+	return Record{Kind: KindPublish, OpID: opID, Source: int32(source), SizeBits: sizeBits, LifetimeSec: lifetimeSec}
+}
+
+// QueryRecord builds a query op record.
+func QueryRecord(opID string, requester, data int, constraintSec float64) Record {
+	return Record{Kind: KindQuery, OpID: opID, Requester: int32(requester), Data: int32(data), ConstraintSec: constraintSec}
+}
+
+// AdvanceRecord builds an advance op record for an absolute target.
+func AdvanceRecord(to float64) Record {
+	return Record{Kind: KindAdvance, To: to}
+}
+
+// ContactsRecord builds a contact-ingest op record.
+func ContactsRecord(cs []trace.Contact) Record {
+	return Record{Kind: KindContacts, Contacts: cs}
+}
+
+// TornTailError reports a recoverable corruption at the end of the log:
+// everything before Offset decoded cleanly, the record starting there
+// did not. Resume truncates the file at Offset and resumes appending.
+type TornTailError struct {
+	// Offset is the file offset of the first byte of the bad record —
+	// the end of the last valid one.
+	Offset int64
+	// Record is the 0-based index of the torn record.
+	Record int64
+	// Reason describes the corruption.
+	Reason string
+}
+
+// Error implements error.
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: torn tail at offset %d (record %d): %s", e.Offset, e.Record, e.Reason)
+}
+
+// ErrEmpty reports a zero-length WAL file: a crash between creating the
+// file and writing its header. There is nothing to recover and nothing
+// to verify; callers recreate the log.
+var ErrEmpty = errors.New("wal: empty file")
+
+// SyncPolicy selects when the writer fsyncs.
+type SyncPolicy int
+
+// Sync policies, from fastest to most durable.
+const (
+	// SyncNone never fsyncs (the OS flushes on its own schedule); a
+	// power loss may drop the most recent ops, a process crash does not.
+	SyncNone SyncPolicy = iota
+	// SyncCheckpoint fsyncs at every checkpoint record (the default).
+	SyncCheckpoint
+	// SyncAlways fsyncs after every record.
+	SyncAlways
+)
+
+// ParseSyncPolicy maps the flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none":
+		return SyncNone, nil
+	case "checkpoint":
+		return SyncCheckpoint, nil
+	case "always":
+		return SyncAlways, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (want none, checkpoint or always)", s)
+	}
+}
+
+// appendUint16/32/64 are the little-endian encode helpers.
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return appendUint64(b, math.Float64bits(v))
+}
+
+// encodeRecord appends the framed record to buf, validating the fields
+// a writer controls (op ID length, batch size).
+func encodeRecord(buf []byte, rec Record) ([]byte, error) {
+	if len(rec.OpID) > maxOpIDLen {
+		return nil, fmt.Errorf("wal: op ID longer than %d bytes", maxOpIDLen)
+	}
+	start := len(buf)
+	buf = append(buf, byte(rec.Kind))
+	buf = appendUint32(buf, 0) // payloadLen backpatched below
+	payloadStart := len(buf)
+	switch rec.Kind {
+	case KindPublish:
+		buf = appendUint32(buf, uint32(rec.Source))
+		buf = appendFloat64(buf, rec.SizeBits)
+		buf = appendFloat64(buf, rec.LifetimeSec)
+		buf = appendUint16(buf, uint16(len(rec.OpID)))
+		buf = append(buf, rec.OpID...)
+	case KindQuery:
+		buf = appendUint32(buf, uint32(rec.Requester))
+		buf = appendUint32(buf, uint32(rec.Data))
+		buf = appendFloat64(buf, rec.ConstraintSec)
+		buf = appendUint16(buf, uint16(len(rec.OpID)))
+		buf = append(buf, rec.OpID...)
+	case KindAdvance:
+		buf = appendFloat64(buf, rec.To)
+	case KindContacts:
+		if len(rec.Contacts) > maxContactsPerRecord {
+			return nil, fmt.Errorf("wal: contacts record with %d contacts exceeds limit %d", len(rec.Contacts), maxContactsPerRecord)
+		}
+		buf = appendUint32(buf, uint32(len(rec.Contacts)))
+		for _, c := range rec.Contacts {
+			buf = appendUint32(buf, uint32(c.A))
+		}
+		for _, c := range rec.Contacts {
+			buf = appendUint32(buf, uint32(c.B))
+		}
+		for _, c := range rec.Contacts {
+			buf = appendFloat64(buf, c.Start)
+		}
+		for _, c := range rec.Contacts {
+			buf = appendFloat64(buf, c.End)
+		}
+	case KindCheckpoint:
+		buf = appendFloat64(buf, rec.Now)
+		buf = appendUint64(buf, rec.Ops)
+	default:
+		return nil, fmt.Errorf("wal: cannot encode unknown record kind %d", rec.Kind)
+	}
+	payloadLen := len(buf) - payloadStart
+	binary.LittleEndian.PutUint32(buf[start+1:], uint32(payloadLen))
+	crc := crc32.ChecksumIEEE(buf[start:])
+	buf = appendUint32(buf, crc)
+	return buf, nil
+}
+
+// decodePayload rebuilds a record from its validated payload bytes. Any
+// structural mismatch is reported as a torn-tail reason: a checksum
+// that matches garbage structure means writer drift, and truncating
+// there is the only recovery.
+func decodePayload(kind Kind, p []byte) (Record, string) {
+	rec := Record{Kind: kind}
+	switch kind {
+	case KindPublish:
+		if len(p) < 22 {
+			return rec, fmt.Sprintf("publish payload %d bytes, want >= 22", len(p))
+		}
+		rec.Source = int32(binary.LittleEndian.Uint32(p[0:]))
+		rec.SizeBits = math.Float64frombits(binary.LittleEndian.Uint64(p[4:]))
+		rec.LifetimeSec = math.Float64frombits(binary.LittleEndian.Uint64(p[12:]))
+		n := int(binary.LittleEndian.Uint16(p[20:]))
+		if n > maxOpIDLen || len(p) != 22+n {
+			return rec, fmt.Sprintf("publish op ID length %d does not fit payload %d", n, len(p))
+		}
+		rec.OpID = string(p[22 : 22+n])
+	case KindQuery:
+		if len(p) < 18 {
+			return rec, fmt.Sprintf("query payload %d bytes, want >= 18", len(p))
+		}
+		rec.Requester = int32(binary.LittleEndian.Uint32(p[0:]))
+		rec.Data = int32(binary.LittleEndian.Uint32(p[4:]))
+		rec.ConstraintSec = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+		n := int(binary.LittleEndian.Uint16(p[16:]))
+		if n > maxOpIDLen || len(p) != 18+n {
+			return rec, fmt.Sprintf("query op ID length %d does not fit payload %d", n, len(p))
+		}
+		rec.OpID = string(p[18 : 18+n])
+	case KindAdvance:
+		if len(p) != 8 {
+			return rec, fmt.Sprintf("advance payload %d bytes, want 8", len(p))
+		}
+		rec.To = math.Float64frombits(binary.LittleEndian.Uint64(p[0:]))
+	case KindContacts:
+		if len(p) < 4 {
+			return rec, fmt.Sprintf("contacts payload %d bytes, want >= 4", len(p))
+		}
+		count := int(binary.LittleEndian.Uint32(p[0:]))
+		if count > maxContactsPerRecord || len(p) != 4+count*contactBytes {
+			return rec, fmt.Sprintf("contacts count %d does not match payload %d", count, len(p))
+		}
+		aOff, bOff := 4, 4+4*count
+		sOff, eOff := 4+8*count, 4+16*count
+		rec.Contacts = make([]trace.Contact, count)
+		for i := 0; i < count; i++ {
+			rec.Contacts[i] = trace.Contact{
+				A:     trace.NodeID(binary.LittleEndian.Uint32(p[aOff+4*i:])),
+				B:     trace.NodeID(binary.LittleEndian.Uint32(p[bOff+4*i:])),
+				Start: math.Float64frombits(binary.LittleEndian.Uint64(p[sOff+8*i:])),
+				End:   math.Float64frombits(binary.LittleEndian.Uint64(p[eOff+8*i:])),
+			}
+		}
+	case KindCheckpoint:
+		if len(p) != 16 {
+			return rec, fmt.Sprintf("checkpoint payload %d bytes, want 16", len(p))
+		}
+		rec.Now = math.Float64frombits(binary.LittleEndian.Uint64(p[0:]))
+		rec.Ops = binary.LittleEndian.Uint64(p[8:])
+	default:
+		return rec, fmt.Sprintf("unknown record kind %d", uint8(kind))
+	}
+	return rec, ""
+}
+
+// Reader decodes a WAL one record at a time. Errors (including io.EOF
+// at a clean end) are sticky; a torn tail surfaces as *TornTailError
+// carrying the offset recovery should truncate at.
+type Reader struct {
+	r       *bufio.Reader
+	digest  string
+	off     int64 // offset after the last cleanly decoded record
+	rec     int64 // records delivered
+	err     error // sticky
+	payload []byte
+}
+
+// NewReader parses the header. Header corruption is a hard error, never
+// a torn tail: without a trustworthy config digest, replaying the tail
+// would be a guess.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("wal: read magic: %w", err)
+	}
+	if string(magic[:]) != walMagic {
+		return nil, fmt.Errorf("wal: bad magic %q (want %q)", magic[:], walMagic)
+	}
+	var u16 [2]byte
+	if _, err := io.ReadFull(br, u16[:]); err != nil {
+		return nil, fmt.Errorf("wal: read version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(u16[:]); v != walVersion {
+		return nil, fmt.Errorf("wal: unsupported version %d (want %d)", v, walVersion)
+	}
+	if _, err := io.ReadFull(br, u16[:]); err != nil {
+		return nil, fmt.Errorf("wal: read header: %w", err)
+	}
+	digestLen := int(binary.LittleEndian.Uint16(u16[:]))
+	digest := make([]byte, digestLen)
+	if _, err := io.ReadFull(br, digest); err != nil {
+		return nil, fmt.Errorf("wal: read config digest: %w", err)
+	}
+	return &Reader{
+		r:      br,
+		digest: string(digest),
+		off:    int64(len(walMagic)) + 2 + 2 + int64(digestLen),
+	}, nil
+}
+
+// Digest returns the config digest the log was created under.
+func (rd *Reader) Digest() string { return rd.digest }
+
+// Offset returns the file offset after the last cleanly decoded record
+// (the truncation point when the next one is torn).
+func (rd *Reader) Offset() int64 { return rd.off }
+
+// Records returns the number of records delivered so far.
+func (rd *Reader) Records() int64 { return rd.rec }
+
+// Next returns the next record, io.EOF at a clean end, or a sticky
+// *TornTailError for any mid-record corruption.
+func (rd *Reader) Next() (Record, error) {
+	if rd.err != nil {
+		return Record{}, rd.err
+	}
+	var head [headBytes]byte
+	if _, err := io.ReadFull(rd.r, head[:]); err != nil {
+		if err == io.EOF {
+			rd.err = io.EOF
+			return Record{}, rd.err
+		}
+		return Record{}, rd.torn("truncated record header")
+	}
+	kind := Kind(head[0])
+	payloadLen := int(binary.LittleEndian.Uint32(head[1:]))
+	if payloadLen > maxRecordBytes {
+		return Record{}, rd.torn(fmt.Sprintf("payload length %d exceeds limit %d", payloadLen, maxRecordBytes))
+	}
+	if cap(rd.payload) < payloadLen {
+		rd.payload = make([]byte, payloadLen)
+	}
+	payload := rd.payload[:payloadLen]
+	if n, err := io.ReadFull(rd.r, payload); err != nil {
+		return Record{}, rd.torn(fmt.Sprintf("truncated payload (%d of %d bytes)", n, payloadLen))
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(rd.r, crcBuf[:]); err != nil {
+		return Record{}, rd.torn("truncated checksum")
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	got := crc32.Update(crc32.ChecksumIEEE(head[:]), crc32.IEEETable, payload)
+	if got != want {
+		return Record{}, rd.torn(fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got))
+	}
+	rec, reason := decodePayload(kind, payload)
+	if reason != "" {
+		return Record{}, rd.torn(reason)
+	}
+	rd.off += int64(headBytes + payloadLen + 4)
+	rd.rec++
+	return rec, nil
+}
+
+// torn records and returns the sticky torn-tail error for the record
+// currently being decoded.
+func (rd *Reader) torn(reason string) error {
+	rd.err = &TornTailError{Offset: rd.off, Record: rd.rec, Reason: reason}
+	return rd.err
+}
+
+// Writer appends records to a WAL file. Each record is written with a
+// single Write call, so a crash loses at most the in-flight record —
+// exactly the torn tail Resume truncates.
+type Writer struct {
+	f      *os.File
+	digest string
+	policy SyncPolicy
+	ops    uint64 // non-checkpoint records appended (including recovered ones)
+	buf    []byte
+	closed bool
+}
+
+// Create creates (or truncates) the log at path, writing and syncing
+// the header so the config digest is durable before the first op.
+func Create(path, digest string, policy SyncPolicy) (*Writer, error) {
+	if len(digest) > math.MaxUint16 {
+		return nil, fmt.Errorf("wal: config digest longer than %d bytes", math.MaxUint16)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	var hdr []byte
+	hdr = append(hdr, walMagic...)
+	hdr = appendUint16(hdr, walVersion)
+	hdr = appendUint16(hdr, uint16(len(digest)))
+	hdr = append(hdr, digest...)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync header: %w", err)
+	}
+	return &Writer{f: f, digest: digest, policy: policy}, nil
+}
+
+// Recovery is what Resume salvaged from an existing log: the cleanly
+// decoded records to replay, and the torn-tail error when the file had
+// to be truncated.
+type Recovery struct {
+	Records []Record
+	Torn    *TornTailError
+}
+
+// Resume opens an existing log for appending: it decodes every record,
+// truncates a torn tail in place, and positions the writer at the end.
+// The returned records must be replayed into a fresh engine before new
+// ops are appended. A zero-length file returns ErrEmpty (recreate it
+// with Create); header corruption is a hard error.
+func Resume(path string, policy SyncPolicy) (*Writer, *Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if st.Size() == 0 {
+		f.Close()
+		return nil, nil, ErrEmpty
+	}
+	rd, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	rec := &Recovery{}
+	var ops uint64
+	for {
+		r, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		var torn *TornTailError
+		if errors.As(err, &torn) {
+			rec.Torn = torn
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		rec.Records = append(rec.Records, r)
+		if r.Kind != KindCheckpoint {
+			ops++
+		}
+	}
+	off := rd.Offset()
+	if rec.Torn != nil {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Writer{f: f, digest: rd.Digest(), policy: policy, ops: ops}, rec, nil
+}
+
+// Digest returns the config digest in the log header.
+func (w *Writer) Digest() string { return w.digest }
+
+// Ops returns the number of non-checkpoint records in the log.
+func (w *Writer) Ops() uint64 { return w.ops }
+
+// Append logs one op record. Under SyncAlways it is durable on return;
+// under the other policies it is durable at the next sync point.
+// Checkpoints go through Checkpoint, which stamps the op count.
+func (w *Writer) Append(rec Record) error {
+	if rec.Kind == KindCheckpoint {
+		return errors.New("wal: checkpoints are written by Checkpoint, not Append")
+	}
+	if err := w.write(rec); err != nil {
+		return err
+	}
+	w.ops++
+	if w.policy == SyncAlways {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Checkpoint appends a consistency marker carrying the current virtual
+// time and the op count so far, syncing under SyncCheckpoint or
+// stronger.
+func (w *Writer) Checkpoint(now float64) error {
+	if err := w.write(Record{Kind: KindCheckpoint, Now: now, Ops: w.ops}); err != nil {
+		return err
+	}
+	if w.policy >= SyncCheckpoint {
+		return w.Sync()
+	}
+	return nil
+}
+
+func (w *Writer) write(rec Record) error {
+	if w.closed {
+		return errors.New("wal: write after Close")
+	}
+	buf, err := encodeRecord(w.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append %s: %w", rec.Kind, err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return errors.New("wal: sync after Close")
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: sync on close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}

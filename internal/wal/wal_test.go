@@ -1,0 +1,401 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtncache/internal/trace"
+)
+
+// sampleRecords is one of every op kind, exercising op IDs, empty op
+// IDs and a multi-contact batch.
+func sampleRecords() []Record {
+	return []Record{
+		PublishRecord("op-1", 3, 25e6, 86400),
+		PublishRecord("", 4, 0, 0),
+		AdvanceRecord(1800),
+		QueryRecord("op-2", 7, 0, 3600),
+		ContactsRecord([]trace.Contact{
+			{A: 0, B: 1, Start: 2000, End: 2600},
+			{A: 2, B: 5, Start: 2100, End: 2300},
+		}),
+		QueryRecord("", 9, 1, 0),
+	}
+}
+
+func writeSample(t *testing.T, path string, policy SyncPolicy) []Record {
+	t.Helper()
+	w, err := Create(path, "digest-abc", policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	var want []Record
+	for i, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		want = append(want, r)
+		if i == 2 {
+			if err := w.Checkpoint(1800); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Record{Kind: KindCheckpoint, Now: 1800, Ops: 3})
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func readAll(t *testing.T, data []byte) (*Reader, []Record, error) {
+	t.Helper()
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	for {
+		r, err := rd.Next()
+		if err == io.EOF {
+			return rd, recs, nil
+		}
+		if err != nil {
+			return rd, recs, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Kind != b.Kind || a.OpID != b.OpID ||
+		a.Source != b.Source || a.SizeBits != b.SizeBits || a.LifetimeSec != b.LifetimeSec ||
+		a.Requester != b.Requester || a.Data != b.Data || a.ConstraintSec != b.ConstraintSec ||
+		a.To != b.To || a.Now != b.Now || a.Ops != b.Ops ||
+		len(a.Contacts) != len(b.Contacts) {
+		return false
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	want := writeSample(t, path, SyncAlways)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, got, err := readAll(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Digest() != "digest-abc" {
+		t.Errorf("digest = %q", rd.Digest())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if rd.Offset() != int64(len(data)) {
+		t.Errorf("final offset %d, file size %d", rd.Offset(), len(data))
+	}
+}
+
+func TestResumeCleanAndAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	want := writeSample(t, path, SyncCheckpoint)
+	w, rec, err := Resume(path, SyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn != nil {
+		t.Fatalf("clean log reported torn tail: %v", rec.Torn)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	if w.Ops() != 6 {
+		t.Errorf("resumed op count %d, want 6", w.Ops())
+	}
+	if w.Digest() != "digest-abc" {
+		t.Errorf("resumed digest %q", w.Digest())
+	}
+	if err := w.Append(AdvanceRecord(3600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := readAll(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 || got[len(got)-1].To != 3600 {
+		t.Fatalf("after append: %d records, tail %+v", len(got), got[len(got)-1])
+	}
+}
+
+// TestResumeTruncatesEveryTornTail cuts a valid log at every byte
+// offset and checks the recovery invariant: the cleanly contained
+// record prefix survives, the torn remainder is truncated in place,
+// and the resumed writer appends correctly afterwards.
+func TestResumeTruncatesEveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	writeSample(t, full, SyncNone)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries: decode the full file once, collecting offsets.
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := rd.Offset()
+	boundaries := []int64{headerEnd}
+	counts := []int{0}
+	for {
+		if _, err := rd.Next(); err != nil {
+			break
+		}
+		boundaries = append(boundaries, rd.Offset())
+		counts = append(counts, int(rd.Records()))
+	}
+	path := filepath.Join(dir, "cut.wal")
+	for cut := headerEnd; cut <= int64(len(data)); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, rec, err := Resume(path, SyncNone)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantRecs := 0
+		atBoundary := false
+		for i, b := range boundaries {
+			if cut >= b {
+				wantRecs = counts[i]
+			}
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		if len(rec.Records) != wantRecs {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(rec.Records), wantRecs)
+		}
+		if atBoundary && rec.Torn != nil {
+			t.Fatalf("cut %d at a record boundary reported torn: %v", cut, rec.Torn)
+		}
+		if !atBoundary && rec.Torn == nil {
+			t.Fatalf("cut %d mid-record reported clean", cut)
+		}
+		if err := w.Append(AdvanceRecord(9999)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := readAll(t, after)
+		if err != nil {
+			t.Fatalf("cut %d: reread after recovery: %v", cut, err)
+		}
+		if len(got) != wantRecs+1 || got[len(got)-1].To != 9999 {
+			t.Fatalf("cut %d: %d records after append, want %d", cut, len(got), wantRecs+1)
+		}
+	}
+}
+
+func TestResumeEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(path, SyncNone); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Resume on empty file: %v, want ErrEmpty", err)
+	}
+}
+
+// frame builds one raw record frame with a correct checksum, so the
+// golden table can exercise structurally invalid payloads the Writer
+// refuses to produce.
+func frame(kind byte, payload []byte) []byte {
+	var b []byte
+	b = append(b, kind)
+	b = appendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	crc := crc32.ChecksumIEEE(b)
+	b = appendUint32(b, crc)
+	return b
+}
+
+func header(digest string) []byte {
+	var b []byte
+	b = append(b, walMagic...)
+	b = appendUint16(b, walVersion)
+	b = appendUint16(b, uint16(len(digest)))
+	b = append(b, digest...)
+	return b
+}
+
+// TestGoldenErrors pins the exact classification and wording of every
+// corruption class: hard header failures versus recoverable torn
+// tails.
+func TestGoldenErrors(t *testing.T) {
+	valid := func() []byte {
+		b := header("d")
+		b = append(b, frame(byte(KindAdvance), appendFloat64(nil, 100))...)
+		return b
+	}
+	corrupt := func(mut func([]byte) []byte) []byte { return mut(valid()) }
+	advFrame := frame(byte(KindAdvance), appendFloat64(nil, 100))
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+		torn bool
+	}{
+		{"empty input", nil, "wal: read magic: EOF", false},
+		{"truncated magic", []byte("DTN"), "wal: read magic: unexpected EOF", false},
+		{"bad magic", append([]byte("NOTWAL"), header("d")[6:]...), `wal: bad magic "NOTWAL" (want "DTNWAL")`, false},
+		{"truncated version", header("d")[:7], "wal: read version: unexpected EOF", false},
+		{"unsupported version", corrupt(func(b []byte) []byte { b[6] = 9; return b }), "wal: unsupported version 9 (want 1)", false},
+		{"truncated digest length", header("d")[:9], "wal: read header: unexpected EOF", false},
+		{"truncated digest", header("digest")[:12], "wal: read config digest: unexpected EOF", false},
+		{"truncated record header", append(header("d"), advFrame[:3]...), "truncated record header", true},
+		{"truncated payload", append(header("d"), advFrame[:9]...), "truncated payload (4 of 8 bytes)", true},
+		{"truncated checksum", append(header("d"), advFrame[:15]...), "truncated checksum", true},
+		{"checksum mismatch", corrupt(func(b []byte) []byte { b[len(b)-5] ^= 1; return b }), "checksum mismatch", true},
+		{"oversized length", append(header("d"), frameRawLen(byte(KindAdvance), 1<<25)...), "payload length 33554432 exceeds limit 16777216", true},
+		{"unknown kind", append(header("d"), frame(200, nil)...), "unknown record kind 200", true},
+		{"short publish payload", append(header("d"), frame(byte(KindPublish), make([]byte, 10))...), "publish payload 10 bytes, want >= 22", true},
+		{"publish op ID overrun", append(header("d"), frame(byte(KindPublish), publishPayloadBadOpID())...), "publish op ID length 300 does not fit payload 22", true},
+		{"short query payload", append(header("d"), frame(byte(KindQuery), make([]byte, 4))...), "query payload 4 bytes, want >= 18", true},
+		{"query op ID overrun", append(header("d"), frame(byte(KindQuery), queryPayloadBadOpID())...), "query op ID length 9 does not fit payload 18", true},
+		{"bad advance length", append(header("d"), frame(byte(KindAdvance), make([]byte, 7))...), "advance payload 7 bytes, want 8", true},
+		{"short contacts payload", append(header("d"), frame(byte(KindContacts), make([]byte, 2))...), "contacts payload 2 bytes, want >= 4", true},
+		{"contacts count mismatch", append(header("d"), frame(byte(KindContacts), appendUint32(nil, 2))...), "contacts count 2 does not match payload 4", true},
+		{"bad checkpoint length", append(header("d"), frame(byte(KindCheckpoint), make([]byte, 3))...), "checkpoint payload 3 bytes, want 16", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := readAll(t, tc.data)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			var torn *TornTailError
+			if got := errors.As(err, &torn); got != tc.torn {
+				t.Fatalf("torn classification = %v, want %v (err %q)", got, tc.torn, err)
+			}
+		})
+	}
+}
+
+// frameRawLen builds a record head with an arbitrary (lying) payload
+// length and no payload.
+func frameRawLen(kind byte, payloadLen uint32) []byte {
+	var b []byte
+	b = append(b, kind)
+	b = appendUint32(b, payloadLen)
+	return b
+}
+
+func publishPayloadBadOpID() []byte {
+	p := make([]byte, 22)
+	binary.LittleEndian.PutUint16(p[20:], 300)
+	return p
+}
+
+func queryPayloadBadOpID() []byte {
+	p := make([]byte, 18)
+	binary.LittleEndian.PutUint16(p[16:], 9)
+	return p
+}
+
+func TestStickyErrors(t *testing.T) {
+	data := append(header("d"), frame(200, nil)...)
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := rd.Next()
+	_, err2 := rd.Next()
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("errors not sticky: %v then %v", err1, err2)
+	}
+}
+
+func TestWriterGuards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.wal")
+	w, err := Create(path, "d", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindCheckpoint}); err == nil {
+		t.Error("Append accepted a checkpoint record")
+	}
+	if err := w.Append(PublishRecord(strings.Repeat("x", maxOpIDLen+1), 0, 0, 0)); err == nil {
+		t.Error("Append accepted an oversized op ID")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := w.Append(AdvanceRecord(1)); err == nil {
+		t.Error("Append after Close succeeded")
+	}
+	if err := w.Sync(); err == nil {
+		t.Error("Sync after Close succeeded")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"none", SyncNone, true},
+		{"checkpoint", SyncCheckpoint, true},
+		{"always", SyncAlways, true},
+		{"fsync", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}

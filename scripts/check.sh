@@ -59,7 +59,7 @@ go test -race -count=1 ./internal/fault/...
 
 echo "== fuzz seed corpora (short mode)"
 go test -count=1 -run '^Fuzz' ./internal/trace ./internal/knapsack ./internal/sim \
-    ./internal/obs ./internal/analysis
+    ./internal/obs ./internal/analysis ./internal/wal
 
 # Run-trace byte identity: record the same Infocom05 run twice and
 # require identical bytes — the determinism guarantee DESIGN.md's
@@ -120,6 +120,16 @@ if [[ -z "${CHECK_SKIP_SERVE:-}" ]]; then
     ./scripts/serve_smoke.sh
 fi
 
+# Crash recovery: kill -9 a WAL-journaling dtnserved mid-load, restart
+# it from the log, and require the final /report and /v1/status to
+# byte-match an uninterrupted reference run; plus the overload cell
+# (shed 429s, retried to an exact -verify). Set CHECK_SKIP_CRASH=1 to
+# skip.
+if [[ -z "${CHECK_SKIP_CRASH:-}" ]]; then
+    echo "== crash-smoke (WAL kill -9 recovery + overload shedding)"
+    ./scripts/crash_smoke.sh
+fi
+
 # Benchmark regression gate: rerun the suite — including the city-scale
 # streaming replay with its in-bench peak-RSS cap — and compare against
 # the committed post-optimization PR 8 numbers, failing on any >2x
@@ -146,6 +156,7 @@ if [[ -n "${CHECK_FUZZ_TIME:-}" ]]; then
         "./internal/obs FuzzEncodeSpan"
         "./internal/analysis FuzzParseMarker"
         "./internal/analysis FuzzParseAllow"
+        "./internal/wal FuzzReadWAL"
     )
     for entry in "${targets[@]}"; do
         read -r pkg fn <<<"$entry"

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Crash-smoke gate: the WAL durability contract, end to end.
+#
+#   1. reference — dtnserved without a WAL, driven by a deterministic
+#      single-worker dtnload run; capture the final /report and
+#      /v1/status bytes after a clean SIGTERM.
+#   2. kill -9 mid-run — the same load against a WAL-journaling server
+#      that is killed (SIGKILL, no drain) partway through. dtnload
+#      rides out the outage on transient retries (op_id dedupe keeps
+#      the counts exact), the server restarts on the same port from the
+#      WAL, and the final /report and /v1/status must byte-match the
+#      uninterrupted reference.
+#   3. overload — 16 workers against -max-inflight 1: shed requests get
+#      429 + Retry-After, dtnload retries through them, and -verify
+#      still balances the books exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    if [[ -n "$srv_pid" ]]; then kill "$srv_pid" 2>/dev/null || true; fi
+    wait 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "== crash-smoke: build"
+go build -o "$tmpdir/dtnserved" ./cmd/dtnserved
+go build -o "$tmpdir/dtnload" ./cmd/dtnload
+
+wait_addr() {
+    for _ in $(seq 1 100); do
+        [[ -s "$1" ]] && return 0
+        sleep 0.1
+    done
+    echo "crash-smoke: server never wrote $1" >&2
+    [[ -f "$2" ]] && cat "$2" >&2
+    return 1
+}
+
+stop_server() { # $1 = logfile
+    kill -TERM "$srv_pid"
+    wait "$srv_pid"
+    srv_pid=""
+    if ! grep -q "shut down cleanly" "$1"; then
+        echo "crash-smoke: server did not shut down cleanly" >&2
+        cat "$1" >&2
+        return 1
+    fi
+}
+
+# One worker so the op sequence (publishes, queries, absolute advances)
+# is identical across legs; -qps paces the run long enough to kill the
+# server in the middle of it.
+load_args=(-publish 8 -queries 2000 -workers 1 -seed 5
+    -advance-by 600 -advance-every 500)
+serve_args=(-trace Infocom05 -listen 127.0.0.1:0 -live)
+
+echo "== crash-smoke: reference run (no WAL, clean shutdown)"
+rm -f "$tmpdir/addr"
+"$tmpdir/dtnserved" "${serve_args[@]}" -addr-file "$tmpdir/addr" \
+    2>"$tmpdir/srv-ref.log" &
+srv_pid=$!
+wait_addr "$tmpdir/addr" "$tmpdir/srv-ref.log"
+"$tmpdir/dtnload" -addr-file "$tmpdir/addr" "${load_args[@]}" \
+    -report-out "$tmpdir/ref-report.json" -status-out "$tmpdir/ref-status.json"
+stop_server "$tmpdir/srv-ref.log"
+
+echo "== crash-smoke: kill -9 mid-load, restart from WAL"
+rm -f "$tmpdir/addr"
+"$tmpdir/dtnserved" "${serve_args[@]}" -addr-file "$tmpdir/addr" \
+    -wal "$tmpdir/ops.wal" -wal-checkpoint 256 \
+    2>"$tmpdir/srv-crash1.log" &
+srv_pid=$!
+wait_addr "$tmpdir/addr" "$tmpdir/srv-crash1.log"
+addr=$(cat "$tmpdir/addr")
+"$tmpdir/dtnload" -addr-file "$tmpdir/addr" "${load_args[@]}" -qps 400 \
+    -retries 20 -retry-base 100ms -retry-cap 1s \
+    -report-out "$tmpdir/crash-report.json" -status-out "$tmpdir/crash-status.json" \
+    2>"$tmpdir/load-crash.log" &
+load_pid=$!
+sleep 2
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+srv_pid=""
+# Restart on the same port, recovering from the WAL; dtnload is
+# retrying against connection-refused in the meantime.
+"$tmpdir/dtnserved" "${serve_args[@]/127.0.0.1:0/$addr}" \
+    -wal "$tmpdir/ops.wal" -wal-checkpoint 256 \
+    2>"$tmpdir/srv-crash2.log" &
+srv_pid=$!
+if ! wait "$load_pid"; then
+    echo "crash-smoke: dtnload did not survive the crash" >&2
+    cat "$tmpdir/load-crash.log" >&2
+    cat "$tmpdir/srv-crash2.log" >&2
+    exit 1
+fi
+grep -q "wal: restored" "$tmpdir/srv-crash2.log" || {
+    echo "crash-smoke: restarted server did not recover from the WAL" >&2
+    cat "$tmpdir/srv-crash2.log" >&2
+    exit 1
+}
+stop_server "$tmpdir/srv-crash2.log"
+cmp "$tmpdir/ref-report.json" "$tmpdir/crash-report.json"
+cmp "$tmpdir/ref-status.json" "$tmpdir/crash-status.json"
+echo "crash-smoke: kill -9 recovery byte identity OK" \
+    "($(grep -o 'restored [0-9]* ops' "$tmpdir/srv-crash2.log"))"
+
+echo "== crash-smoke: overload (16 workers vs -max-inflight 1)"
+rm -f "$tmpdir/addr"
+# -shed-wait 0 sheds immediately on contention: engine ops finish in
+# microseconds, so any positive wait would let every waiter in and the
+# gate would never visibly saturate. GOMAXPROCS=4 forces the server's
+# handler goroutines onto competing OS threads even on a single-core
+# runner — without it, short CPU-bound handlers run to completion
+# unpreempted and no goroutine ever observes the gate occupied.
+GOMAXPROCS=4 "$tmpdir/dtnserved" "${serve_args[@]}" -addr-file "$tmpdir/addr" \
+    -max-inflight 1 -shed-wait 0 2>"$tmpdir/srv-load.log" &
+srv_pid=$!
+wait_addr "$tmpdir/addr" "$tmpdir/srv-load.log"
+"$tmpdir/dtnload" -addr-file "$tmpdir/addr" -publish 8 -queries 3000 \
+    -workers 16 -seed 5 -advance-by 600 -advance-every 100 \
+    -retries 40 -retry-base 20ms -retry-cap 250ms
+stop_server "$tmpdir/srv-load.log"
+if ! grep -q "shed [0-9]* requests under load" "$tmpdir/srv-load.log"; then
+    echo "crash-smoke: overload run shed nothing (gate never saturated?)" >&2
+    cat "$tmpdir/srv-load.log" >&2
+    exit 1
+fi
+echo "crash-smoke: overload OK ($(grep -o 'shed [0-9]* requests' "$tmpdir/srv-load.log"))," \
+    "books exact despite sheds"
+
+echo "crash-smoke: OK"
